@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+scaled synthetic Google trace (see DESIGN.md).  The resulting report text is
+printed (so ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced
+numbers) and written to ``benchmarks/results/<name>.txt`` so the outputs
+survive in the repository after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Configuration shared by the parameter sweeps (one replication keeps the
+#: whole benchmark suite in the minutes range).
+SWEEP_CONFIG = ExperimentConfig(scale=0.02, seeds=(0,))
+
+#: Configuration for the scheduler-comparison figures (two replications).
+COMPARISON_CONFIG = ExperimentConfig(scale=0.02, seeds=(0, 1))
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a rendered report and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def comparison_results():
+    """The Figure 4/5/6 scheduler runs, executed once per benchmark session."""
+    from repro.experiments import run_scheduler_comparison
+
+    return run_scheduler_comparison(COMPARISON_CONFIG)

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 2 -- flowtime vs r for SRPTMS+C (epsilon = 0.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure2
+
+from .conftest import SWEEP_CONFIG, save_report
+
+R_VALUES = (1, 2, 3, 5, 8, 10)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_r_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_figure2, args=(SWEEP_CONFIG, R_VALUES), rounds=1, iterations=1
+    )
+    save_report("figure2", result.render())
+
+    # Shape check (paper: the curves are nearly flat in r because within-job
+    # variation is small): the spread of the unweighted curve stays modest.
+    assert result.relative_spread_unweighted < 0.35

@@ -1,0 +1,28 @@
+"""Benchmark: Figure 4 -- small-job flowtime CDF for SRPTMS+C / SCA / Mantri."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure4
+
+from .conftest import COMPARISON_CONFIG, save_report
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_small_job_cdf(benchmark, comparison_results):
+    result = benchmark.pedantic(
+        run_figure4,
+        args=(COMPARISON_CONFIG,),
+        kwargs={"results": comparison_results},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("figure4", result.render())
+
+    # Shape check (paper: SRPTMS+C completes the largest fraction of jobs
+    # within 100 s, ahead of Mantri).
+    srptms = result.fraction_within("SRPTMS+C", 100.0)
+    mantri = result.fraction_within("Mantri", 100.0)
+    assert srptms >= mantri - 0.02
+    assert srptms > 0.2

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 5 -- big-job flowtime CDF for SRPTMS+C / SCA / Mantri."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure5
+
+from .conftest import COMPARISON_CONFIG, save_report
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_big_job_cdf(benchmark, comparison_results):
+    result = benchmark.pedantic(
+        run_figure5,
+        args=(COMPARISON_CONFIG,),
+        kwargs={"results": comparison_results},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("figure5", result.render())
+
+    # Shape check (paper: SRPTMS+C completes at least as large a fraction of
+    # jobs within 1000 s as Mantri does).
+    srptms = result.fraction_within("SRPTMS+C", 1000.0)
+    mantri = result.fraction_within("Mantri", 1000.0)
+    assert srptms >= mantri - 0.02

@@ -1,0 +1,42 @@
+"""Tune SRPTMS+C's epsilon and r on the synthetic Google trace (Figures 1-2).
+
+Run with::
+
+    python examples/parameter_tuning.py [scale]
+
+Sweeps the machine-sharing fraction epsilon (with r = 0) and the
+standard-deviation weight r (with epsilon = 0.6), printing the same tables
+the paper's Figures 1 and 2 plot, and also validates the offline Theorem 1
+bound on a deterministic bulk arrival.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_figure1,
+    run_figure2,
+    run_offline_bound,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.01
+    config = ExperimentConfig(scale=scale, seeds=(0,))
+
+    figure1 = run_figure1(config, epsilons=(0.2, 0.4, 0.6, 0.8, 1.0))
+    print(figure1.render())
+    print()
+
+    figure2 = run_figure2(config, r_values=(0.0, 1.0, 3.0, 8.0))
+    print(figure2.render())
+    print()
+
+    bound = run_offline_bound(config)
+    print(bound.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in fully offline environments where the ``wheel``
+package (needed by setuptools' PEP 660 editable builds) is unavailable --
+pip then falls back to the classic ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

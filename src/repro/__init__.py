@@ -1,0 +1,67 @@
+"""repro -- reproduction of "Task-Cloning Algorithms in a MapReduce Cluster
+with Competitive Performance Bounds" (Xu & Lau, ICDCS 2015).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the paper's schedulers (offline Algorithm 1 and the
+  online SRPTMS+C Algorithm 2) and their theory (speedup functions,
+  effective workloads, epsilon-fraction machine sharing, Theorem 1 bounds);
+* :mod:`repro.workload` -- job/task model, duration distributions, traces
+  and the synthetic Google-trace generator;
+* :mod:`repro.cluster` -- machines, occupancy bookkeeping and straggler
+  injection;
+* :mod:`repro.simulation` -- the discrete-event cluster simulator;
+* :mod:`repro.schedulers` -- baseline policies (Mantri, SCA, LATE, FIFO,
+  Fair, plain SRPT);
+* :mod:`repro.analysis` -- CDFs, comparison tables, theory checks;
+* :mod:`repro.experiments` -- one ``run_*`` function per paper table/figure.
+
+Quickstart::
+
+    from repro import SRPTMSCScheduler, run_simulation
+    from repro.workload import poisson_trace
+
+    trace = poisson_trace(num_jobs=100, arrival_rate=0.5)
+    result = run_simulation(trace, SRPTMSCScheduler(epsilon=0.6, r=3.0),
+                            num_machines=50)
+    print(result.mean_flowtime, result.weighted_mean_flowtime)
+"""
+
+from repro.core.offline import OfflineSRPTScheduler
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.schedulers import (
+    FIFOScheduler,
+    FairScheduler,
+    LATEScheduler,
+    MantriScheduler,
+    SCAScheduler,
+    SRPTScheduler,
+)
+from repro.simulation import (
+    SimulationEngine,
+    SimulationResult,
+    run_replications,
+    run_simulation,
+)
+from repro.workload import GoogleTraceConfig, GoogleTraceGenerator, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "SRPTMSCScheduler",
+    "OfflineSRPTScheduler",
+    "MantriScheduler",
+    "SCAScheduler",
+    "LATEScheduler",
+    "FIFOScheduler",
+    "FairScheduler",
+    "SRPTScheduler",
+    "SimulationEngine",
+    "SimulationResult",
+    "run_simulation",
+    "run_replications",
+    "Trace",
+    "GoogleTraceGenerator",
+    "GoogleTraceConfig",
+]

@@ -1,0 +1,30 @@
+"""Result analysis: CDFs, summary statistics, cross-scheduler comparison, theory checks."""
+
+from repro.analysis.cdf import (
+    BIG_JOB_GRID,
+    SMALL_JOB_GRID,
+    cdf_comparison,
+    cdf_curve,
+    render_cdf_table,
+)
+from repro.analysis.comparison import ComparisonTable, percentage_improvement
+from repro.analysis.stats import confidence_interval, describe, relative_difference
+from repro.analysis.theory import (
+    offline_bound_check,
+    OfflineBoundReport,
+)
+
+__all__ = [
+    "SMALL_JOB_GRID",
+    "BIG_JOB_GRID",
+    "cdf_curve",
+    "cdf_comparison",
+    "render_cdf_table",
+    "ComparisonTable",
+    "percentage_improvement",
+    "confidence_interval",
+    "describe",
+    "relative_difference",
+    "offline_bound_check",
+    "OfflineBoundReport",
+]

@@ -1,0 +1,67 @@
+"""Empirical flowtime CDFs over the paper's two ranges (Figures 4 and 5).
+
+Figure 4 plots the cumulative fraction of jobs against flowtime for the
+small-job range 0-300 s (25 s grid); Figure 5 does the same for the big-job
+range 0-4000 s (500 s grid).  Both are cumulative fractions over *all* jobs
+(the y-axis of Figure 5 starts around 0.7 because most jobs are small), so
+the curves here are plain CDFs of the full flowtime distribution evaluated
+on the two grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+import numpy as np
+
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.runner import ReplicatedResult
+
+__all__ = [
+    "SMALL_JOB_GRID",
+    "BIG_JOB_GRID",
+    "cdf_curve",
+    "cdf_comparison",
+    "render_cdf_table",
+]
+
+#: Figure 4's x-axis: 0 to 300 seconds in 25-second steps.
+SMALL_JOB_GRID: List[float] = [float(x) for x in range(0, 301, 25)]
+
+#: Figure 5's x-axis: 0 to 4000 seconds in 500-second steps.
+BIG_JOB_GRID: List[float] = [float(x) for x in range(0, 4001, 500)]
+
+ResultLike = Union[SimulationResult, ReplicatedResult]
+
+
+def cdf_curve(result: ResultLike, points: Sequence[float]) -> np.ndarray:
+    """Cumulative fraction of jobs with flowtime <= each of ``points``."""
+    if not points:
+        raise ValueError("points must not be empty")
+    return np.asarray(result.flowtime_cdf(points), dtype=float)
+
+
+def cdf_comparison(
+    results: Dict[str, ResultLike], points: Sequence[float]
+) -> Dict[str, np.ndarray]:
+    """CDF curves of several schedulers on the same grid, keyed by name."""
+    return {name: cdf_curve(result, points) for name, result in results.items()}
+
+
+def render_cdf_table(
+    curves: Dict[str, Iterable[float]], points: Sequence[float], title: str = ""
+) -> str:
+    """Text rendering of CDF curves: one row per grid point, one column per policy."""
+    names = list(curves.keys())
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'flowtime (s)':>14}  " + "  ".join(f"{name:>12}" for name in names)
+    lines.append(header)
+    columns = {name: list(values) for name, values in curves.items()}
+    for index, point in enumerate(points):
+        row = f"{point:>14.0f}  " + "  ".join(
+            f"{columns[name][index]:>12.3f}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Small statistics helpers shared by the experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["describe", "confidence_interval", "relative_difference"]
+
+
+def describe(values: Sequence[float]) -> Dict[str, float]:
+    """Mean, std, min, max, median of a sample (population std, ddof=0)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot describe an empty sample")
+    return {
+        "count": int(data.size),
+        "mean": float(data.mean()),
+        "std": float(data.std(ddof=0)),
+        "min": float(data.min()),
+        "max": float(data.max()),
+        "median": float(np.median(data)),
+    }
+
+
+def confidence_interval(
+    values: Sequence[float], z: float = 1.96
+) -> Tuple[float, float]:
+    """Normal-approximation confidence interval of the sample mean.
+
+    Used to annotate replication averages; with the paper's ten replications
+    a normal approximation is what one would report anyway.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot compute a confidence interval of an empty sample")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, mean
+    half_width = z * float(data.std(ddof=1)) / math.sqrt(data.size)
+    return mean - half_width, mean + half_width
+
+
+def relative_difference(value: float, baseline: float) -> float:
+    """``(baseline - value) / baseline``: positive means ``value`` is better (smaller)."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero")
+    return (baseline - value) / baseline

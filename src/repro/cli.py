@@ -1,0 +1,152 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples::
+
+    repro-mapreduce table2
+    repro-mapreduce figure1 --scale 0.02 --seeds 0 1
+    repro-mapreduce figure6 --scale 0.03
+    repro-mapreduce offline-bound
+    repro-mapreduce all --scale 0.01
+
+Each subcommand prints the plain-text report of the corresponding
+experiment; ``--scale`` shrinks the trace and the cluster together so the
+offered load stays at the paper's level.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_offline_bound,
+    run_scheduler_comparison,
+    run_table2,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mapreduce",
+        description=(
+            "Reproduce the tables and figures of 'Task-Cloning Algorithms in a "
+            "MapReduce Cluster with Competitive Performance Bounds' "
+            "(Xu & Lau, ICDCS 2015)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table2",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "offline-bound",
+            "all",
+        ],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="fraction of the full trace/cluster to simulate (default 0.02)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[0, 1],
+        help="replication seeds (default: 0 1)",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.6,
+        help="SRPTMS+C machine-sharing fraction (default 0.6)",
+    )
+    parser.add_argument(
+        "--r",
+        type=float,
+        default=3.0,
+        help="standard-deviation weight in the effective workload (default 3)",
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=None,
+        help="override the cluster size (default: 12000 * scale)",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=args.scale,
+        seeds=tuple(args.seeds),
+        epsilon=args.epsilon,
+        r=args.r,
+        num_machines=args.machines,
+    )
+
+
+def _run_one(name: str, config: ExperimentConfig) -> str:
+    if name == "table2":
+        return run_table2(config).render()
+    if name == "figure1":
+        return run_figure1(config).render()
+    if name == "figure2":
+        return run_figure2(config).render()
+    if name == "figure3":
+        return run_figure3(config).render()
+    if name in ("figure4", "figure5", "figure6"):
+        results = run_scheduler_comparison(config)
+        if name == "figure4":
+            return run_figure4(config, results=results).render()
+        if name == "figure5":
+            return run_figure5(config, results=results).render()
+        return run_figure6(config, results=results).render()
+    if name == "offline-bound":
+        return run_offline_bound(config).render()
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-mapreduce`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = _config_from_args(args)
+
+    if args.experiment == "all":
+        reports: List[str] = [_run_one("table2", config)]
+        reports.append(_run_one("figure1", config))
+        reports.append(_run_one("figure2", config))
+        reports.append(_run_one("figure3", config))
+        comparison = run_scheduler_comparison(config)
+        reports.append(run_figure4(config, results=comparison).render())
+        reports.append(run_figure5(config, results=comparison).render())
+        reports.append(run_figure6(config, results=comparison).render())
+        reports.append(_run_one("offline-bound", config))
+        print("\n\n".join(reports))
+        return 0
+
+    print(_run_one(args.experiment, config))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Cluster substrate: machines, straggler injection and occupancy bookkeeping."""
+
+from repro.cluster.machine import Machine
+from repro.cluster.stragglers import (
+    NoStragglers,
+    ParetoTailInflation,
+    ProbabilisticSlowdown,
+    SlowMachines,
+    StragglerModel,
+)
+from repro.cluster.state import ClusterState
+
+__all__ = [
+    "Machine",
+    "ClusterState",
+    "StragglerModel",
+    "NoStragglers",
+    "ProbabilisticSlowdown",
+    "SlowMachines",
+    "ParetoTailInflation",
+]

@@ -1,0 +1,81 @@
+"""Machine model.
+
+The paper assumes identical machines that each hold at most one map or
+reduce task at any time and run at unit speed; variation in task completion
+times is folded into the task *workload* instead of the machine speed
+(Section III).  The :class:`Machine` class nevertheless carries a ``speed``
+attribute so that the resource-augmentation analysis of Section V-C (the
+algorithm running on ``(1 + eps)``-speed machines) and the slow-machine
+straggler model can both be expressed directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.workload.job import TaskCopy
+
+__all__ = ["Machine"]
+
+
+@dataclass
+class Machine:
+    """One machine (processor, core or VM) of the cluster.
+
+    Attributes
+    ----------
+    machine_id:
+        Index of the machine within the cluster, ``0 .. M-1``.
+    speed:
+        Processing speed; a task copy with workload ``p`` takes ``p / speed``
+        time units on this machine.  Defaults to the paper's unit speed.
+    current_copy:
+        The task copy occupying this machine, or ``None`` when idle.
+    """
+
+    machine_id: int
+    speed: float = 1.0
+    current_copy: Optional["TaskCopy"] = field(default=None, repr=False)
+    #: Total busy time accumulated, for utilisation accounting.
+    busy_time: float = 0.0
+    #: Number of copies this machine has ever executed (including killed clones).
+    copies_hosted: int = 0
+
+    def __post_init__(self) -> None:
+        if self.machine_id < 0:
+            raise ValueError(f"machine_id must be >= 0, got {self.machine_id}")
+        if self.speed <= 0:
+            raise ValueError(f"machine speed must be positive, got {self.speed}")
+
+    @property
+    def is_free(self) -> bool:
+        """True when no task copy occupies the machine."""
+        return self.current_copy is None
+
+    def assign(self, copy: "TaskCopy") -> None:
+        """Place ``copy`` on this machine."""
+        if not self.is_free:
+            raise ValueError(
+                f"machine {self.machine_id} is already running a copy"
+            )
+        self.current_copy = copy
+        self.copies_hosted += 1
+
+    def release(self, elapsed: float = 0.0) -> "TaskCopy":
+        """Free the machine and return the copy that was occupying it."""
+        if self.current_copy is None:
+            raise ValueError(f"machine {self.machine_id} is already free")
+        copy = self.current_copy
+        self.current_copy = None
+        if elapsed < 0:
+            raise ValueError(f"elapsed busy time must be >= 0, got {elapsed}")
+        self.busy_time += elapsed
+        return copy
+
+    def processing_time(self, workload: float) -> float:
+        """Wall-clock time needed to process ``workload`` on this machine."""
+        if workload <= 0:
+            raise ValueError(f"workload must be positive, got {workload}")
+        return workload / self.speed

@@ -1,0 +1,136 @@
+"""Cluster occupancy bookkeeping.
+
+:class:`ClusterState` tracks which machines are free, which task copy runs
+where, and the per-phase machine counts ``M(t)`` (map) and ``R(t)`` (reduce)
+that appear in constraints (1h)-(1j) of the paper's optimisation program.
+The simulation engine is the only writer; schedulers receive a read-only
+view through :class:`repro.simulation.scheduler_api.SchedulerView`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.machine import Machine
+from repro.workload.job import Phase, TaskCopy
+
+__all__ = ["ClusterState"]
+
+
+class ClusterState:
+    """Tracks machine occupancy for a cluster of ``num_machines`` machines."""
+
+    def __init__(self, num_machines: int, machine_speed: float = 1.0) -> None:
+        if num_machines <= 0:
+            raise ValueError(f"num_machines must be positive, got {num_machines}")
+        if machine_speed <= 0:
+            raise ValueError(f"machine_speed must be positive, got {machine_speed}")
+        self._machines: List[Machine] = [
+            Machine(machine_id=i, speed=machine_speed) for i in range(num_machines)
+        ]
+        self._free_ids: List[int] = list(range(num_machines - 1, -1, -1))
+        self._copy_to_machine: Dict[int, int] = {}
+        self._phase_counts: Dict[Phase, int] = {Phase.MAP: 0, Phase.REDUCE: 0}
+        self.machine_speed = machine_speed
+
+    # -- basic accessors ---------------------------------------------------------
+
+    @property
+    def num_machines(self) -> int:
+        """``M`` -- the total machine count."""
+        return len(self._machines)
+
+    @property
+    def num_free(self) -> int:
+        """Machines currently idle."""
+        return len(self._free_ids)
+
+    @property
+    def num_busy(self) -> int:
+        """Machines currently running (or holding a blocked) copy."""
+        return self.num_machines - self.num_free
+
+    def machine(self, machine_id: int) -> Machine:
+        """Look up a machine by id."""
+        return self._machines[machine_id]
+
+    @property
+    def machines(self) -> List[Machine]:
+        """All machines (the engine may mutate them; schedulers must not)."""
+        return self._machines
+
+    def num_running(self, phase: Phase) -> int:
+        """``M(t)`` or ``R(t)``: machines occupied by copies of ``phase``."""
+        return self._phase_counts[phase]
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of machines currently occupied."""
+        return self.num_busy / self.num_machines
+
+    # -- placement -----------------------------------------------------------------
+
+    def has_free_machine(self) -> bool:
+        return bool(self._free_ids)
+
+    def peek_free_machine(self) -> Optional[int]:
+        """Id of the machine the next placement would use (or ``None``)."""
+        return self._free_ids[-1] if self._free_ids else None
+
+    def place(self, copy: TaskCopy) -> Machine:
+        """Occupy a free machine with ``copy`` and return that machine.
+
+        The copy must already carry the machine id chosen by
+        :meth:`peek_free_machine`; this keeps the machine choice visible to
+        the straggler model before the copy object is created.
+        """
+        if not self._free_ids:
+            raise ValueError("no free machine available")
+        machine_id = self._free_ids.pop()
+        if copy.machine_id != machine_id:
+            # The engine must place copies on the machine it peeked.
+            self._free_ids.append(machine_id)
+            raise ValueError(
+                f"copy targets machine {copy.machine_id}, expected {machine_id}"
+            )
+        machine = self._machines[machine_id]
+        machine.assign(copy)
+        self._copy_to_machine[id(copy)] = machine_id
+        self._phase_counts[copy.task.phase] += 1
+        return machine
+
+    def release(self, copy: TaskCopy, elapsed: float = 0.0) -> Machine:
+        """Free the machine occupied by ``copy``."""
+        key = id(copy)
+        if key not in self._copy_to_machine:
+            raise ValueError("copy is not placed on any machine")
+        machine_id = self._copy_to_machine.pop(key)
+        machine = self._machines[machine_id]
+        machine.release(elapsed=elapsed)
+        self._free_ids.append(machine_id)
+        self._phase_counts[copy.task.phase] -= 1
+        return machine
+
+    def machine_of(self, copy: TaskCopy) -> Optional[int]:
+        """Machine id currently hosting ``copy``, or ``None``."""
+        return self._copy_to_machine.get(id(copy))
+
+    # -- invariants -------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if the occupancy bookkeeping is inconsistent.
+
+        Used by the property-based tests and by the engine's debug mode.
+        """
+        busy_machines = [m for m in self._machines if not m.is_free]
+        assert len(busy_machines) == self.num_busy, "free-list inconsistent"
+        assert len(self._copy_to_machine) == self.num_busy, "copy map inconsistent"
+        assert (
+            self._phase_counts[Phase.MAP] + self._phase_counts[Phase.REDUCE]
+            == self.num_busy
+        ), "phase counts inconsistent"
+        assert self.num_busy + self.num_free == self.num_machines
+        for machine in busy_machines:
+            copy = machine.current_copy
+            assert copy is not None
+            assert self._copy_to_machine.get(id(copy)) == machine.machine_id

@@ -1,0 +1,155 @@
+"""Straggler-injection models.
+
+The paper attributes stragglers to "tasks running on partially/intermittently
+failing machines or the existence of some localized resource bottleneck(s)"
+and folds the resulting variability into the task workload.  The task
+duration distributions of :mod:`repro.workload.distributions` already carry
+heavy tails; the models here add an *extra*, machine- or event-driven layer
+of inflation so that ablation benchmarks can dial straggler severity
+independently of the base workload:
+
+* :class:`NoStragglers` -- pass-through (the default).
+* :class:`ProbabilisticSlowdown` -- with probability ``p`` a copy is slowed
+  by a constant factor (a transient resource bottleneck hits that copy).
+* :class:`SlowMachines` -- a fixed subset of machines is permanently slow
+  (a partially failing node); every copy placed there is inflated.
+* :class:`ParetoTailInflation` -- every copy is multiplied by a Pareto
+  factor with unit minimum, adding a heavy tail on top of any base
+  distribution.
+
+All models act on the *sampled workload of one copy*; two copies of the same
+task placed on different machines therefore see independent straggler
+events, which is exactly why cloning helps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Set
+
+import numpy as np
+
+__all__ = [
+    "StragglerModel",
+    "NoStragglers",
+    "ProbabilisticSlowdown",
+    "SlowMachines",
+    "ParetoTailInflation",
+]
+
+
+class StragglerModel(ABC):
+    """Transforms a sampled copy workload to model straggler effects."""
+
+    @abstractmethod
+    def inflate(
+        self, workload: float, machine_id: int, rng: np.random.Generator
+    ) -> float:
+        """Return the (possibly inflated) workload of one copy.
+
+        Parameters
+        ----------
+        workload:
+            The workload sampled from the task's duration distribution.
+        machine_id:
+            The machine the copy is being placed on.
+        rng:
+            The simulator's random generator.
+        """
+
+    def prepare(self, num_machines: int, rng: np.random.Generator) -> None:
+        """Hook called once per simulation before any copy is placed.
+
+        Models that depend on the cluster size (e.g. choosing which machines
+        are slow) override this; the default is a no-op.
+        """
+
+
+class NoStragglers(StragglerModel):
+    """Pass-through model: the sampled workload is used as-is."""
+
+    def inflate(
+        self, workload: float, machine_id: int, rng: np.random.Generator
+    ) -> float:
+        return workload
+
+
+class ProbabilisticSlowdown(StragglerModel):
+    """Each copy independently hits a slowdown with probability ``probability``."""
+
+    def __init__(self, probability: float, factor: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {probability}")
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.probability = probability
+        self.factor = factor
+
+    def inflate(
+        self, workload: float, machine_id: int, rng: np.random.Generator
+    ) -> float:
+        if self.probability > 0 and rng.random() < self.probability:
+            return workload * self.factor
+        return workload
+
+
+class SlowMachines(StragglerModel):
+    """A random fraction of machines is permanently slow.
+
+    Copies placed on a slow machine have their workload multiplied by
+    ``factor``; this is the "partially failing machine" straggler cause.
+    The slow set is drawn once per simulation in :meth:`prepare`.
+    """
+
+    def __init__(self, fraction: float, factor: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1, got {factor}")
+        self.fraction = fraction
+        self.factor = factor
+        self._slow_machines: Optional[Set[int]] = None
+
+    @property
+    def slow_machines(self) -> Set[int]:
+        """The machine ids selected as slow (empty before :meth:`prepare`)."""
+        return set(self._slow_machines) if self._slow_machines else set()
+
+    def prepare(self, num_machines: int, rng: np.random.Generator) -> None:
+        if num_machines <= 0:
+            raise ValueError(f"num_machines must be positive, got {num_machines}")
+        n_slow = int(round(self.fraction * num_machines))
+        chosen = rng.choice(num_machines, size=n_slow, replace=False)
+        self._slow_machines = set(int(m) for m in chosen)
+
+    def inflate(
+        self, workload: float, machine_id: int, rng: np.random.Generator
+    ) -> float:
+        if self._slow_machines is None:
+            raise RuntimeError("SlowMachines.prepare() must be called before use")
+        if machine_id in self._slow_machines:
+            return workload * self.factor
+        return workload
+
+
+class ParetoTailInflation(StragglerModel):
+    """Multiply every copy's workload by a Pareto factor with unit minimum.
+
+    With shape ``alpha`` the inflation factor has mean ``alpha / (alpha - 1)``
+    (for ``alpha > 1``); small ``alpha`` produces occasional extreme
+    stragglers regardless of the base task-duration distribution.
+    """
+
+    def __init__(self, alpha: float, cap: float = 100.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if cap < 1.0:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.alpha = alpha
+        self.cap = cap
+
+    def inflate(
+        self, workload: float, machine_id: int, rng: np.random.Generator
+    ) -> float:
+        factor = (1.0 - rng.random()) ** (-1.0 / self.alpha)
+        return workload * min(factor, self.cap)

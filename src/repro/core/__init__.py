@@ -1,0 +1,80 @@
+"""The paper's contribution: SRPT-based task-cloning schedulers and their theory.
+
+* :mod:`repro.core.offline` -- Algorithm 1, the offline bulk-arrival scheduler.
+* :mod:`repro.core.srptms_c` -- Algorithm 2, the SRPTMS+C online scheduler.
+* :mod:`repro.core.speedup` -- the concave speedup functions of Section III-A.
+* :mod:`repro.core.effective_workload`, :mod:`repro.core.priority`,
+  :mod:`repro.core.allocation` -- the building blocks (Equations 2-4 and the
+  epsilon-fraction sharing rule).
+* :mod:`repro.core.bounds` -- Lemma 1 / Theorem 1 / Remark 2 quantities.
+"""
+
+from repro.core.allocation import epsilon_shares, fractional_shares, integer_shares
+from repro.core.bounds import (
+    empirical_competitive_ratio,
+    lemma1_probability,
+    offline_flowtime_bound,
+    offline_flowtime_bounds,
+    online_competitive_bound,
+    serial_phase_lower_bound,
+    srpt_relaxation_lower_bound,
+    theorem1_probability,
+    weighted_flowtime_lower_bound,
+)
+from repro.core.effective_workload import (
+    accumulated_higher_priority_workload,
+    effective_task_workload,
+    remaining_effective_workload,
+    total_effective_workload,
+)
+from repro.core.offline import OfflineSRPTScheduler
+from repro.core.priority import (
+    offline_priority,
+    online_priority,
+    sort_jobs_by_remaining_priority,
+    sort_specs_by_priority,
+    srpt_priority,
+)
+from repro.core.speedup import (
+    CappedLinearSpeedup,
+    LogSpeedup,
+    NoSpeedup,
+    ParetoSpeedup,
+    PowerSpeedup,
+    SpeedupFunction,
+    check_speedup_properties,
+)
+from repro.core.srptms_c import SRPTMSCScheduler
+
+__all__ = [
+    "OfflineSRPTScheduler",
+    "SRPTMSCScheduler",
+    "SpeedupFunction",
+    "ParetoSpeedup",
+    "PowerSpeedup",
+    "LogSpeedup",
+    "CappedLinearSpeedup",
+    "NoSpeedup",
+    "check_speedup_properties",
+    "effective_task_workload",
+    "total_effective_workload",
+    "remaining_effective_workload",
+    "accumulated_higher_priority_workload",
+    "srpt_priority",
+    "offline_priority",
+    "online_priority",
+    "sort_specs_by_priority",
+    "sort_jobs_by_remaining_priority",
+    "fractional_shares",
+    "integer_shares",
+    "epsilon_shares",
+    "lemma1_probability",
+    "theorem1_probability",
+    "offline_flowtime_bound",
+    "offline_flowtime_bounds",
+    "serial_phase_lower_bound",
+    "srpt_relaxation_lower_bound",
+    "weighted_flowtime_lower_bound",
+    "empirical_competitive_ratio",
+    "online_competitive_bound",
+]

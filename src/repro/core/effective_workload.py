@@ -1,0 +1,105 @@
+"""Effective-workload computations (Equations (2) and (4) of the paper).
+
+The paper folds the standard deviation of task durations into a job's
+workload through a tunable factor ``r``:
+
+* ``phi_i = m_i (E_i^m + r sigma_i^m) + r_i (E_i^r + r sigma_i^r)`` -- the
+  *total* effective workload used by the offline Algorithm 1 (Equation 2);
+* ``U_i(l) = m_i(l) (E_i^m + r sigma_i^m) + r_i(l) (E_i^r + r sigma_i^r)``
+  -- the *remaining* effective workload used online by SRPTMS+C
+  (Equation 4), where ``m_i(l)``/``r_i(l)`` count the still-unscheduled
+  tasks of each phase;
+* ``f_i^s = sum_{j: w_j/phi_j >= w_i/phi_i} phi_j`` -- the accumulated
+  workload of all jobs with priority at least that of ``J_i`` (Equation 3),
+  which appears in the Theorem 1 flowtime bound.
+
+The functions here are deliberately standalone (they accept plain counts and
+moments as well as :class:`~repro.workload.job.JobSpec`/``Job`` objects) so
+the theory utilities and the schedulers share a single implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.workload.job import Job, JobSpec
+
+__all__ = [
+    "effective_task_workload",
+    "total_effective_workload",
+    "remaining_effective_workload",
+    "accumulated_higher_priority_workload",
+]
+
+
+def effective_task_workload(mean: float, std: float, r: float) -> float:
+    """Per-task effective workload ``E + r * sigma``."""
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+    if std < 0:
+        raise ValueError(f"std must be non-negative, got {std}")
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    return mean + r * std
+
+
+def total_effective_workload(spec: JobSpec, r: float) -> float:
+    """``phi_i`` of Equation (2) for a job spec."""
+    return spec.num_map_tasks * effective_task_workload(
+        spec.map_duration.mean, spec.map_duration.std, r
+    ) + spec.num_reduce_tasks * effective_task_workload(
+        spec.reduce_duration.mean, spec.reduce_duration.std, r
+    )
+
+
+def remaining_effective_workload(job: Job, r: float) -> float:
+    """``U_i(l)`` of Equation (4) for a runtime job.
+
+    Counts *unscheduled* tasks, matching the paper: a task that already has a
+    running copy no longer contributes to the remaining workload used for
+    prioritisation (its machines are accounted for separately via
+    ``sigma_i(l)``).
+    """
+    spec = job.spec
+    return job.num_unscheduled_map_tasks * effective_task_workload(
+        spec.map_duration.mean, spec.map_duration.std, r
+    ) + job.num_unscheduled_reduce_tasks * effective_task_workload(
+        spec.reduce_duration.mean, spec.reduce_duration.std, r
+    )
+
+
+def accumulated_higher_priority_workload(
+    specs: Sequence[JobSpec], r: float
+) -> Dict[int, float]:
+    """``f_i^s`` of Equation (3) for every job in ``specs``.
+
+    For each job ``J_i`` this is the sum of ``phi_j`` over all jobs whose
+    SRPT priority ``w_j / phi_j`` is at least ``w_i / phi_i`` -- including
+    ``J_i`` itself.  Returns a mapping ``job_id -> f_i^s``.
+    """
+    workloads = {spec.job_id: total_effective_workload(spec, r) for spec in specs}
+    priorities = {
+        spec.job_id: spec.weight / workloads[spec.job_id] for spec in specs
+    }
+    ordered = sorted(specs, key=lambda spec: priorities[spec.job_id], reverse=True)
+    accumulated: Dict[int, float] = {}
+    running_total = 0.0
+    index = 0
+    n = len(ordered)
+    while index < n:
+        # Jobs with exactly equal priority all count each other's workload.
+        tie_end = index
+        while (
+            tie_end + 1 < n
+            and priorities[ordered[tie_end + 1].job_id]
+            == priorities[ordered[index].job_id]
+        ):
+            tie_end += 1
+        tie_total = sum(
+            workloads[ordered[k].job_id] for k in range(index, tie_end + 1)
+        )
+        running_total += tie_total
+        for k in range(index, tie_end + 1):
+            accumulated[ordered[k].job_id] = running_total
+        index = tie_end + 1
+    return accumulated

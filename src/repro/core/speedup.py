@@ -1,0 +1,219 @@
+"""Speedup functions ``s_i^c(x)`` for task cloning (Section III-A).
+
+Making ``x`` copies of a task reduces its expected duration from ``E`` to
+``E / s(x)``, because the earliest-finishing copy wins.  The paper requires
+every speedup function to satisfy two properties:
+
+1. ``s`` is concave and strictly increasing;
+2. ``s(1) = 1`` and ``s(x) <= x`` for all ``x > 0``.
+
+The canonical example is the Pareto-derived speedup
+``s(r) = (r * alpha - 1) / (r * (alpha - 1))`` obtained when task durations
+follow a Pareto distribution with shape ``alpha`` (Section III-A); this
+module also ships a power-law, a logarithmic and a capped-linear family so
+the ablation benchmarks can test the sensitivity of SRPTMS+C to the speedup
+model, plus :func:`check_speedup_properties` which the property-based tests
+use to validate the paper's two conditions numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "SpeedupFunction",
+    "ParetoSpeedup",
+    "PowerSpeedup",
+    "LogSpeedup",
+    "CappedLinearSpeedup",
+    "NoSpeedup",
+    "check_speedup_properties",
+]
+
+
+class SpeedupFunction(ABC):
+    """Maps a copy count ``x >= 1`` to an expected-duration speedup factor."""
+
+    @abstractmethod
+    def __call__(self, x: float) -> float:
+        """Return ``s(x)``; must satisfy ``s(1) = 1`` and ``s(x) <= x``."""
+
+    def expected_duration(self, mean_duration: float, copies: int) -> float:
+        """Expected task duration when ``copies`` copies run in parallel."""
+        if mean_duration <= 0:
+            raise ValueError(f"mean_duration must be positive, got {mean_duration}")
+        if copies < 1:
+            raise ValueError(f"copies must be at least 1, got {copies}")
+        return mean_duration / self(copies)
+
+    def marginal_gain(self, mean_duration: float, copies: int) -> float:
+        """Reduction in expected duration from adding one more copy.
+
+        The Smart Cloning baseline allocates spare machines greedily by this
+        marginal gain, which is the discrete analogue of the KKT conditions
+        of the convex program in [26].
+        """
+        return self.expected_duration(mean_duration, copies) - self.expected_duration(
+            mean_duration, copies + 1
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ParetoSpeedup(SpeedupFunction):
+    """Speedup derived from Pareto(alpha) task durations (Section III-A).
+
+    With ``r`` copies of a Pareto(``mu``, ``alpha``) task, the minimum of the
+    copies is Pareto(``mu``, ``r * alpha``) with mean ``r*alpha*mu/(r*alpha-1)``,
+    giving ``s(r) = (r*alpha - 1) / (r * (alpha - 1))``.  Requires
+    ``alpha > 1`` so the mean exists.
+
+    Subtlety the paper glosses over: the property ``s(x) <= x`` only holds
+    for ``alpha >= (x + 1) / x``, i.e. for all integer ``x >= 2`` iff
+    ``alpha >= 1.5``.  For ``1 < alpha < 1.5`` the tail is so heavy that two
+    clones reduce the *expected* duration by more than 2x (the mean is
+    dominated by the tail the minimum cuts off).  Such values are still
+    accepted -- they are legitimate speedup models -- but
+    :func:`check_speedup_properties` will flag them, and the unit tests
+    document the threshold.
+    """
+
+    #: Smallest alpha for which ``s(x) <= x`` holds at every integer x.
+    MIN_ALPHA_FOR_SUBLINEAR = 1.5
+
+    def __init__(self, alpha: float) -> None:
+        if alpha <= 1.0:
+            raise ValueError(
+                f"ParetoSpeedup requires alpha > 1 (finite mean), got {alpha}"
+            )
+        self.alpha = float(alpha)
+
+    def __call__(self, x: float) -> float:
+        if x < 1:
+            raise ValueError(f"copy count must be >= 1, got {x}")
+        alpha = self.alpha
+        return (x * alpha - 1.0) / (x * (alpha - 1.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParetoSpeedup(alpha={self.alpha})"
+
+
+class PowerSpeedup(SpeedupFunction):
+    """``s(x) = x ** beta`` with ``0 < beta <= 1``.
+
+    ``beta = 1`` is the (unrealistic) perfectly linear speedup; smaller
+    ``beta`` models rapidly diminishing returns from extra clones.
+    """
+
+    def __init__(self, beta: float) -> None:
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must lie in (0, 1], got {beta}")
+        self.beta = float(beta)
+
+    def __call__(self, x: float) -> float:
+        if x < 1:
+            raise ValueError(f"copy count must be >= 1, got {x}")
+        return x**self.beta
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PowerSpeedup(beta={self.beta})"
+
+
+class LogSpeedup(SpeedupFunction):
+    """``s(x) = 1 + scale * ln(x)`` -- very flat returns from cloning.
+
+    ``scale`` must not exceed 1 so that ``s(x) <= x`` everywhere (the worst
+    case is near ``x = 1`` where ``ln`` has slope 1).
+    """
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must lie in (0, 1], got {scale}")
+        self.scale = float(scale)
+
+    def __call__(self, x: float) -> float:
+        if x < 1:
+            raise ValueError(f"copy count must be >= 1, got {x}")
+        return 1.0 + self.scale * math.log(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogSpeedup(scale={self.scale})"
+
+
+class CappedLinearSpeedup(SpeedupFunction):
+    """``s(x) = min(x, cap)`` -- linear up to ``cap`` copies, flat beyond.
+
+    The concave envelope of "the first few clones help fully, the rest not
+    at all"; useful as an optimistic ablation.
+    """
+
+    def __init__(self, cap: float) -> None:
+        if cap < 1.0:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = float(cap)
+
+    def __call__(self, x: float) -> float:
+        if x < 1:
+            raise ValueError(f"copy count must be >= 1, got {x}")
+        return min(float(x), self.cap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CappedLinearSpeedup(cap={self.cap})"
+
+
+class NoSpeedup(SpeedupFunction):
+    """``s(x) = 1`` for every ``x`` -- cloning never helps.
+
+    Violates "strictly increasing", so it is *not* a valid paper speedup
+    function; it exists purely as the degenerate ablation baseline in which
+    any clone is pure waste.
+    """
+
+    def __call__(self, x: float) -> float:
+        if x < 1:
+            raise ValueError(f"copy count must be >= 1, got {x}")
+        return 1.0
+
+
+def check_speedup_properties(
+    speedup: SpeedupFunction,
+    max_copies: int = 64,
+    tolerance: float = 1e-9,
+    require_strictly_increasing: bool = True,
+) -> None:
+    """Numerically verify the paper's two speedup-function properties.
+
+    Checks, over integer copy counts ``1 .. max_copies``:
+
+    * ``s(1) == 1``;
+    * ``s(x) <= x``;
+    * monotonicity (strict unless ``require_strictly_increasing`` is False);
+    * concavity of the sequence ``s(1), s(2), ...`` (non-increasing forward
+      differences).
+
+    Raises ``AssertionError`` on the first violation.  Used by the unit and
+    property-based tests, and handy when users supply their own speedup
+    model.
+    """
+    if max_copies < 2:
+        raise ValueError(f"max_copies must be at least 2, got {max_copies}")
+    values = [speedup(x) for x in range(1, max_copies + 1)]
+    assert abs(values[0] - 1.0) <= tolerance, f"s(1) = {values[0]} != 1"
+    for x, value in enumerate(values, start=1):
+        assert value <= x + tolerance, f"s({x}) = {value} exceeds {x}"
+    for x in range(1, len(values)):
+        if require_strictly_increasing:
+            assert values[x] - values[x - 1] > tolerance, (
+                f"s is not strictly increasing between {x} and {x + 1}"
+            )
+        else:
+            assert values[x] >= values[x - 1] - tolerance, (
+                f"s decreases between {x} and {x + 1}"
+            )
+    differences = [values[i + 1] - values[i] for i in range(len(values) - 1)]
+    for i in range(1, len(differences)):
+        assert differences[i] <= differences[i - 1] + tolerance, (
+            f"s is not concave around x = {i + 1}"
+        )

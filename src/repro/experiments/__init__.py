@@ -1,0 +1,40 @@
+"""Per-table / per-figure experiment harness.
+
+Every table and figure of the paper's evaluation section has a module here
+whose ``run_*`` function regenerates it (on the synthetic Google-like trace,
+at a configurable scale).  The benchmark suite under ``benchmarks/`` simply
+calls these functions; the command-line interface (``python -m repro``)
+renders their text reports.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.baselines import run_scheduler_comparison
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.figure5 import Figure5Result, run_figure5
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.offline_bound import OfflineBoundResult, run_offline_bound
+
+__all__ = [
+    "ExperimentConfig",
+    "run_scheduler_comparison",
+    "Table2Result",
+    "run_table2",
+    "Figure1Result",
+    "run_figure1",
+    "Figure2Result",
+    "run_figure2",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "OfflineBoundResult",
+    "run_offline_bound",
+]

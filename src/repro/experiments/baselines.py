@@ -1,0 +1,91 @@
+"""Shared scheduler-comparison runs used by Figures 4, 5 and 6.
+
+The three comparison figures all evaluate the same three policies --
+SRPTMS+C (epsilon = 0.6, r = 3), SCA and Mantri -- on the same trace, so the
+runs are performed once here and reused.  Extra reference policies (Fair,
+FIFO, SRPT, LATE) can be included for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.schedulers import (
+    FIFOScheduler,
+    FairScheduler,
+    LATEScheduler,
+    MantriScheduler,
+    SCAScheduler,
+    SRPTScheduler,
+)
+from repro.simulation.runner import ReplicatedResult, run_replications
+from repro.simulation.scheduler_api import Scheduler
+from repro.workload.trace import Trace
+
+__all__ = ["scheduler_factories", "run_scheduler_comparison"]
+
+
+def scheduler_factories(
+    config: ExperimentConfig, include_extra: bool = False
+) -> Dict[str, Callable[[], Scheduler]]:
+    """Factories for the paper's three compared policies (plus extras).
+
+    The dictionary order is the order rows appear in reports: the paper's
+    algorithm first, then the two baselines it is compared against.
+    """
+    factories: Dict[str, Callable[[], Scheduler]] = {
+        "SRPTMS+C": lambda: SRPTMSCScheduler(epsilon=config.epsilon, r=config.r),
+        "SCA": lambda: SCAScheduler(),
+        "Mantri": lambda: MantriScheduler(),
+    }
+    if include_extra:
+        factories.update(
+            {
+                "LATE": lambda: LATEScheduler(),
+                "SRPT": lambda: SRPTScheduler(r=config.r),
+                "Fair": lambda: FairScheduler(),
+                "FIFO": lambda: FIFOScheduler(),
+            }
+        )
+    return factories
+
+
+def run_scheduler_comparison(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    trace: Optional[Trace] = None,
+    include_extra: bool = False,
+    schedulers: Optional[Sequence[str]] = None,
+) -> Dict[str, ReplicatedResult]:
+    """Run the Figure 4/5/6 comparison and return results keyed by policy name.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration (defaults to the scaled benchmark config).
+    trace:
+        Pre-generated trace to reuse; generated from ``config`` otherwise.
+    include_extra:
+        Also run the additional reference policies (LATE, SRPT, Fair, FIFO).
+    schedulers:
+        Optional subset of policy names to run.
+    """
+    config = config if config is not None else ExperimentConfig.default_bench()
+    trace = trace if trace is not None else config.make_trace()
+    factories = scheduler_factories(config, include_extra=include_extra)
+    if schedulers is not None:
+        unknown = set(schedulers) - set(factories)
+        if unknown:
+            raise ValueError(f"unknown scheduler names: {sorted(unknown)}")
+        factories = {name: factories[name] for name in schedulers}
+    results: Dict[str, ReplicatedResult] = {}
+    for name, factory in factories.items():
+        results[name] = run_replications(
+            trace,
+            factory,
+            config.machines,
+            seeds=config.seeds,
+        )
+    return results

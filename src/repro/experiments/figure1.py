@@ -1,0 +1,95 @@
+"""Figure 1 -- SRPTMS+C flowtime as a function of epsilon (r = 0).
+
+The paper sweeps the machine-sharing fraction epsilon from 0.1 to 1.0 with
+``r = 0`` and finds that both the unweighted and the weighted average job
+flowtime are minimised around ``epsilon = 0.6``: a small epsilon starves the
+cluster of parallel jobs (too SRPT-like), a large epsilon spreads machines
+too thinly across all alive jobs (too fair-share-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_sweep_table
+from repro.simulation.runner import ReplicatedResult, run_replications
+
+__all__ = ["Figure1Result", "run_figure1", "DEFAULT_EPSILONS"]
+
+#: The paper's Figure 1 x-axis.
+DEFAULT_EPSILONS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Flowtime metrics for each epsilon value."""
+
+    epsilons: Tuple[float, ...]
+    mean_flowtimes: Tuple[float, ...]
+    weighted_mean_flowtimes: Tuple[float, ...]
+    r: float
+
+    @property
+    def best_epsilon_unweighted(self) -> float:
+        """Epsilon minimising the unweighted average flowtime."""
+        index = min(
+            range(len(self.epsilons)), key=lambda i: self.mean_flowtimes[i]
+        )
+        return self.epsilons[index]
+
+    @property
+    def best_epsilon_weighted(self) -> float:
+        """Epsilon minimising the weighted average flowtime."""
+        index = min(
+            range(len(self.epsilons)),
+            key=lambda i: self.weighted_mean_flowtimes[i],
+        )
+        return self.epsilons[index]
+
+    def render(self) -> str:
+        table = render_sweep_table(
+            "epsilon",
+            list(self.epsilons),
+            {
+                "Average job flowtime (s)": list(self.mean_flowtimes),
+                "Weighted average flowtime (s)": list(self.weighted_mean_flowtimes),
+            },
+            title=f"Figure 1 -- flowtime vs epsilon under SRPTMS+C (r={self.r:g})",
+        )
+        return (
+            table
+            + f"\nbest epsilon (unweighted): {self.best_epsilon_unweighted:g}"
+            + f"\nbest epsilon (weighted)  : {self.best_epsilon_weighted:g}"
+        )
+
+
+def run_figure1(
+    config: Optional[ExperimentConfig] = None,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    r: float = 0.0,
+) -> Figure1Result:
+    """Sweep epsilon for SRPTMS+C and collect both flowtime averages."""
+    config = config if config is not None else ExperimentConfig.default_bench()
+    if not epsilons:
+        raise ValueError("epsilons must not be empty")
+    trace = config.make_trace()
+    means: List[float] = []
+    weighted: List[float] = []
+    for epsilon in epsilons:
+        replicated: ReplicatedResult = run_replications(
+            trace,
+            lambda eps=epsilon: SRPTMSCScheduler(epsilon=eps, r=r),
+            config.machines,
+            seeds=config.seeds,
+        )
+        means.append(replicated.mean_flowtime)
+        weighted.append(replicated.weighted_mean_flowtime)
+    return Figure1Result(
+        epsilons=tuple(epsilons),
+        mean_flowtimes=tuple(means),
+        weighted_mean_flowtimes=tuple(weighted),
+        r=r,
+    )

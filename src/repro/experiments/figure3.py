@@ -1,0 +1,104 @@
+"""Figure 3 -- SRPTMS+C flowtime as a function of the cluster size.
+
+The paper scales the cluster from 6K to 12K machines (epsilon = 0.6, r = 3)
+and observes a knee around 8K machines: beyond that point the cluster has
+enough spare capacity to clone the small jobs, and adding machines brings no
+further flowtime reduction.  The reproduction sweeps the same *fractions* of
+the full cluster so the experiment works at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_sweep_table
+from repro.simulation.runner import run_replications
+
+__all__ = ["Figure3Result", "run_figure3", "DEFAULT_MACHINE_FRACTIONS"]
+
+#: The paper's Figure 3 x-axis (6K..12K machines) expressed as fractions of 12K.
+DEFAULT_MACHINE_FRACTIONS: Tuple[float, ...] = (
+    0.5,
+    0.5833,
+    0.6667,
+    0.75,
+    0.8333,
+    0.9167,
+    1.0,
+)
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Flowtime metrics for each cluster size."""
+
+    machine_counts: Tuple[int, ...]
+    mean_flowtimes: Tuple[float, ...]
+    weighted_mean_flowtimes: Tuple[float, ...]
+    epsilon: float
+    r: float
+
+    @property
+    def knee_machine_count(self) -> int:
+        """Smallest cluster whose unweighted flowtime is within 10% of the largest's."""
+        reference = self.mean_flowtimes[-1]
+        for count, value in zip(self.machine_counts, self.mean_flowtimes):
+            if value <= 1.10 * reference:
+                return count
+        return self.machine_counts[-1]
+
+    def render(self) -> str:
+        table = render_sweep_table(
+            "machines",
+            list(self.machine_counts),
+            {
+                "Average job flowtime (s)": list(self.mean_flowtimes),
+                "Weighted average flowtime (s)": list(self.weighted_mean_flowtimes),
+            },
+            title=(
+                "Figure 3 -- flowtime vs cluster size under SRPTMS+C "
+                f"(epsilon={self.epsilon:g}, r={self.r:g})"
+            ),
+        )
+        return table + (
+            f"\nknee: {self.knee_machine_count} machines already within 10% of the "
+            f"largest cluster's flowtime"
+        )
+
+
+def run_figure3(
+    config: Optional[ExperimentConfig] = None,
+    machine_fractions: Sequence[float] = DEFAULT_MACHINE_FRACTIONS,
+) -> Figure3Result:
+    """Sweep the cluster size for SRPTMS+C and collect both flowtime averages."""
+    config = config if config is not None else ExperimentConfig.default_bench()
+    if not machine_fractions:
+        raise ValueError("machine_fractions must not be empty")
+    if any(fraction <= 0 for fraction in machine_fractions):
+        raise ValueError("machine fractions must be positive")
+    trace = config.make_trace()
+    full_cluster = config.machines
+    counts: List[int] = []
+    means: List[float] = []
+    weighted: List[float] = []
+    for fraction in machine_fractions:
+        machines = max(1, int(round(full_cluster * fraction)))
+        counts.append(machines)
+        replicated = run_replications(
+            trace,
+            lambda: SRPTMSCScheduler(epsilon=config.epsilon, r=config.r),
+            machines,
+            seeds=config.seeds,
+        )
+        means.append(replicated.mean_flowtime)
+        weighted.append(replicated.weighted_mean_flowtime)
+    return Figure3Result(
+        machine_counts=tuple(counts),
+        mean_flowtimes=tuple(means),
+        weighted_mean_flowtimes=tuple(weighted),
+        epsilon=config.epsilon,
+        r=config.r,
+    )

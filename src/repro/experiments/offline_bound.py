@@ -1,0 +1,97 @@
+"""Offline-bound experiment: Theorem 1 and the Remark 2 competitive ratio.
+
+This experiment is not a figure of the paper but validates its analytical
+section empirically:
+
+* a bulk-arrival workload (all jobs at time zero) with *deterministic* task
+  durations is scheduled by Algorithm 1; Remark 2 then guarantees a
+  competitive ratio of at most 2 for the weighted sum of flowtimes, and the
+  Theorem 1 bound must hold for every job;
+* the same workload with noisy (log-normal) durations is scheduled again;
+  Theorem 1 then only holds with probability ``(1 - 1/r^2)^2`` per job, and
+  the report shows the measured fraction against that probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.theory import OfflineBoundReport, offline_bound_check
+from repro.core.offline import OfflineSRPTScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.simulation.runner import run_simulation
+from repro.workload.generators import bulk_arrival_trace
+
+__all__ = ["OfflineBoundResult", "run_offline_bound"]
+
+#: Job sizes (task counts) of the default bulk-arrival instance: a mix of
+#: many small jobs and a few large ones, as in the paper's motivation.
+DEFAULT_JOB_SIZES: Sequence[int] = (2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 30, 40, 60, 80)
+
+
+@dataclass(frozen=True)
+class OfflineBoundResult:
+    """Reports for the deterministic and the noisy bulk-arrival runs."""
+
+    deterministic: OfflineBoundReport
+    noisy: OfflineBoundReport
+    r: float
+    num_machines: int
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"Offline Algorithm 1 on a bulk arrival ({self.num_machines} machines, r={self.r:g})",
+                "-- deterministic task durations (Remark 2 regime) --",
+                self.deterministic.render(),
+                "-- noisy task durations (Theorem 1 regime) --",
+                self.noisy.render(),
+            ]
+        )
+
+
+def run_offline_bound(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    job_sizes: Sequence[int] = DEFAULT_JOB_SIZES,
+    num_machines: int = 20,
+    mean_duration: float = 10.0,
+    noisy_cv: float = 0.3,
+    r: float = 3.0,
+    weights: Optional[Sequence[float]] = None,
+) -> OfflineBoundResult:
+    """Run Algorithm 1 on deterministic and noisy bulk arrivals and check bounds."""
+    config = config if config is not None else ExperimentConfig.default_bench()
+    seed = config.seeds[0]
+
+    deterministic_trace = bulk_arrival_trace(
+        job_sizes, mean_duration=mean_duration, cv=0.0, weights=weights
+    )
+    deterministic_result = run_simulation(
+        deterministic_trace,
+        OfflineSRPTScheduler(r=0.0, seed=seed),
+        num_machines,
+        seed=seed,
+    )
+    deterministic_report = offline_bound_check(
+        deterministic_result, deterministic_trace, num_machines, r=0.0
+    )
+
+    noisy_trace = bulk_arrival_trace(
+        job_sizes, mean_duration=mean_duration, cv=noisy_cv, weights=weights
+    )
+    noisy_result = run_simulation(
+        noisy_trace,
+        OfflineSRPTScheduler(r=r, seed=seed),
+        num_machines,
+        seed=seed,
+    )
+    noisy_report = offline_bound_check(noisy_result, noisy_trace, num_machines, r=r)
+
+    return OfflineBoundResult(
+        deterministic=deterministic_report,
+        noisy=noisy_report,
+        r=r,
+        num_machines=num_machines,
+    )

@@ -1,0 +1,54 @@
+"""Plain-text rendering helpers shared by the experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_sweep_table", "render_key_values"]
+
+
+def render_sweep_table(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    precision: int = 1,
+) -> str:
+    """Render a parameter sweep as a text table.
+
+    One row per ``x_values`` entry, one column per series (e.g. unweighted
+    and weighted mean flowtime), mirroring the data behind a line plot.
+    """
+    names = list(series.keys())
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max(12, len(x_label) + 2)
+    header = f"{x_label:>{width}}  " + "  ".join(f"{name:>24}" for name in names)
+    lines.append(header)
+    for index, x in enumerate(x_values):
+        x_text = f"{x:g}" if isinstance(x, (int, float)) else str(x)
+        row = f"{x_text:>{width}}  " + "  ".join(
+            f"{series[name][index]:>24.{precision}f}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_key_values(pairs: Dict[str, object], title: str = "") -> str:
+    """Render label/value pairs aligned on the label column."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not pairs:
+        return "\n".join(lines)
+    width = max(len(str(key)) for key in pairs)
+    for key, value in pairs.items():
+        lines.append(f"{str(key):<{width}}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Table II -- statistics of the (synthetic) Google trace.
+
+The experiment generates the synthetic trace at the configured scale,
+computes the same statistics the paper publishes for the real trace and
+reports them side by side with the published targets.  Job counts and the
+trace duration scale with ``config.scale``; per-task statistics
+(min/mean/max duration, tasks per job) are scale-free and should match the
+targets up to heavy-tail sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_key_values
+from repro.workload.google_trace import TABLE_II_TARGETS
+from repro.workload.trace import TraceStatistics
+
+__all__ = ["Table2Result", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured trace statistics alongside the paper's published values."""
+
+    statistics: TraceStatistics
+    scale: float
+
+    @property
+    def targets(self) -> Dict[str, float]:
+        """The published Table II values, scaled where applicable."""
+        return {
+            "total_jobs": TABLE_II_TARGETS["total_jobs"] * self.scale,
+            "trace_duration": TABLE_II_TARGETS["trace_duration"],
+            "average_tasks_per_job": TABLE_II_TARGETS["average_tasks_per_job"],
+            "min_task_duration": TABLE_II_TARGETS["min_task_duration"],
+            "max_task_duration": TABLE_II_TARGETS["max_task_duration"],
+            "average_task_duration": TABLE_II_TARGETS["average_task_duration"],
+        }
+
+    def render(self) -> str:
+        stats = self.statistics
+        targets = self.targets
+        rows = {
+            "Total number of Jobs": f"{stats.total_jobs}  (paper*scale: {targets['total_jobs']:.0f})",
+            "Trace duration (s)": f"{stats.trace_duration:.1f}  (paper: {targets['trace_duration']:.1f})",
+            "Average number of tasks per job": f"{stats.average_tasks_per_job:.2f}  (paper: {targets['average_tasks_per_job']:.2f})",
+            "Minimum task duration (s)": f"{stats.min_task_duration:.1f}  (paper: {targets['min_task_duration']:.1f})",
+            "Maximum task duration (s)": f"{stats.max_task_duration:.1f}  (paper: {targets['max_task_duration']:.1f})",
+            "Average task duration (s)": f"{stats.average_task_duration:.1f}  (paper: {targets['average_task_duration']:.1f})",
+        }
+        return render_key_values(
+            rows, title=f"Table II -- synthetic trace statistics (scale={self.scale:g})"
+        )
+
+
+def run_table2(config: Optional[ExperimentConfig] = None) -> Table2Result:
+    """Generate the trace and compute its Table II statistics."""
+    config = config if config is not None else ExperimentConfig.default_bench()
+    trace = config.make_trace()
+    rng = np.random.default_rng(config.trace_seed)
+    statistics = trace.statistics(rng=rng)
+    return Table2Result(statistics=statistics, scale=config.scale)

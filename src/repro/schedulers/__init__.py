@@ -1,0 +1,29 @@
+"""Baseline scheduling policies the paper compares against (Section VI-A).
+
+* :class:`~repro.schedulers.mantri.MantriScheduler` -- Microsoft Mantri's
+  straggler-detection based speculative execution [4].
+* :class:`~repro.schedulers.sca.SCAScheduler` -- the Smart Cloning Algorithm
+  of the authors' earlier work [26].
+* :class:`~repro.schedulers.fifo.FIFOScheduler`,
+  :class:`~repro.schedulers.fair.FairScheduler`,
+  :class:`~repro.schedulers.srpt.SRPTScheduler`,
+  :class:`~repro.schedulers.late.LATEScheduler` -- additional reference
+  policies (Hadoop defaults and the LATE speculative scheduler) used by the
+  examples and ablation benchmarks.
+"""
+
+from repro.schedulers.fair import FairScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.late import LATEScheduler
+from repro.schedulers.mantri import MantriScheduler
+from repro.schedulers.sca import SCAScheduler
+from repro.schedulers.srpt import SRPTScheduler
+
+__all__ = [
+    "FIFOScheduler",
+    "FairScheduler",
+    "SRPTScheduler",
+    "MantriScheduler",
+    "SCAScheduler",
+    "LATEScheduler",
+]

@@ -1,0 +1,26 @@
+"""FIFO job scheduler -- Hadoop's original default (no speculation, no cloning).
+
+Machines are offered to jobs strictly in arrival order.  This is the
+simplest possible reference point: small jobs arriving behind a large job
+wait for it, which is exactly the head-of-line blocking that motivates SRPT
+ordering in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.schedulers.base import SingleCopyScheduler
+from repro.simulation.scheduler_api import SchedulerView
+from repro.workload.job import Job
+
+__all__ = ["FIFOScheduler"]
+
+
+class FIFOScheduler(SingleCopyScheduler):
+    """Serve jobs in order of arrival time (ties broken by job id)."""
+
+    name = "FIFO"
+
+    def job_order(self, view: SchedulerView) -> Sequence[Job]:
+        return sorted(view.alive_jobs, key=lambda job: (job.arrival_time, job.job_id))

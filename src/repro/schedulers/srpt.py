@@ -1,0 +1,36 @@
+"""Plain weighted-SRPT scheduler (no machine sharing, no cloning).
+
+Jobs are served strictly in decreasing order of the online SRPT priority
+``w_i / U_i(l)``; the highest-priority job takes as many free machines as it
+has launchable tasks before the next job gets any.  This is the
+``epsilon -> 0`` limit of SRPTMS+C with cloning disabled, and serves as the
+"prioritisation only, no straggler mitigation" ablation point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.priority import online_priority
+from repro.schedulers.base import SingleCopyScheduler
+from repro.simulation.scheduler_api import SchedulerView
+from repro.workload.job import Job
+
+__all__ = ["SRPTScheduler"]
+
+
+class SRPTScheduler(SingleCopyScheduler):
+    """Greedy weighted-SRPT ordering of jobs, one copy per task."""
+
+    name = "SRPT"
+
+    def __init__(self, r: float = 0.0) -> None:
+        if r < 0:
+            raise ValueError(f"r must be non-negative, got {r}")
+        self.r = r
+
+    def job_order(self, view: SchedulerView) -> Sequence[Job]:
+        return sorted(
+            view.alive_jobs,
+            key=lambda job: (-online_priority(job, self.r), job.job_id),
+        )

@@ -1,0 +1,313 @@
+"""The discrete-event simulation engine.
+
+The engine owns all mutable state (jobs, tasks, copies, machines) and is the
+only component allowed to sample task workloads.  It advances time from one
+decision point to the next -- job arrivals, copy completions and optional
+periodic ticks -- which is equivalent to the paper's per-slot stepping
+because machine allocations only change at those points.
+
+Semantics enforced here (Section III of the paper):
+
+* each machine holds at most one copy at a time;
+* a reduce copy placed before its job's map phase completes occupies its
+  machine but makes no progress until the map phase finishes;
+* a task completes when its earliest-finishing copy completes; surviving
+  clones are killed at that instant and their machines freed;
+* the scheduler is consulted after every batch of simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.cluster.stragglers import NoStragglers, StragglerModel
+from repro.simulation.events import Event, EventType
+from repro.simulation.metrics import JobRecord, SimulationResult
+from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
+from repro.workload.job import Job, Phase, Task, TaskCopy
+from repro.workload.trace import Trace
+
+__all__ = ["SimulationEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent or stuck state."""
+
+
+class SimulationEngine:
+    """Replays one trace against one scheduler on an ``M``-machine cluster."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        scheduler: Scheduler,
+        num_machines: int,
+        *,
+        seed: int = 0,
+        machine_speed: float = 1.0,
+        straggler_model: Optional[StragglerModel] = None,
+        max_time: Optional[float] = None,
+        check_invariants: bool = False,
+    ) -> None:
+        if num_machines <= 0:
+            raise ValueError(f"num_machines must be positive, got {num_machines}")
+        if machine_speed <= 0:
+            raise ValueError(f"machine_speed must be positive, got {machine_speed}")
+        self.trace = trace
+        self.scheduler = scheduler
+        self.cluster = ClusterState(num_machines, machine_speed=machine_speed)
+        self.machine_speed = machine_speed
+        self.straggler_model = (
+            straggler_model if straggler_model is not None else NoStragglers()
+        )
+        self.rng = np.random.default_rng(seed)
+        self.max_time = max_time
+        self.check_invariants = check_invariants
+
+        self.now: float = 0.0
+        self._sequence = itertools.count()
+        self._copy_ids = itertools.count()
+        self._heap: List[Event] = []
+        self._jobs: List[Job] = [Job.from_spec(spec) for spec in trace]
+        self._alive: Dict[int, Job] = {}
+        self._completed = 0
+        self._next_tick: Optional[float] = None
+        self.result = SimulationResult(
+            scheduler_name=scheduler.name,
+            num_machines=num_machines,
+            total_tasks=trace.total_tasks,
+            seed=seed,
+        )
+        self.straggler_model.prepare(num_machines, self.rng)
+        self._view = SchedulerView(self)
+
+    # ------------------------------------------------------------------ public API
+
+    def alive_jobs(self) -> List[Job]:
+        """Arrived, not-yet-finished jobs in arrival order."""
+        return list(self._alive.values())
+
+    def run(self) -> SimulationResult:
+        """Run the simulation to completion and return the collected metrics."""
+        self.scheduler.bind(self._view)
+        for job in self._jobs:
+            self._push(Event.arrival(job.arrival_time, next(self._sequence), job))
+
+        while self._heap:
+            batch = self._pop_simultaneous_events()
+            if batch is None:
+                break
+            if self.max_time is not None and self.now > self.max_time:
+                raise SimulationError(
+                    f"simulation exceeded max_time={self.max_time} at t={self.now}"
+                )
+            for event in batch:
+                self._handle_event(event)
+            if self._completed == len(self._jobs):
+                break
+            self._invoke_scheduler()
+            self._maybe_schedule_tick()
+            if self.check_invariants:
+                self.cluster.check_invariants()
+
+        if self._completed != len(self._jobs):
+            unfinished = [job.job_id for job in self._jobs if not job.is_complete]
+            raise SimulationError(
+                f"simulation ended with {len(unfinished)} unfinished jobs "
+                f"(e.g. {unfinished[:5]}); the scheduler left work unscheduled"
+            )
+        self.result.makespan = self.now
+        return self.result
+
+    # ------------------------------------------------------------------ event plumbing
+
+    def _push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def _pop_simultaneous_events(self) -> Optional[List[Event]]:
+        """Pop every event sharing the earliest timestamp, skipping stale ones."""
+        batch: List[Event] = []
+        while self._heap:
+            head = self._heap[0]
+            if self._is_stale(head):
+                heapq.heappop(self._heap)
+                continue
+            if not batch:
+                self.now = head.time
+                batch.append(heapq.heappop(self._heap))
+            elif head.time == self.now:
+                if self._is_stale(head):
+                    heapq.heappop(self._heap)
+                    continue
+                batch.append(heapq.heappop(self._heap))
+            else:
+                break
+        return batch if batch else None
+
+    @staticmethod
+    def _is_stale(event: Event) -> bool:
+        """A completion event for a copy that was killed in the meantime."""
+        if event.event_type is not EventType.COPY_FINISH:
+            return False
+        assert event.copy is not None
+        return not event.copy.is_active
+
+    def _handle_event(self, event: Event) -> None:
+        if event.event_type is EventType.JOB_ARRIVAL:
+            self._handle_arrival(event.job)
+        elif event.event_type is EventType.COPY_FINISH:
+            self._handle_copy_finish(event.copy)
+        elif event.event_type is EventType.TICK:
+            self._next_tick = None
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event type {event.event_type}")
+
+    def _handle_arrival(self, job: Job) -> None:
+        self._alive[job.job_id] = job
+        self.scheduler.on_job_arrival(job, self.now)
+
+    def _handle_copy_finish(self, copy: TaskCopy) -> None:
+        if not copy.is_active:
+            # Stale event (clone killed after this event was scheduled).
+            return
+        task = copy.task
+        elapsed = copy.elapsed(self.now)
+        copy.finish(self.now)
+        self.cluster.release(copy, elapsed=elapsed)
+        self.result.useful_work += elapsed
+
+        killed = task.complete(self.now)
+        for clone in killed:
+            clone_elapsed = clone.elapsed(self.now)
+            self.cluster.release(clone, elapsed=clone_elapsed)
+            self.result.wasted_work += clone_elapsed
+
+        job = task.job
+        job_finished = job.notify_task_completion(task, self.now)
+        if task.phase is Phase.MAP and job.map_phase_complete:
+            self._unblock_reduce_copies(job)
+        self.scheduler.on_task_completion(task, self.now)
+        if job_finished:
+            self._finalize_job(job)
+
+    def _unblock_reduce_copies(self, job: Job) -> None:
+        """Start reduce copies that were parked behind the map phase."""
+        for task in job.reduce_tasks:
+            for copy in task.copies:
+                if copy.is_active and copy.is_blocked:
+                    copy.start(self.now)
+                    self._push(
+                        Event.copy_finish(
+                            self.now + copy.workload, next(self._sequence), copy
+                        )
+                    )
+
+    def _finalize_job(self, job: Job) -> None:
+        del self._alive[job.job_id]
+        self._completed += 1
+        self.result.add_record(
+            JobRecord(
+                job_id=job.job_id,
+                arrival_time=job.arrival_time,
+                completion_time=job.completion_time,
+                weight=job.weight,
+                num_map_tasks=job.spec.num_map_tasks,
+                num_reduce_tasks=job.spec.num_reduce_tasks,
+                copies_launched=job.total_copies_launched(),
+                map_phase_completion_time=job.map_phase_completion_time,
+            )
+        )
+        self.scheduler.on_job_completion(job, self.now)
+
+    # ------------------------------------------------------------------ scheduling
+
+    def _invoke_scheduler(self) -> None:
+        requests = self.scheduler.schedule(self._view)
+        self._apply_launches(requests)
+        self._check_progress_possible()
+
+    def _apply_launches(self, requests: Sequence[LaunchRequest]) -> None:
+        for request in requests:
+            task = request.task
+            self._validate_request(task)
+            for _ in range(request.num_copies):
+                if not self.cluster.has_free_machine():
+                    self.result.over_requests += 1
+                    continue
+                self._launch_copy(task)
+
+    def _validate_request(self, task: Task) -> None:
+        job = task.job
+        if job.arrival_time > self.now + 1e-9:
+            raise SimulationError(
+                f"scheduler launched task {task.task_id} before its job arrived"
+            )
+        if task.is_completed:
+            raise SimulationError(
+                f"scheduler launched already-completed task {task.task_id}"
+            )
+        if job.is_complete:
+            raise SimulationError(
+                f"scheduler launched a task of completed job {job.job_id}"
+            )
+
+    def _launch_copy(self, task: Task) -> TaskCopy:
+        machine_id = self.cluster.peek_free_machine()
+        assert machine_id is not None
+        raw_workload = task.duration_distribution.sample_one(self.rng)
+        raw_workload = self.straggler_model.inflate(raw_workload, machine_id, self.rng)
+        machine = self.cluster.machine(machine_id)
+        duration = machine.processing_time(raw_workload)
+        copy = TaskCopy(
+            copy_id=next(self._copy_ids),
+            task=task,
+            machine_id=machine_id,
+            launch_time=self.now,
+            workload=duration,
+        )
+        task.add_copy(copy)
+        self.cluster.place(copy)
+        self.result.total_copies += 1
+
+        job = task.job
+        if task.phase is Phase.REDUCE and not job.map_phase_complete:
+            # Parked: occupies the machine, progresses only after the map phase.
+            return copy
+        copy.start(self.now)
+        self._push(
+            Event.copy_finish(self.now + copy.workload, next(self._sequence), copy)
+        )
+        return copy
+
+    def _maybe_schedule_tick(self) -> None:
+        interval = self.scheduler.tick_interval
+        if interval is None or interval <= 0:
+            return
+        if not self._alive:
+            return
+        if self._next_tick is not None and self._next_tick > self.now:
+            return
+        tick_time = self.now + interval
+        self._next_tick = tick_time
+        self._push(Event.tick(tick_time, next(self._sequence)))
+
+    def _check_progress_possible(self) -> None:
+        """Detect a stuck simulation: pending work, free machines, no future events."""
+        if self._heap:
+            return
+        if self._completed == len(self._jobs):
+            return
+        pending_tasks = sum(
+            job.num_unscheduled_map_tasks + job.num_unscheduled_reduce_tasks
+            for job in self._alive.values()
+        )
+        if pending_tasks > 0 and self.cluster.has_free_machine():
+            raise SimulationError(
+                "scheduler made no progress: free machines and pending tasks exist "
+                "but no launches were issued and no future events remain"
+            )

@@ -1,0 +1,70 @@
+"""Event types of the discrete-event engine.
+
+Events are totally ordered by ``(time, priority, sequence)``.  At equal
+timestamps copy completions are processed before job arrivals so that the
+machines freed by a completing task are visible to the scheduling decision
+triggered by a simultaneous arrival; ticks come last because they exist only
+to wake progress-monitoring schedulers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.workload.job import Job, TaskCopy
+
+__all__ = ["EventType", "Event"]
+
+
+class EventType(enum.IntEnum):
+    """Kinds of events; the integer value doubles as the same-time priority."""
+
+    COPY_FINISH = 0
+    JOB_ARRIVAL = 1
+    TICK = 2
+
+
+@dataclass(order=True)
+class Event:
+    """One entry of the event heap."""
+
+    time: float
+    priority: int
+    sequence: int
+    event_type: EventType = field(compare=False)
+    job: Optional[Job] = field(default=None, compare=False)
+    copy: Optional[TaskCopy] = field(default=None, compare=False)
+
+    @classmethod
+    def arrival(cls, time: float, sequence: int, job: Job) -> "Event":
+        """A job entering the cluster."""
+        return cls(
+            time=time,
+            priority=int(EventType.JOB_ARRIVAL),
+            sequence=sequence,
+            event_type=EventType.JOB_ARRIVAL,
+            job=job,
+        )
+
+    @classmethod
+    def copy_finish(cls, time: float, sequence: int, copy: TaskCopy) -> "Event":
+        """A task copy running to completion on its machine."""
+        return cls(
+            time=time,
+            priority=int(EventType.COPY_FINISH),
+            sequence=sequence,
+            event_type=EventType.COPY_FINISH,
+            copy=copy,
+        )
+
+    @classmethod
+    def tick(cls, time: float, sequence: int) -> "Event":
+        """A periodic wake-up requested by the scheduler."""
+        return cls(
+            time=time,
+            priority=int(EventType.TICK),
+            sequence=sequence,
+            event_type=EventType.TICK,
+        )

@@ -1,0 +1,217 @@
+"""Per-job records and aggregate metrics of one simulation run.
+
+The paper's headline metrics are the weighted and unweighted averages of job
+flowtime and the flowtime CDFs over two ranges (small jobs, Figure 4; big
+jobs, Figure 5).  :class:`SimulationResult` computes all of them, plus the
+bookkeeping quantities the ablation benchmarks use (copies launched, wasted
+clone work, machine utilisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["JobRecord", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Immutable record of one completed job."""
+
+    job_id: int
+    arrival_time: float
+    completion_time: float
+    weight: float
+    num_map_tasks: int
+    num_reduce_tasks: int
+    copies_launched: int
+    map_phase_completion_time: Optional[float] = None
+
+    @property
+    def flowtime(self) -> float:
+        """``f_i - a_i``."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def weighted_flowtime(self) -> float:
+        """``w_i (f_i - a_i)``."""
+        return self.weight * self.flowtime
+
+    @property
+    def num_tasks(self) -> int:
+        return self.num_map_tasks + self.num_reduce_tasks
+
+    @property
+    def map_phase_duration(self) -> Optional[float]:
+        """Elapsed time of the map phase (arrival to last map completion)."""
+        if self.map_phase_completion_time is None:
+            return None
+        return self.map_phase_completion_time - self.arrival_time
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulation run."""
+
+    scheduler_name: str
+    num_machines: int
+    records: List[JobRecord] = field(default_factory=list)
+    #: Total copies launched (originals + clones) across all jobs.
+    total_copies: int = 0
+    #: Total logical tasks across all jobs (copies beyond this are clones).
+    total_tasks: int = 0
+    #: Processing time consumed by copies that were killed (redundant work).
+    wasted_work: float = 0.0
+    #: Processing time consumed by copies that completed (useful work).
+    useful_work: float = 0.0
+    #: Simulated time at which the last job completed.
+    makespan: float = 0.0
+    #: Copies requested by the scheduler beyond the free-machine supply.
+    over_requests: int = 0
+    #: Wall-clock seconds the simulation took (filled by the runner).
+    runtime_seconds: float = 0.0
+    #: Seed used for the run (filled by the runner).
+    seed: int = 0
+
+    # -- ingestion (engine-only) ----------------------------------------------------
+
+    def add_record(self, record: JobRecord) -> None:
+        """Append one completed job."""
+        self.records.append(record)
+
+    # -- basic aggregates --------------------------------------------------------------
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.records)
+
+    @property
+    def flowtimes(self) -> np.ndarray:
+        """Array of job flowtimes in job-completion order."""
+        return np.array([r.flowtime for r in self.records], dtype=float)
+
+    @property
+    def weights(self) -> np.ndarray:
+        return np.array([r.weight for r in self.records], dtype=float)
+
+    @property
+    def total_flowtime(self) -> float:
+        """Unweighted sum of job flowtimes."""
+        return float(self.flowtimes.sum()) if self.records else 0.0
+
+    @property
+    def total_weighted_flowtime(self) -> float:
+        """The paper's objective: ``sum_i w_i (f_i - a_i)``."""
+        if not self.records:
+            return 0.0
+        return float((self.flowtimes * self.weights).sum())
+
+    @property
+    def mean_flowtime(self) -> float:
+        """Unweighted average job flowtime (Figures 1-3, 6)."""
+        if not self.records:
+            return 0.0
+        return float(self.flowtimes.mean())
+
+    @property
+    def weighted_mean_flowtime(self) -> float:
+        """Weighted average ``sum w_i f_i / sum w_i`` (Figures 1-3, 6)."""
+        if not self.records:
+            return 0.0
+        weights = self.weights
+        return float((self.flowtimes * weights).sum() / weights.sum())
+
+    @property
+    def max_flowtime(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(self.flowtimes.max())
+
+    @property
+    def median_flowtime(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.median(self.flowtimes))
+
+    def percentile_flowtime(self, q: float) -> float:
+        """q-th percentile of the flowtime distribution (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.records:
+            return 0.0
+        return float(np.percentile(self.flowtimes, q))
+
+    # -- CDFs (Figures 4 and 5) -----------------------------------------------------------
+
+    def fraction_completed_within(self, limit: float) -> float:
+        """Fraction of all jobs whose flowtime is at most ``limit``."""
+        if not self.records:
+            return 0.0
+        return float(np.mean(self.flowtimes <= limit))
+
+    def flowtime_cdf(self, points: Sequence[float]) -> np.ndarray:
+        """Empirical CDF of job flowtime evaluated at ``points``."""
+        pts = np.asarray(list(points), dtype=float)
+        if not self.records:
+            return np.zeros_like(pts)
+        flowtimes = np.sort(self.flowtimes)
+        return np.searchsorted(flowtimes, pts, side="right") / len(flowtimes)
+
+    def records_in_flowtime_range(
+        self, low: float, high: float
+    ) -> List[JobRecord]:
+        """Jobs whose flowtime falls in ``[low, high]`` (Figure 4/5 slices)."""
+        return [r for r in self.records if low <= r.flowtime <= high]
+
+    # -- cloning / efficiency accounting ------------------------------------------------------
+
+    @property
+    def cloning_ratio(self) -> float:
+        """Copies launched per logical task (1.0 means no cloning at all)."""
+        if self.total_tasks == 0:
+            return 0.0
+        return self.total_copies / self.total_tasks
+
+    @property
+    def redundant_work_fraction(self) -> float:
+        """Fraction of consumed machine time spent on killed clones."""
+        total = self.useful_work + self.wasted_work
+        if total == 0:
+            return 0.0
+        return self.wasted_work / total
+
+    @property
+    def average_utilization(self) -> float:
+        """Machine-time consumed divided by ``M * makespan``."""
+        if self.makespan <= 0:
+            return 0.0
+        return (self.useful_work + self.wasted_work) / (
+            self.num_machines * self.makespan
+        )
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of the headline metrics, for tables and tests."""
+        return {
+            "scheduler": self.scheduler_name,
+            "num_machines": self.num_machines,
+            "num_jobs": self.num_jobs,
+            "mean_flowtime": self.mean_flowtime,
+            "weighted_mean_flowtime": self.weighted_mean_flowtime,
+            "median_flowtime": self.median_flowtime,
+            "max_flowtime": self.max_flowtime,
+            "makespan": self.makespan,
+            "cloning_ratio": self.cloning_ratio,
+            "redundant_work_fraction": self.redundant_work_fraction,
+            "average_utilization": self.average_utilization,
+            "over_requests": self.over_requests,
+        }
+
+    @staticmethod
+    def compare(results: Iterable["SimulationResult"]) -> List[Dict[str, float]]:
+        """Summaries of several runs, ordered as given."""
+        return [result.summary() for result in results]

@@ -1,0 +1,160 @@
+"""Convenience wrappers for running (replicated) simulations.
+
+The paper repeats every simulation ten times and reports the average
+(Section VI); :func:`run_replications` reproduces that protocol: one run per
+seed with a freshly constructed scheduler, aggregated into a
+:class:`ReplicatedResult`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.stragglers import StragglerModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.scheduler_api import Scheduler
+from repro.workload.trace import Trace
+
+__all__ = ["run_simulation", "run_replications", "ReplicatedResult"]
+
+
+def run_simulation(
+    trace: Trace,
+    scheduler: Scheduler,
+    num_machines: int,
+    *,
+    seed: int = 0,
+    machine_speed: float = 1.0,
+    straggler_model: Optional[StragglerModel] = None,
+    max_time: Optional[float] = None,
+    check_invariants: bool = False,
+) -> SimulationResult:
+    """Run one simulation and return its metrics.
+
+    Parameters mirror :class:`~repro.simulation.engine.SimulationEngine`;
+    ``seed`` controls both the workload sampling and any randomised
+    tie-breaking inside the engine.
+    """
+    engine = SimulationEngine(
+        trace=trace,
+        scheduler=scheduler,
+        num_machines=num_machines,
+        seed=seed,
+        machine_speed=machine_speed,
+        straggler_model=straggler_model,
+        max_time=max_time,
+        check_invariants=check_invariants,
+    )
+    started = _time.perf_counter()
+    result = engine.run()
+    result.runtime_seconds = _time.perf_counter() - started
+    return result
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregate of several runs of the same configuration with different seeds."""
+
+    scheduler_name: str
+    results: List[SimulationResult] = field(default_factory=list)
+
+    @property
+    def num_replications(self) -> int:
+        return len(self.results)
+
+    def _metric(self, name: str) -> np.ndarray:
+        return np.array([getattr(result, name) for result in self.results], dtype=float)
+
+    @property
+    def mean_flowtime(self) -> float:
+        """Average over replications of the unweighted mean flowtime."""
+        return float(self._metric("mean_flowtime").mean())
+
+    @property
+    def weighted_mean_flowtime(self) -> float:
+        """Average over replications of the weighted mean flowtime."""
+        return float(self._metric("weighted_mean_flowtime").mean())
+
+    @property
+    def mean_flowtime_std(self) -> float:
+        """Standard deviation across replications of the unweighted mean."""
+        return float(self._metric("mean_flowtime").std(ddof=0))
+
+    @property
+    def weighted_mean_flowtime_std(self) -> float:
+        return float(self._metric("weighted_mean_flowtime").std(ddof=0))
+
+    @property
+    def mean_makespan(self) -> float:
+        return float(self._metric("makespan").mean())
+
+    @property
+    def mean_cloning_ratio(self) -> float:
+        return float(self._metric("cloning_ratio").mean())
+
+    def fraction_completed_within(self, limit: float) -> float:
+        """Replication-averaged fraction of jobs finishing within ``limit``."""
+        values = [result.fraction_completed_within(limit) for result in self.results]
+        return float(np.mean(values))
+
+    def flowtime_cdf(self, points: Sequence[float]) -> np.ndarray:
+        """Replication-averaged empirical CDF evaluated at ``points``."""
+        curves = [result.flowtime_cdf(points) for result in self.results]
+        return np.mean(np.stack(curves, axis=0), axis=0)
+
+    def summary(self) -> dict:
+        return {
+            "scheduler": self.scheduler_name,
+            "replications": self.num_replications,
+            "mean_flowtime": self.mean_flowtime,
+            "mean_flowtime_std": self.mean_flowtime_std,
+            "weighted_mean_flowtime": self.weighted_mean_flowtime,
+            "weighted_mean_flowtime_std": self.weighted_mean_flowtime_std,
+            "mean_makespan": self.mean_makespan,
+            "mean_cloning_ratio": self.mean_cloning_ratio,
+        }
+
+
+def run_replications(
+    trace: Trace,
+    scheduler_factory: Callable[[], Scheduler],
+    num_machines: int,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    machine_speed: float = 1.0,
+    straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
+    max_time: Optional[float] = None,
+) -> ReplicatedResult:
+    """Run the same (trace, scheduler, cluster) configuration once per seed.
+
+    A fresh scheduler instance is built per replication because schedulers
+    carry state (priority queues, per-job bookkeeping) that must not leak
+    between runs.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    results: List[SimulationResult] = []
+    name = None
+    for seed in seeds:
+        scheduler = scheduler_factory()
+        name = scheduler.name if name is None else name
+        straggler_model = (
+            straggler_model_factory() if straggler_model_factory is not None else None
+        )
+        results.append(
+            run_simulation(
+                trace,
+                scheduler,
+                num_machines,
+                seed=seed,
+                machine_speed=machine_speed,
+                straggler_model=straggler_model,
+                max_time=max_time,
+            )
+        )
+    return ReplicatedResult(scheduler_name=name or "scheduler", results=results)

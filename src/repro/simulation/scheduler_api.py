@@ -1,0 +1,178 @@
+"""The interface between the simulation engine and scheduling policies.
+
+A scheduler never mutates simulation state directly.  It observes the
+cluster through a :class:`SchedulerView` (time, free machines, alive jobs,
+progress of running copies, observed durations of completed copies) and
+returns a list of :class:`LaunchRequest` objects; the engine places the
+requested copies on free machines.
+
+The view deliberately does *not* expose the sampled workload of running
+copies: like a real cluster, a scheduler can observe progress and history,
+not the future.  The duration *distribution moments* (``mean``/``std`` of
+each job phase) are available through the job specs, matching the paper's
+assumption that only the first and second moments are known a priori.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+
+from repro.workload.job import Job, Phase, Task, TaskCopy
+
+if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
+    from repro.simulation.engine import SimulationEngine
+
+__all__ = ["LaunchRequest", "SchedulerView", "Scheduler"]
+
+
+@dataclass(frozen=True)
+class LaunchRequest:
+    """A scheduler's request to launch ``num_copies`` copies of ``task`` now."""
+
+    task: Task
+    num_copies: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_copies <= 0:
+            raise ValueError(f"num_copies must be positive, got {self.num_copies}")
+
+
+class SchedulerView:
+    """Read-only window onto the running simulation."""
+
+    def __init__(self, engine: "SimulationEngine") -> None:
+        self._engine = engine
+
+    # -- global state -----------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """Current simulation time."""
+        return self._engine.now
+
+    @property
+    def num_machines(self) -> int:
+        """``M`` -- cluster size."""
+        return self._engine.cluster.num_machines
+
+    @property
+    def num_free_machines(self) -> int:
+        """Machines idle at this instant."""
+        return self._engine.cluster.num_free
+
+    def num_running(self, phase: Phase) -> int:
+        """``M(t)`` / ``R(t)`` -- machines running copies of the given phase."""
+        return self._engine.cluster.num_running(phase)
+
+    # -- jobs ---------------------------------------------------------------------
+
+    @property
+    def alive_jobs(self) -> List[Job]:
+        """Jobs that have arrived and are not yet complete (``psi^s(l)``)."""
+        return self._engine.alive_jobs()
+
+    @property
+    def num_alive_jobs(self) -> int:
+        return len(self._engine.alive_jobs())
+
+    # -- running copies (for progress-monitoring schedulers) ------------------------
+
+    def running_copies(self) -> Iterator[TaskCopy]:
+        """All copies currently occupying machines (including blocked ones)."""
+        for job in self._engine.alive_jobs():
+            for task in job.all_tasks():
+                for copy in task.copies:
+                    if copy.is_active:
+                        yield copy
+
+    def copy_elapsed(self, copy: TaskCopy) -> float:
+        """Processing time ``copy`` has consumed so far."""
+        return copy.elapsed(self.time)
+
+    def copy_progress(self, copy: TaskCopy) -> float:
+        """Progress fraction of ``copy`` in ``[0, 1]``.
+
+        This models the progress score a MapReduce framework reports for
+        every running attempt (fraction of input records processed); it is
+        what detection-based schedulers such as Mantri and LATE consume.
+        """
+        return copy.progress(self.time)
+
+    def observed_durations(self, job: Job, phase: Phase) -> List[float]:
+        """Durations of copies of ``job``/``phase`` that ran to completion.
+
+        This is the sample history a detection-based scheduler (Mantri, LATE)
+        uses to estimate the expected duration of a relaunched copy.
+        """
+        durations: List[float] = []
+        for task in job.tasks(phase):
+            for copy in task.copies:
+                if copy.is_finished and copy.start_time is not None:
+                    durations.append(copy.finish_time - copy.start_time)
+        return durations
+
+
+class Scheduler(ABC):
+    """Base class for every scheduling policy (the paper's and the baselines)."""
+
+    #: Human-readable policy name used in result tables.
+    name: str = "scheduler"
+    #: If not ``None``, the engine wakes the scheduler every ``tick_interval``
+    #: time units even when no arrival/completion occurs.  Progress-based
+    #: speculation (Mantri, LATE) needs this; the paper's algorithms do not.
+    tick_interval: Optional[float] = None
+
+    def bind(self, view: SchedulerView) -> None:
+        """Called once before the simulation starts."""
+        self._view = view
+
+    @property
+    def view(self) -> SchedulerView:
+        """The bound view (only valid after :meth:`bind`)."""
+        if not hasattr(self, "_view"):
+            raise RuntimeError(f"{type(self).__name__} has not been bound to a view")
+        return self._view
+
+    # -- notification hooks (optional) ------------------------------------------------
+
+    def on_job_arrival(self, job: Job, time: float) -> None:
+        """Called when ``job`` enters the cluster."""
+
+    def on_task_completion(self, task: Task, time: float) -> None:
+        """Called when a task (not an individual copy) completes."""
+
+    def on_job_completion(self, job: Job, time: float) -> None:
+        """Called when the last reduce task of ``job`` completes."""
+
+    # -- the actual decision -----------------------------------------------------------
+
+    @abstractmethod
+    def schedule(self, view: SchedulerView) -> Sequence[LaunchRequest]:
+        """Return the copies to launch at this decision point.
+
+        The total number of copies requested must not exceed
+        ``view.num_free_machines``; the engine truncates excess requests and
+        counts them in ``SimulationResult.over_requests`` (a correct policy
+        never over-requests, and the test-suite asserts this).
+        """
+
+    # -- shared helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def eligible_tasks(job: Job) -> List[Task]:
+        """Unscheduled tasks of ``job`` in paper order: map first, then reduce.
+
+        Reduce tasks are listed even when the map phase is incomplete; the
+        engine will park their copies (occupying machines without progress),
+        exactly as the paper's Algorithm 1 allows.  Policies that prefer not
+        to waste machines this way can filter on ``job.map_phase_complete``.
+        """
+        pending = job.unscheduled_tasks(Phase.MAP)
+        if pending:
+            return pending
+        return job.unscheduled_tasks(Phase.REDUCE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,496 @@
+"""Task-duration distributions with analytically known first and second moments.
+
+The paper's scheduling algorithms (Section III) assume only that the *mean*
+``E_i^c`` and *standard deviation* ``sigma_i^c`` of task durations within each
+job phase are known a priori.  Every distribution here therefore exposes
+``mean`` and ``std`` properties that the schedulers may read, and a
+``sample`` method that only the simulator may call (it plays the role of the
+physical cluster drawing actual task durations).
+
+The heavy-tailed distributions (:class:`BoundedPareto`, :class:`LogNormal`)
+are the ones observed in production MapReduce traces [4, 26]; they are what
+creates stragglers in the first place.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "DurationDistribution",
+    "Deterministic",
+    "Uniform",
+    "Exponential",
+    "ShiftedExponential",
+    "BoundedPareto",
+    "LogNormal",
+    "TruncatedNormal",
+    "Empirical",
+    "Floored",
+]
+
+
+class DurationDistribution(ABC):
+    """A non-negative random variable describing one task's workload.
+
+    Subclasses must guarantee that every sample is strictly positive: a task
+    with zero workload would complete instantaneously and break the
+    time-slotted semantics of the simulator.
+    """
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """First moment of the distribution (the ``E_i^c`` of the paper)."""
+
+    @property
+    @abstractmethod
+    def std(self) -> float:
+        """Standard deviation of the distribution (the ``sigma_i^c``)."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads.
+
+        Parameters
+        ----------
+        rng:
+            The simulator-owned random generator.  Schedulers never call this.
+        size:
+            Number of independent draws.
+        """
+
+    def sample_one(self, rng: np.random.Generator) -> float:
+        """Draw a single workload as a Python float."""
+        return float(self.sample(rng, 1)[0])
+
+    @property
+    def variance(self) -> float:
+        """Second central moment."""
+        return self.std**2
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """``std / mean`` -- the paper's straggler severity knob."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / self.mean
+
+    def scaled(self, factor: float) -> "DurationDistribution":
+        """Return a distribution whose samples are multiplied by ``factor``.
+
+        Used by the straggler-injection models and by the trace scaler.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return _Scaled(self, factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(mean={self.mean:.3f}, std={self.std:.3f})"
+        )
+
+
+class _Scaled(DurationDistribution):
+    """A distribution multiplied by a positive constant."""
+
+    def __init__(self, base: DurationDistribution, factor: float) -> None:
+        self._base = base
+        self._factor = float(factor)
+
+    @property
+    def mean(self) -> float:
+        return self._base.mean * self._factor
+
+    @property
+    def std(self) -> float:
+        return self._base.std * self._factor
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return self._base.sample(rng, size) * self._factor
+
+
+class Deterministic(DurationDistribution):
+    """A constant workload -- the "negligible variance" regime of Section IV.
+
+    Under this distribution the offline Algorithm 1 is provably 2-competitive
+    (Remark 2 of the paper), which the test-suite verifies empirically.
+    """
+
+    def __init__(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"deterministic workload must be positive, got {value}")
+        self._value = float(value)
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def std(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return np.full(size, self._value)
+
+
+class Uniform(DurationDistribution):
+    """Uniform workload on ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low <= 0:
+            raise ValueError(f"low bound must be positive, got {low}")
+        if high < low:
+            raise ValueError(f"high ({high}) must be >= low ({low})")
+        self._low = float(low)
+        self._high = float(high)
+
+    @property
+    def low(self) -> float:
+        return self._low
+
+    @property
+    def high(self) -> float:
+        return self._high
+
+    @property
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    @property
+    def std(self) -> float:
+        return (self._high - self._low) / math.sqrt(12.0)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return rng.uniform(self._low, self._high, size)
+
+
+class Exponential(DurationDistribution):
+    """Exponential workload with the given mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        samples = rng.exponential(self._mean, size)
+        # Guard against the measure-zero event of a zero draw.
+        return np.maximum(samples, np.finfo(float).tiny)
+
+
+class ShiftedExponential(DurationDistribution):
+    """``shift + Exponential(scale)`` -- a minimum service time plus a tail.
+
+    Models tasks that always pay a fixed startup cost (JVM launch, input
+    split fetch) before the data-dependent part of the work.
+    """
+
+    def __init__(self, shift: float, scale: float) -> None:
+        if shift < 0:
+            raise ValueError(f"shift must be non-negative, got {shift}")
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        if shift == 0 and scale == 0:
+            raise ValueError("shift and scale cannot both be zero")
+        self._shift = float(shift)
+        self._scale = float(scale)
+
+    @property
+    def shift(self) -> float:
+        return self._shift
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    @property
+    def mean(self) -> float:
+        return self._shift + self._scale
+
+    @property
+    def std(self) -> float:
+        return self._scale
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        samples = self._shift + rng.exponential(self._scale, size)
+        return np.maximum(samples, np.finfo(float).tiny)
+
+
+class BoundedPareto(DurationDistribution):
+    """Pareto distribution truncated to ``[minimum, maximum]``.
+
+    The paper's Section III-A derives the speedup function from a (pure)
+    Pareto tail ``Pr(p < t) = 1 - (mu / t)^alpha``.  Real traces are bounded
+    above, so we use the bounded Pareto, whose moments are available in
+    closed form.  ``alpha`` close to 1 gives the extreme heavy tail (severe
+    stragglers); large ``alpha`` approaches :class:`Deterministic`.
+    """
+
+    def __init__(self, minimum: float, maximum: float, alpha: float) -> None:
+        if minimum <= 0:
+            raise ValueError(f"minimum must be positive, got {minimum}")
+        if maximum <= minimum:
+            raise ValueError(
+                f"maximum ({maximum}) must exceed minimum ({minimum})"
+            )
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self._low = float(minimum)
+        self._high = float(maximum)
+        self._alpha = float(alpha)
+        self._mean, self._std = self._moments()
+
+    @property
+    def minimum(self) -> float:
+        return self._low
+
+    @property
+    def maximum(self) -> float:
+        return self._high
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def _raw_moment(self, k: int) -> float:
+        """k-th raw moment of the bounded Pareto."""
+        low, high, alpha = self._low, self._high, self._alpha
+        if math.isclose(alpha, k):
+            # Degenerate case: the generic formula has a 0/0; use the limit.
+            ratio = 1.0 - (low / high) ** alpha
+            return alpha * low**alpha * math.log(high / low) / ratio
+        ratio = 1.0 - (low / high) ** alpha
+        numerator = alpha * (low**k) * (1.0 - (low / high) ** (alpha - k))
+        return numerator / ((alpha - k) * ratio)
+
+    def _moments(self) -> tuple[float, float]:
+        m1 = self._raw_moment(1)
+        m2 = self._raw_moment(2)
+        variance = max(m2 - m1 * m1, 0.0)
+        return m1, math.sqrt(variance)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    def quantile(self, u) -> np.ndarray:
+        """Inverse CDF evaluated at ``u`` (scalar or array in ``[0, 1)``)."""
+        u_arr = np.asarray(u, dtype=float)
+        if np.any(u_arr < 0.0) or np.any(u_arr >= 1.0):
+            raise ValueError("quantile argument must lie in [0, 1)")
+        low_a = self._low**self._alpha
+        high_a = self._high**self._alpha
+        denom = 1.0 - u_arr * (1.0 - low_a / high_a)
+        return self._low / np.power(denom, 1.0 / self._alpha)
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        # Inverse-CDF sampling of the bounded Pareto.
+        return self.quantile(rng.uniform(0.0, 1.0, size))
+
+    @classmethod
+    def from_mean(
+        cls, mean: float, alpha: float, maximum_ratio: float = 50.0
+    ) -> "BoundedPareto":
+        """Build a bounded Pareto with a target mean.
+
+        The maximum is placed at ``maximum_ratio * minimum`` and the minimum
+        is solved numerically so the resulting mean matches ``mean``.
+        """
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        # Mean scales linearly with the minimum, so one probe suffices.
+        probe = cls(1.0, maximum_ratio, alpha)
+        minimum = mean / probe.mean
+        return cls(minimum, minimum * maximum_ratio, alpha)
+
+
+class LogNormal(DurationDistribution):
+    """Log-normal workload parameterised directly by its mean and std.
+
+    Log-normal task durations are a standard fit for the Google trace's
+    task-duration histogram; the generator in
+    :mod:`repro.workload.google_trace` uses this class for the per-job task
+    duration model.
+    """
+
+    def __init__(self, mean: float, std: float) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        self._mean = float(mean)
+        self._std = float(std)
+        if std == 0:
+            self._mu = math.log(mean)
+            self._sigma = 0.0
+        else:
+            variance_ratio = 1.0 + (std / mean) ** 2
+            self._sigma = math.sqrt(math.log(variance_ratio))
+            self._mu = math.log(mean) - 0.5 * self._sigma**2
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    @property
+    def mu(self) -> float:
+        """Location parameter of the underlying normal."""
+        return self._mu
+
+    @property
+    def sigma(self) -> float:
+        """Scale parameter of the underlying normal."""
+        return self._sigma
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        if self._sigma == 0.0:
+            return np.full(size, self._mean)
+        return rng.lognormal(self._mu, self._sigma, size)
+
+
+class TruncatedNormal(DurationDistribution):
+    """Normal distribution truncated below at ``floor`` (default a tiny positive).
+
+    Useful for workloads with mild, symmetric-ish variation.  The reported
+    ``mean``/``std`` are the *target* parameters of the untruncated normal;
+    for the small coefficients of variation used in the benchmarks the
+    truncation bias is negligible, and the scheduler only needs consistent
+    moments, not exact ones.
+    """
+
+    def __init__(self, mean: float, std: float, floor: float = 1e-6) -> None:
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        if std < 0:
+            raise ValueError(f"std must be non-negative, got {std}")
+        if floor <= 0:
+            raise ValueError(f"floor must be positive, got {floor}")
+        self._mean = float(mean)
+        self._std = float(std)
+        self._floor = float(floor)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        if self._std == 0.0:
+            return np.full(size, self._mean)
+        samples = rng.normal(self._mean, self._std, size)
+        return np.maximum(samples, self._floor)
+
+
+class Floored(DurationDistribution):
+    """Clamp another distribution's samples below at ``floor``.
+
+    Real MapReduce tasks have a minimum service time (container start, split
+    fetch); the Google trace's shortest task is 12.8 s.  Wrapping a
+    heavy-tailed base distribution in :class:`Floored` reproduces that hard
+    minimum.  The reported ``mean``/``std`` are those of the base
+    distribution: the clamp only moves a small amount of probability mass
+    when the floor sits in the lower tail, and the schedulers treat the
+    moments as estimates anyway.
+    """
+
+    def __init__(self, base: DurationDistribution, floor: float) -> None:
+        if floor <= 0:
+            raise ValueError(f"floor must be positive, got {floor}")
+        self._base = base
+        self._floor = float(floor)
+
+    @property
+    def base(self) -> DurationDistribution:
+        return self._base
+
+    @property
+    def floor(self) -> float:
+        return self._floor
+
+    @property
+    def mean(self) -> float:
+        return max(self._base.mean, self._floor)
+
+    @property
+    def std(self) -> float:
+        return self._base.std
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return np.maximum(self._base.sample(rng, size), self._floor)
+
+
+class Empirical(DurationDistribution):
+    """Resampling distribution backed by observed durations.
+
+    This is how a real deployment would estimate the per-phase duration
+    distribution from history: the simulator feeds completed-task durations
+    into an :class:`Empirical` and clones draw i.i.d. samples from it
+    ("the workload for this clone is just drawn independently from the
+    estimated distribution", Section VI).
+    """
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            raise ValueError("empirical distribution needs at least one sample")
+        if np.any(values <= 0):
+            raise ValueError("all empirical samples must be positive")
+        self._values = values
+        self._mean = float(values.mean())
+        self._std = float(values.std(ddof=0))
+
+    @property
+    def values(self) -> np.ndarray:
+        """The backing samples (read-only copy)."""
+        return self._values.copy()
+
+    @property
+    def n_samples(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        return self._std
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return rng.choice(self._values, size=size, replace=True)
+
+    @classmethod
+    def from_distribution(
+        cls,
+        base: DurationDistribution,
+        rng: np.random.Generator,
+        n_samples: int = 1000,
+    ) -> "Empirical":
+        """Estimate an empirical distribution by sampling ``base``."""
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        return cls(base.sample(rng, n_samples))

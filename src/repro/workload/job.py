@@ -1,0 +1,460 @@
+"""Job / Task / TaskCopy data model with the MapReduce precedence state machine.
+
+The model mirrors Section III of the paper:
+
+* A job ``J_i`` arrives at time ``a_i`` with weight ``w_i``, ``m_i`` map
+  tasks and ``r_i`` reduce tasks.
+* Task workloads within a phase are i.i.d. with known mean ``E_i^c`` and
+  standard deviation ``sigma_i^c`` (carried here as a
+  :class:`~repro.workload.distributions.DurationDistribution` per phase).
+* The reduce phase of a job may not make progress until every map task of
+  the job has finished (constraint (1g)).  A reduce *copy* may however be
+  placed on a machine earlier; it then occupies the machine without doing
+  work, exactly as described at the end of Section IV-A.
+* A task finishes when its earliest-finishing copy finishes (speedup via
+  cloning, Section III-A); the remaining copies are killed and their
+  machines are reclaimed.
+
+``JobSpec`` is the immutable description found in a trace.  ``Job``,
+``Task`` and ``TaskCopy`` are the mutable runtime objects owned by the
+simulation engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.workload.distributions import DurationDistribution
+
+__all__ = ["Phase", "TaskStatus", "JobSpec", "Job", "Task", "TaskCopy"]
+
+
+class Phase(enum.Enum):
+    """The two MapReduce phases; ``c`` in the paper's notation."""
+
+    MAP = "map"
+    REDUCE = "reduce"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TaskStatus(enum.Enum):
+    """Lifecycle of a task (not of an individual copy)."""
+
+    #: No copy has been launched yet.
+    PENDING = "pending"
+    #: At least one copy has been launched and the task is not finished.
+    RUNNING = "running"
+    #: The earliest copy finished; the task (and all clones) are done.
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable description of one job in a trace.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within the trace.
+    arrival_time:
+        ``a_i`` -- the time (seconds) the job enters the cluster.
+    weight:
+        ``w_i`` -- the job priority/weight used by weighted flowtime.
+    num_map_tasks / num_reduce_tasks:
+        ``m_i`` and ``r_i``.
+    map_duration / reduce_duration:
+        Per-phase task duration distributions.  The schedulers may only read
+        ``mean`` and ``std``; the simulator samples actual workloads.
+    """
+
+    job_id: int
+    arrival_time: float
+    weight: float
+    num_map_tasks: int
+    num_reduce_tasks: int
+    map_duration: DurationDistribution
+    reduce_duration: DurationDistribution
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.num_map_tasks < 0 or self.num_reduce_tasks < 0:
+            raise ValueError("task counts must be non-negative")
+        if self.num_map_tasks + self.num_reduce_tasks == 0:
+            raise ValueError(f"job {self.job_id} has no tasks")
+
+    def num_tasks(self, phase: Phase) -> int:
+        """Number of tasks in ``phase``."""
+        if phase is Phase.MAP:
+            return self.num_map_tasks
+        return self.num_reduce_tasks
+
+    def duration(self, phase: Phase) -> DurationDistribution:
+        """Duration distribution of tasks in ``phase``."""
+        if phase is Phase.MAP:
+            return self.map_duration
+        return self.reduce_duration
+
+    @property
+    def total_tasks(self) -> int:
+        """``m_i + r_i``."""
+        return self.num_map_tasks + self.num_reduce_tasks
+
+    @property
+    def expected_total_work(self) -> float:
+        """Expected sum of task workloads, ``m_i * E_i^m + r_i * E_i^r``."""
+        return (
+            self.num_map_tasks * self.map_duration.mean
+            + self.num_reduce_tasks * self.reduce_duration.mean
+        )
+
+    def effective_workload(self, r: float) -> float:
+        """``phi_i`` of Equation (2): the variance-adjusted total workload."""
+        if r < 0:
+            raise ValueError(f"r must be non-negative, got {r}")
+        return self.num_map_tasks * (
+            self.map_duration.mean + r * self.map_duration.std
+        ) + self.num_reduce_tasks * (
+            self.reduce_duration.mean + r * self.reduce_duration.std
+        )
+
+
+@dataclass
+class TaskCopy:
+    """One physical copy (the original or a clone) of a task on a machine."""
+
+    copy_id: int
+    task: "Task"
+    machine_id: int
+    launch_time: float
+    workload: float
+    #: Time at which the copy actually starts consuming CPU.  Equals
+    #: ``launch_time`` for map copies; for reduce copies it is
+    #: ``max(launch_time, map-phase completion)`` and stays ``None`` while
+    #: the copy is blocked behind unfinished map tasks.
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    killed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workload <= 0:
+            raise ValueError(f"copy workload must be positive, got {self.workload}")
+        if self.launch_time < 0:
+            raise ValueError(f"launch_time must be >= 0, got {self.launch_time}")
+
+    @property
+    def is_finished(self) -> bool:
+        """True once the copy has run to completion (and was not killed)."""
+        return self.finish_time is not None and self.killed_at is None
+
+    @property
+    def is_killed(self) -> bool:
+        return self.killed_at is not None
+
+    @property
+    def is_active(self) -> bool:
+        """True while the copy occupies a machine (running or blocked)."""
+        return self.finish_time is None and self.killed_at is None
+
+    @property
+    def is_blocked(self) -> bool:
+        """True for a reduce copy parked behind an unfinished map phase."""
+        return self.is_active and self.start_time is None
+
+    def start(self, time: float) -> None:
+        """Mark the instant processing begins (engine-only)."""
+        if not self.is_active:
+            raise ValueError(f"cannot start inactive copy {self.copy_id}")
+        if self.start_time is not None:
+            raise ValueError(f"copy {self.copy_id} already started")
+        if time < self.launch_time:
+            raise ValueError(
+                f"start time {time} precedes launch time {self.launch_time}"
+            )
+        self.start_time = time
+
+    def finish(self, time: float) -> None:
+        """Mark the copy as finished (engine-only)."""
+        if not self.is_active:
+            raise ValueError(f"cannot finish inactive copy {self.copy_id}")
+        if self.start_time is None:
+            raise ValueError(f"copy {self.copy_id} finished without starting")
+        self.finish_time = time
+
+    def kill(self, time: float) -> None:
+        """Kill the copy (its sibling finished first, or the scheduler preempted it)."""
+        if not self.is_active:
+            raise ValueError(f"cannot kill inactive copy {self.copy_id}")
+        self.killed_at = time
+
+    @property
+    def expected_finish_time(self) -> Optional[float]:
+        """``start_time + workload`` if the copy has started, else ``None``."""
+        if self.start_time is None:
+            return None
+        return self.start_time + self.workload
+
+    def elapsed(self, time: float) -> float:
+        """Processing time consumed by this copy up to ``time``."""
+        if self.start_time is None:
+            return 0.0
+        end = self.finish_time if self.finish_time is not None else time
+        if self.killed_at is not None:
+            end = min(end if end is not None else self.killed_at, self.killed_at)
+        return max(0.0, min(end, time) - self.start_time)
+
+    def progress(self, time: float) -> float:
+        """Fraction of the copy's workload processed by ``time``, in [0, 1]."""
+        return min(1.0, self.elapsed(time) / self.workload)
+
+    def remaining_work(self, time: float) -> float:
+        """Workload still to be processed at ``time`` (0 once finished)."""
+        if self.is_finished:
+            return 0.0
+        return self.workload - self.elapsed(time)
+
+
+@dataclass
+class Task:
+    """One logical map or reduce task ``delta_i^{c,j}``.
+
+    A task may have several :class:`TaskCopy` instances running at once;
+    it completes when the first of them completes.
+    """
+
+    job: "Job"
+    phase: Phase
+    index: int
+    copies: List[TaskCopy] = field(default_factory=list)
+    completion_time: Optional[float] = None
+
+    @property
+    def task_id(self) -> str:
+        """Stable human-readable identifier, e.g. ``"7:map:3"``."""
+        return f"{self.job.job_id}:{self.phase.value}:{self.index}"
+
+    @property
+    def status(self) -> TaskStatus:
+        if self.completion_time is not None:
+            return TaskStatus.COMPLETED
+        if any(copy.is_active for copy in self.copies):
+            return TaskStatus.RUNNING
+        if self.copies:
+            # All copies were killed (e.g. preempted); the task is pending again.
+            return TaskStatus.PENDING
+        return TaskStatus.PENDING
+
+    @property
+    def is_completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def is_scheduled(self) -> bool:
+        """True if at least one copy currently occupies a machine."""
+        return any(copy.is_active for copy in self.copies)
+
+    @property
+    def active_copies(self) -> List[TaskCopy]:
+        """Copies currently occupying machines."""
+        return [copy for copy in self.copies if copy.is_active]
+
+    @property
+    def num_active_copies(self) -> int:
+        return sum(1 for copy in self.copies if copy.is_active)
+
+    @property
+    def duration_distribution(self) -> DurationDistribution:
+        """The phase duration distribution of the owning job."""
+        return self.job.spec.duration(self.phase)
+
+    def add_copy(self, copy: TaskCopy) -> None:
+        """Attach a newly launched copy (engine-only)."""
+        if self.is_completed:
+            raise ValueError(f"cannot add a copy to completed task {self.task_id}")
+        self.copies.append(copy)
+
+    def complete(self, time: float) -> List[TaskCopy]:
+        """Mark the task completed at ``time`` and kill surviving clones.
+
+        Returns the copies that were killed so the engine can free their
+        machines.
+        """
+        if self.is_completed:
+            raise ValueError(f"task {self.task_id} already completed")
+        self.completion_time = time
+        killed: List[TaskCopy] = []
+        for copy in self.copies:
+            if copy.is_active:
+                copy.kill(time)
+                killed.append(copy)
+        return killed
+
+    def first_launch_time(self) -> Optional[float]:
+        """Time the first copy of this task was launched, if any."""
+        if not self.copies:
+            return None
+        return min(copy.launch_time for copy in self.copies)
+
+
+@dataclass
+class Job:
+    """Runtime state of one job, owning its map and reduce tasks."""
+
+    spec: JobSpec
+    map_tasks: List[Task] = field(default_factory=list)
+    reduce_tasks: List[Task] = field(default_factory=list)
+    map_phase_completion_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    @classmethod
+    def from_spec(cls, spec: JobSpec) -> "Job":
+        """Instantiate the runtime job and its task objects from a spec."""
+        job = cls(spec=spec)
+        job.map_tasks = [
+            Task(job=job, phase=Phase.MAP, index=j)
+            for j in range(spec.num_map_tasks)
+        ]
+        job.reduce_tasks = [
+            Task(job=job, phase=Phase.REDUCE, index=j)
+            for j in range(spec.num_reduce_tasks)
+        ]
+        if spec.num_map_tasks == 0:
+            # A job with no map tasks has a trivially completed map phase.
+            job.map_phase_completion_time = spec.arrival_time
+        return job
+
+    # -- identity and static attributes ------------------------------------
+
+    @property
+    def job_id(self) -> int:
+        return self.spec.job_id
+
+    @property
+    def arrival_time(self) -> float:
+        return self.spec.arrival_time
+
+    @property
+    def weight(self) -> float:
+        return self.spec.weight
+
+    def tasks(self, phase: Phase) -> List[Task]:
+        """The task list of one phase."""
+        if phase is Phase.MAP:
+            return self.map_tasks
+        return self.reduce_tasks
+
+    def all_tasks(self) -> Iterator[Task]:
+        """Iterate over map tasks then reduce tasks."""
+        yield from self.map_tasks
+        yield from self.reduce_tasks
+
+    # -- precedence state machine -------------------------------------------
+
+    @property
+    def map_phase_complete(self) -> bool:
+        """True once every map task has completed (or there were none)."""
+        return self.map_phase_completion_time is not None
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completion_time is not None
+
+    def notify_task_completion(self, task: Task, time: float) -> bool:
+        """Update phase/job completion after ``task`` finished at ``time``.
+
+        Returns ``True`` when this completion finished the whole job.
+        The engine calls this exactly once per task completion.
+        """
+        if task.job is not self:
+            raise ValueError("task does not belong to this job")
+        if self.is_complete:
+            raise ValueError(f"job {self.job_id} already complete")
+        if task.phase is Phase.MAP:
+            if not self.map_phase_complete and all(
+                t.is_completed for t in self.map_tasks
+            ):
+                self.map_phase_completion_time = time
+                if not self.reduce_tasks:
+                    self.completion_time = time
+                    return True
+            return self.is_complete
+        # Reduce task: the job finishes when every reduce task has finished.
+        if all(t.is_completed for t in self.reduce_tasks) and self.map_phase_complete:
+            self.completion_time = time
+            return True
+        return False
+
+    # -- scheduler-facing counters -------------------------------------------
+
+    def unscheduled_tasks(self, phase: Phase) -> List[Task]:
+        """Tasks of ``phase`` that are neither completed nor occupying machines."""
+        return [
+            task
+            for task in self.tasks(phase)
+            if not task.is_completed and not task.is_scheduled
+        ]
+
+    @property
+    def num_unscheduled_map_tasks(self) -> int:
+        """``m_i(l)`` in the paper's online-algorithm notation."""
+        return len(self.unscheduled_tasks(Phase.MAP))
+
+    @property
+    def num_unscheduled_reduce_tasks(self) -> int:
+        """``r_i(l)`` in the paper's online-algorithm notation."""
+        return len(self.unscheduled_tasks(Phase.REDUCE))
+
+    @property
+    def num_remaining_tasks(self) -> int:
+        """Tasks (either phase) not yet completed."""
+        return sum(1 for task in self.all_tasks() if not task.is_completed)
+
+    @property
+    def num_running_copies(self) -> int:
+        """``sigma_i(l)``: machines currently occupied by this job's copies."""
+        return sum(task.num_active_copies for task in self.all_tasks())
+
+    def remaining_effective_workload(self, r: float) -> float:
+        """``U_i(l)`` of Equation (4), based on *unscheduled* task counts."""
+        if r < 0:
+            raise ValueError(f"r must be non-negative, got {r}")
+        spec = self.spec
+        return self.num_unscheduled_map_tasks * (
+            spec.map_duration.mean + r * spec.map_duration.std
+        ) + self.num_unscheduled_reduce_tasks * (
+            spec.reduce_duration.mean + r * spec.reduce_duration.std
+        )
+
+    # -- metrics ---------------------------------------------------------------
+
+    @property
+    def flowtime(self) -> Optional[float]:
+        """``f_i - a_i``: elapsed time between arrival and completion."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+    @property
+    def weighted_flowtime(self) -> Optional[float]:
+        """``w_i * (f_i - a_i)``."""
+        if self.flowtime is None:
+            return None
+        return self.weight * self.flowtime
+
+    def total_copies_launched(self) -> int:
+        """Number of copies (originals plus clones) launched for this job."""
+        return sum(len(task.copies) for task in self.all_tasks())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Job(id={self.job_id}, arrival={self.arrival_time:.1f}, "
+            f"weight={self.weight}, maps={self.spec.num_map_tasks}, "
+            f"reduces={self.spec.num_reduce_tasks}, "
+            f"complete={self.is_complete})"
+        )

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.distributions import Deterministic, LogNormal
+from repro.workload.generators import (
+    bulk_arrival_trace,
+    poisson_trace,
+    uniform_trace,
+)
+from repro.workload.job import Job, JobSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_spec() -> JobSpec:
+    """A small two-phase job spec with deterministic 10 s tasks."""
+    return JobSpec(
+        job_id=0,
+        arrival_time=0.0,
+        weight=2.0,
+        num_map_tasks=3,
+        num_reduce_tasks=2,
+        map_duration=Deterministic(10.0),
+        reduce_duration=Deterministic(10.0),
+    )
+
+
+@pytest.fixture
+def noisy_spec() -> JobSpec:
+    """A job spec with log-normal task durations (mean 10, std 4)."""
+    return JobSpec(
+        job_id=1,
+        arrival_time=5.0,
+        weight=1.0,
+        num_map_tasks=4,
+        num_reduce_tasks=1,
+        map_duration=LogNormal(10.0, 4.0),
+        reduce_duration=LogNormal(20.0, 8.0),
+    )
+
+
+@pytest.fixture
+def small_job(small_spec: JobSpec) -> Job:
+    """Runtime job built from ``small_spec``."""
+    return Job.from_spec(small_spec)
+
+
+@pytest.fixture
+def tiny_bulk_trace():
+    """Three deterministic jobs arriving at time zero (offline setting)."""
+    return bulk_arrival_trace([2, 4, 8], mean_duration=10.0, cv=0.0)
+
+
+@pytest.fixture
+def small_online_trace():
+    """A compact online trace with random sizes, weights and durations."""
+    return poisson_trace(
+        num_jobs=25,
+        arrival_rate=0.5,
+        mean_tasks_per_job=6,
+        mean_duration=8.0,
+        cv=0.5,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def deterministic_online_trace():
+    """Identical deterministic jobs arriving 5 s apart."""
+    return uniform_trace(
+        num_jobs=6,
+        tasks_per_job=4,
+        reduce_tasks_per_job=2,
+        mean_duration=10.0,
+        cv=0.0,
+        inter_arrival=5.0,
+    )

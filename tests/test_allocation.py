@@ -1,0 +1,121 @@
+"""Unit tests for the epsilon-fraction machine-sharing rule (Section V-A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import epsilon_shares, fractional_shares, integer_shares
+from repro.workload.distributions import Deterministic
+from repro.workload.job import Job, JobSpec
+
+
+def make_job(job_id: int, weight: float, tasks: int = 4) -> Job:
+    spec = JobSpec(
+        job_id=job_id,
+        arrival_time=0.0,
+        weight=weight,
+        num_map_tasks=tasks,
+        num_reduce_tasks=0,
+        map_duration=Deterministic(10.0 * tasks),
+        reduce_duration=Deterministic(10.0),
+    )
+    return Job.from_spec(spec)
+
+
+class TestFractionalShares:
+    def test_shares_sum_to_machine_count(self):
+        pairs = [(0, 3.0), (1, 2.0), (2, 1.0), (3, 4.0)]
+        shares = fractional_shares(pairs, num_machines=100, epsilon=0.5)
+        assert sum(shares.values()) == pytest.approx(100.0)
+
+    def test_epsilon_one_is_weight_proportional_fair_sharing(self):
+        pairs = [(0, 3.0), (1, 1.0)]
+        shares = fractional_shares(pairs, num_machines=40, epsilon=1.0)
+        assert shares[0] == pytest.approx(30.0)
+        assert shares[1] == pytest.approx(10.0)
+
+    def test_small_epsilon_concentrates_on_top_priority(self):
+        pairs = [(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0)]
+        shares = fractional_shares(pairs, num_machines=100, epsilon=0.25)
+        # One job's weight is exactly a 0.25 fraction: the highest-priority
+        # job takes all machines.
+        assert shares[0] == pytest.approx(100.0)
+        assert shares[1] == shares[2] == shares[3] == 0.0
+
+    def test_partial_share_for_straddling_job(self):
+        pairs = [(0, 1.0), (1, 1.0)]
+        shares = fractional_shares(pairs, num_machines=60, epsilon=0.75)
+        # W = 2, threshold = 0.5.  Job 0 (top): W_0 = 2, W_0 - w_0 = 1 >= 0.5
+        # -> full share 1*60/(0.75*2) = 40.  Job 1: W_1 = 1 > 0.5 but
+        # W_1 - w_1 = 0 < 0.5 -> partial (1 - 0.5)*60/1.5 = 20.
+        assert shares[0] == pytest.approx(40.0)
+        assert shares[1] == pytest.approx(20.0)
+
+    def test_zero_share_below_threshold(self):
+        pairs = [(0, 5.0), (1, 1.0), (2, 1.0)]
+        shares = fractional_shares(pairs, num_machines=70, epsilon=0.5)
+        assert shares[2] == 0.0
+
+    def test_empty_input(self):
+        assert fractional_shares([], 10, 0.5) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fractional_shares([(0, 1.0)], 0, 0.5)
+        with pytest.raises(ValueError):
+            fractional_shares([(0, 1.0)], 10, 0.0)
+        with pytest.raises(ValueError):
+            fractional_shares([(0, 1.0)], 10, 1.5)
+        with pytest.raises(ValueError):
+            fractional_shares([(0, 0.0)], 10, 0.5)
+
+
+class TestIntegerShares:
+    def test_integers_sum_to_machine_count(self):
+        fractional = {0: 33.4, 1: 33.3, 2: 33.3}
+        integers = integer_shares(fractional, [0, 1, 2], 100)
+        assert sum(integers.values()) == 100
+        assert all(isinstance(value, int) for value in integers.values())
+
+    def test_largest_remainder_wins_the_leftover(self):
+        fractional = {0: 1.6, 1: 1.4}
+        integers = integer_shares(fractional, [0, 1], 3)
+        assert integers == {0: 2, 1: 1}
+
+    def test_zero_fractional_share_stays_zero(self):
+        fractional = {0: 10.0, 1: 0.0}
+        integers = integer_shares(fractional, [0, 1], 10)
+        assert integers[1] == 0
+
+    def test_ties_favour_higher_priority(self):
+        fractional = {0: 1.5, 1: 1.5}
+        integers = integer_shares(fractional, [0, 1], 3)
+        assert integers[0] == 2
+        assert integers[1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            integer_shares({0: 1.0}, [0], 0)
+
+
+class TestEpsilonShares:
+    def test_end_to_end_sums_to_m(self):
+        jobs = [make_job(0, 2.0, tasks=1), make_job(1, 1.0, tasks=4),
+                make_job(2, 1.0, tasks=8)]
+        shares = epsilon_shares(jobs, num_machines=50, epsilon=0.6, r=0.0)
+        assert sum(shares.values()) == 50
+
+    def test_highest_priority_job_gets_largest_share(self):
+        # Job 0 has one short task -> highest w/U priority.
+        jobs = [make_job(0, 1.0, tasks=1), make_job(1, 1.0, tasks=10)]
+        shares = epsilon_shares(jobs, num_machines=30, epsilon=0.6, r=0.0)
+        assert shares[0] > shares[1]
+
+    def test_epsilon_one_matches_weight_ratio(self):
+        jobs = [make_job(0, 3.0, tasks=2), make_job(1, 1.0, tasks=2)]
+        shares = epsilon_shares(jobs, num_machines=40, epsilon=1.0, r=0.0)
+        assert shares[0] == 30
+        assert shares[1] == 10
+
+    def test_empty_job_list(self):
+        assert epsilon_shares([], 10, 0.5, 0.0) == {}

@@ -1,0 +1,152 @@
+"""Unit tests for the Lemma 1 / Theorem 1 / Remark 2 bound computations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    empirical_competitive_ratio,
+    lemma1_probability,
+    map_critical_path_correction,
+    offline_flowtime_bound,
+    offline_flowtime_bounds,
+    online_competitive_bound,
+    serial_phase_lower_bound,
+    srpt_relaxation_lower_bound,
+    theorem1_probability,
+    weighted_flowtime_lower_bound,
+)
+from repro.workload.distributions import Deterministic, LogNormal
+from repro.workload.job import JobSpec
+
+
+def make_spec(job_id=0, weight=1.0, maps=2, reduces=1, mean=10.0, std=0.0) -> JobSpec:
+    duration = Deterministic(mean) if std == 0 else LogNormal(mean, std)
+    return JobSpec(
+        job_id=job_id,
+        arrival_time=0.0,
+        weight=weight,
+        num_map_tasks=maps,
+        num_reduce_tasks=reduces,
+        map_duration=duration,
+        reduce_duration=duration,
+    )
+
+
+class TestProbabilities:
+    def test_lemma1_formula(self):
+        assert lemma1_probability(2.0) == pytest.approx(0.75)
+        assert lemma1_probability(10.0) == pytest.approx(0.99)
+
+    def test_lemma1_clipped_below_one(self):
+        assert lemma1_probability(0.5) == 0.0
+
+    def test_theorem1_formula(self):
+        assert theorem1_probability(2.0) == pytest.approx((1 - 0.25) ** 2)
+
+    def test_theorem1_approaches_one(self):
+        assert theorem1_probability(100.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_theorem1_is_square_of_lemma1(self):
+        r = 3.0
+        assert theorem1_probability(r) == pytest.approx(lemma1_probability(r) ** 2)
+
+    @pytest.mark.parametrize("func", [lemma1_probability, theorem1_probability])
+    def test_probability_validation(self, func):
+        with pytest.raises(ValueError):
+            func(0.0)
+
+
+class TestTheorem1Bound:
+    def test_bound_formula(self):
+        spec = make_spec(mean=10.0, std=2.0)
+        bound = offline_flowtime_bound(spec, accumulated_workload=200.0,
+                                       num_machines=10, r=3.0)
+        assert bound == pytest.approx(10.0 + 6.0 + 20.0)
+
+    def test_map_only_job_uses_map_moments(self):
+        spec = make_spec(reduces=0, mean=8.0)
+        bound = offline_flowtime_bound(spec, 0.0, 4, 0.0)
+        assert bound == pytest.approx(8.0)
+
+    def test_bounds_for_all_jobs_increase_with_lower_priority(self):
+        small = make_spec(job_id=0, maps=1, reduces=1)
+        large = make_spec(job_id=1, maps=10, reduces=2)
+        bounds = offline_flowtime_bounds([small, large], num_machines=5, r=0.0)
+        assert bounds[1] > bounds[0]
+
+    def test_critical_path_correction(self):
+        two_phase = make_spec(mean=10.0, std=2.0)
+        map_only = make_spec(reduces=0)
+        assert map_critical_path_correction(two_phase, 3.0) == pytest.approx(16.0)
+        assert map_critical_path_correction(map_only, 3.0) == 0.0
+
+    def test_bounds_with_critical_path_are_larger(self):
+        spec = make_spec()
+        plain = offline_flowtime_bounds([spec], 4, 0.0)[0]
+        corrected = offline_flowtime_bounds(
+            [spec], 4, 0.0, include_map_critical_path=True
+        )[0]
+        assert corrected == pytest.approx(plain + 10.0)
+
+    def test_validation(self):
+        spec = make_spec()
+        with pytest.raises(ValueError):
+            offline_flowtime_bound(spec, -1.0, 4, 0.0)
+        with pytest.raises(ValueError):
+            offline_flowtime_bound(spec, 1.0, 0, 0.0)
+        with pytest.raises(ValueError):
+            offline_flowtime_bound(spec, 1.0, 4, -1.0)
+        with pytest.raises(ValueError):
+            map_critical_path_correction(spec, -1.0)
+
+
+class TestLowerBounds:
+    def test_serial_phase_lower_bound(self):
+        assert serial_phase_lower_bound(make_spec(mean=10.0)) == pytest.approx(20.0)
+        assert serial_phase_lower_bound(make_spec(reduces=0)) == pytest.approx(10.0)
+
+    def test_srpt_relaxation_scales_with_machines(self):
+        specs = [make_spec(job_id=i) for i in range(3)]
+        few = srpt_relaxation_lower_bound(specs, 2)
+        many = srpt_relaxation_lower_bound(specs, 20)
+        assert few == pytest.approx(10 * many)
+
+    def test_weighted_lower_bound_is_max_of_components(self):
+        specs = [make_spec(job_id=i) for i in range(3)]
+        combined = weighted_flowtime_lower_bound(specs, 2)
+        serial = sum(s.weight * serial_phase_lower_bound(s) for s in specs)
+        relaxation = srpt_relaxation_lower_bound(specs, 2)
+        assert combined == pytest.approx(max(serial, relaxation))
+
+    def test_empirical_competitive_ratio(self):
+        specs = [make_spec(job_id=i) for i in range(2)]
+        lower = weighted_flowtime_lower_bound(specs, 4)
+        assert empirical_competitive_ratio(2.0 * lower, specs, 4) == pytest.approx(2.0)
+
+    def test_empirical_competitive_ratio_validation(self):
+        specs = [make_spec()]
+        with pytest.raises(ValueError):
+            empirical_competitive_ratio(-1.0, specs, 4)
+
+    def test_srpt_relaxation_validation(self):
+        with pytest.raises(ValueError):
+            srpt_relaxation_lower_bound([make_spec()], 0)
+
+
+class TestOnlineBound:
+    def test_formula(self):
+        assert online_competitive_bound(0.5, max_copies=2) == pytest.approx(
+            (2 + 1 + 0.5) / 0.25
+        )
+
+    def test_decreasing_in_epsilon(self):
+        assert online_competitive_bound(0.9) < online_competitive_bound(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            online_competitive_bound(0.0)
+        with pytest.raises(ValueError):
+            online_competitive_bound(1.0)
+        with pytest.raises(ValueError):
+            online_competitive_bound(0.5, max_copies=0)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.scale == 0.02
+        assert args.seeds == [0, 1]
+        assert args.epsilon == 0.6
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["figure6", "--scale", "0.01", "--seeds", "3", "4", "--epsilon", "0.4",
+             "--r", "2", "--machines", "99"]
+        )
+        assert args.scale == 0.01
+        assert args.seeds == [3, 4]
+        assert args.epsilon == 0.4
+        assert args.r == 2.0
+        assert args.machines == 99
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+
+class TestMain:
+    def test_table2_prints_report(self, capsys):
+        exit_code = main(["table2", "--scale", "0.005", "--seeds", "0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table II" in output
+
+    def test_offline_bound_prints_report(self, capsys):
+        exit_code = main(["offline-bound", "--scale", "0.005", "--seeds", "0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "competitive ratio" in output
+
+    def test_figure6_prints_comparison(self, capsys):
+        exit_code = main(["figure6", "--scale", "0.005", "--seeds", "0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "SRPTMS+C" in output and "Mantri" in output

@@ -1,0 +1,209 @@
+"""Unit tests for the cluster substrate: machines, occupancy state, stragglers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.cluster.state import ClusterState
+from repro.cluster.stragglers import (
+    NoStragglers,
+    ParetoTailInflation,
+    ProbabilisticSlowdown,
+    SlowMachines,
+)
+from repro.workload.distributions import Deterministic
+from repro.workload.job import Job, JobSpec, Phase, TaskCopy
+
+
+def make_job(maps: int = 2, reduces: int = 1) -> Job:
+    spec = JobSpec(
+        job_id=0,
+        arrival_time=0.0,
+        weight=1.0,
+        num_map_tasks=maps,
+        num_reduce_tasks=reduces,
+        map_duration=Deterministic(10.0),
+        reduce_duration=Deterministic(5.0),
+    )
+    return Job.from_spec(spec)
+
+
+def make_copy(task, machine_id: int, copy_id: int = 0) -> TaskCopy:
+    copy = TaskCopy(
+        copy_id=copy_id,
+        task=task,
+        machine_id=machine_id,
+        launch_time=0.0,
+        workload=10.0,
+    )
+    task.add_copy(copy)
+    return copy
+
+
+class TestMachine:
+    def test_assign_and_release(self):
+        machine = Machine(machine_id=0)
+        job = make_job()
+        copy = make_copy(job.map_tasks[0], 0)
+        machine.assign(copy)
+        assert not machine.is_free
+        assert machine.copies_hosted == 1
+        released = machine.release(elapsed=4.0)
+        assert released is copy
+        assert machine.is_free
+        assert machine.busy_time == 4.0
+
+    def test_double_assign_rejected(self):
+        machine = Machine(machine_id=0)
+        job = make_job()
+        machine.assign(make_copy(job.map_tasks[0], 0))
+        with pytest.raises(ValueError):
+            machine.assign(make_copy(job.map_tasks[1], 0, copy_id=1))
+
+    def test_release_free_machine_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(machine_id=0).release()
+
+    def test_release_rejects_negative_elapsed(self):
+        machine = Machine(machine_id=0)
+        job = make_job()
+        machine.assign(make_copy(job.map_tasks[0], 0))
+        with pytest.raises(ValueError):
+            machine.release(elapsed=-1.0)
+
+    def test_processing_time_scales_with_speed(self):
+        assert Machine(machine_id=0, speed=2.0).processing_time(10.0) == 5.0
+        with pytest.raises(ValueError):
+            Machine(machine_id=0).processing_time(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Machine(machine_id=-1)
+        with pytest.raises(ValueError):
+            Machine(machine_id=0, speed=0.0)
+
+
+class TestClusterState:
+    def test_initial_state(self):
+        cluster = ClusterState(4)
+        assert cluster.num_machines == 4
+        assert cluster.num_free == 4
+        assert cluster.num_busy == 0
+        assert cluster.utilization == 0.0
+        assert cluster.has_free_machine()
+
+    def test_place_and_release_cycle(self):
+        cluster = ClusterState(2)
+        job = make_job()
+        machine_id = cluster.peek_free_machine()
+        copy = make_copy(job.map_tasks[0], machine_id)
+        cluster.place(copy)
+        assert cluster.num_busy == 1
+        assert cluster.num_running(Phase.MAP) == 1
+        assert cluster.num_running(Phase.REDUCE) == 0
+        assert cluster.machine_of(copy) == machine_id
+        cluster.check_invariants()
+        cluster.release(copy, elapsed=3.0)
+        assert cluster.num_free == 2
+        assert cluster.num_running(Phase.MAP) == 0
+        assert cluster.machine_of(copy) is None
+        cluster.check_invariants()
+
+    def test_place_requires_peeked_machine(self):
+        cluster = ClusterState(2)
+        job = make_job()
+        wrong_id = (cluster.peek_free_machine() + 1) % 2
+        copy = make_copy(job.map_tasks[0], wrong_id)
+        with pytest.raises(ValueError):
+            cluster.place(copy)
+        # The free machine must not have been consumed by the failed attempt.
+        assert cluster.num_free == 2
+
+    def test_place_fails_when_full(self):
+        cluster = ClusterState(1)
+        job = make_job()
+        copy = make_copy(job.map_tasks[0], cluster.peek_free_machine())
+        cluster.place(copy)
+        with pytest.raises(ValueError):
+            cluster.place(make_copy(job.map_tasks[1], 0, copy_id=1))
+
+    def test_release_unplaced_copy_rejected(self):
+        cluster = ClusterState(1)
+        job = make_job()
+        copy = make_copy(job.map_tasks[0], 0)
+        with pytest.raises(ValueError):
+            cluster.release(copy)
+
+    def test_phase_counts_track_reduce_copies(self):
+        cluster = ClusterState(2)
+        job = make_job()
+        map_copy = make_copy(job.map_tasks[0], cluster.peek_free_machine())
+        cluster.place(map_copy)
+        reduce_copy = make_copy(job.reduce_tasks[0], cluster.peek_free_machine(), 1)
+        cluster.place(reduce_copy)
+        assert cluster.num_running(Phase.MAP) == 1
+        assert cluster.num_running(Phase.REDUCE) == 1
+        assert not cluster.has_free_machine()
+        assert cluster.peek_free_machine() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterState(0)
+        with pytest.raises(ValueError):
+            ClusterState(1, machine_speed=0.0)
+
+
+class TestStragglerModels:
+    def test_no_stragglers_identity(self, rng):
+        assert NoStragglers().inflate(10.0, 0, rng) == 10.0
+
+    def test_probabilistic_slowdown_always(self, rng):
+        model = ProbabilisticSlowdown(probability=1.0, factor=3.0)
+        assert model.inflate(10.0, 0, rng) == 30.0
+
+    def test_probabilistic_slowdown_never(self, rng):
+        model = ProbabilisticSlowdown(probability=0.0, factor=3.0)
+        assert model.inflate(10.0, 0, rng) == 10.0
+
+    def test_probabilistic_slowdown_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticSlowdown(1.5, 2.0)
+        with pytest.raises(ValueError):
+            ProbabilisticSlowdown(0.5, 0.5)
+
+    def test_slow_machines_requires_prepare(self, rng):
+        model = SlowMachines(fraction=0.5, factor=2.0)
+        with pytest.raises(RuntimeError):
+            model.inflate(10.0, 0, rng)
+
+    def test_slow_machines_inflates_only_selected(self, rng):
+        model = SlowMachines(fraction=0.5, factor=2.0)
+        model.prepare(num_machines=10, rng=rng)
+        slow = model.slow_machines
+        assert len(slow) == 5
+        slow_id = next(iter(slow))
+        fast_id = next(m for m in range(10) if m not in slow)
+        assert model.inflate(10.0, slow_id, rng) == 20.0
+        assert model.inflate(10.0, fast_id, rng) == 10.0
+
+    def test_slow_machines_validation(self, rng):
+        with pytest.raises(ValueError):
+            SlowMachines(2.0, 2.0)
+        with pytest.raises(ValueError):
+            SlowMachines(0.5, 0.9)
+        with pytest.raises(ValueError):
+            SlowMachines(0.5, 2.0).prepare(0, rng)
+
+    def test_pareto_tail_inflation_bounds(self, rng):
+        model = ParetoTailInflation(alpha=1.1, cap=5.0)
+        values = [model.inflate(10.0, 0, rng) for _ in range(500)]
+        assert all(10.0 <= value <= 50.0 for value in values)
+        assert max(values) > 10.0
+
+    def test_pareto_tail_validation(self):
+        with pytest.raises(ValueError):
+            ParetoTailInflation(alpha=0.0)
+        with pytest.raises(ValueError):
+            ParetoTailInflation(alpha=1.0, cap=0.5)

@@ -1,0 +1,138 @@
+"""Unit tests for effective workloads (Eqs. 2-4), f_i^s and SRPT priorities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.effective_workload import (
+    accumulated_higher_priority_workload,
+    effective_task_workload,
+    remaining_effective_workload,
+    total_effective_workload,
+)
+from repro.core.priority import (
+    offline_priority,
+    online_priority,
+    sort_jobs_by_remaining_priority,
+    sort_specs_by_priority,
+    srpt_priority,
+)
+from repro.workload.distributions import Deterministic, LogNormal
+from repro.workload.job import Job, JobSpec, TaskCopy
+
+
+def make_spec(job_id=0, weight=1.0, maps=2, reduces=1, mean=10.0, std=0.0) -> JobSpec:
+    duration = Deterministic(mean) if std == 0 else LogNormal(mean, std)
+    return JobSpec(
+        job_id=job_id,
+        arrival_time=0.0,
+        weight=weight,
+        num_map_tasks=maps,
+        num_reduce_tasks=reduces,
+        map_duration=duration,
+        reduce_duration=duration,
+    )
+
+
+class TestEffectiveTaskWorkload:
+    def test_formula(self):
+        assert effective_task_workload(10.0, 2.0, 3.0) == pytest.approx(16.0)
+
+    def test_r_zero(self):
+        assert effective_task_workload(10.0, 100.0, 0.0) == 10.0
+
+    @pytest.mark.parametrize("mean,std,r", [(-1, 0, 0), (1, -1, 0), (1, 0, -1)])
+    def test_validation(self, mean, std, r):
+        with pytest.raises(ValueError):
+            effective_task_workload(mean, std, r)
+
+
+class TestTotalAndRemainingWorkload:
+    def test_total_matches_spec_method(self):
+        spec = make_spec(maps=3, reduces=2, mean=10.0, std=2.0)
+        assert total_effective_workload(spec, 3.0) == pytest.approx(
+            spec.effective_workload(3.0)
+        )
+
+    def test_remaining_shrinks_as_tasks_are_scheduled(self):
+        spec = make_spec(maps=2, reduces=1, mean=10.0)
+        job = Job.from_spec(spec)
+        before = remaining_effective_workload(job, 0.0)
+        copy = TaskCopy(copy_id=0, task=job.map_tasks[0], machine_id=0,
+                        launch_time=0.0, workload=10.0)
+        job.map_tasks[0].add_copy(copy)
+        after = remaining_effective_workload(job, 0.0)
+        assert after == pytest.approx(before - 10.0)
+
+
+class TestAccumulatedWorkload:
+    def test_single_job_counts_itself(self):
+        spec = make_spec(job_id=0, maps=2, reduces=1, mean=10.0)
+        accumulated = accumulated_higher_priority_workload([spec], 0.0)
+        assert accumulated[0] == pytest.approx(30.0)
+
+    def test_ordering_by_priority(self):
+        # Job 0: phi=30 weight=1 -> priority 1/30.  Job 1: phi=10*11=110...
+        small = make_spec(job_id=0, weight=1.0, maps=2, reduces=1)   # phi = 30
+        large = make_spec(job_id=1, weight=1.0, maps=9, reduces=2)   # phi = 110
+        accumulated = accumulated_higher_priority_workload([small, large], 0.0)
+        assert accumulated[0] == pytest.approx(30.0)
+        assert accumulated[1] == pytest.approx(140.0)
+
+    def test_weights_change_the_order(self):
+        small = make_spec(job_id=0, weight=1.0, maps=2, reduces=1)   # prio 1/30
+        large = make_spec(job_id=1, weight=10.0, maps=9, reduces=2)  # prio 10/110
+        accumulated = accumulated_higher_priority_workload([small, large], 0.0)
+        # The weighted large job now has higher priority than the small one.
+        assert accumulated[1] == pytest.approx(110.0)
+        assert accumulated[0] == pytest.approx(140.0)
+
+    def test_ties_count_each_other(self):
+        a = make_spec(job_id=0, maps=2, reduces=1)
+        b = make_spec(job_id=1, maps=2, reduces=1)
+        accumulated = accumulated_higher_priority_workload([a, b], 0.0)
+        assert accumulated[0] == accumulated[1] == pytest.approx(60.0)
+
+    def test_r_increases_accumulated_workload(self):
+        spec = make_spec(job_id=0, mean=10.0, std=2.0)
+        low = accumulated_higher_priority_workload([spec], 0.0)[0]
+        high = accumulated_higher_priority_workload([spec], 3.0)[0]
+        assert high > low
+
+
+class TestPriorities:
+    def test_srpt_priority_formula(self):
+        assert srpt_priority(2.0, 10.0) == pytest.approx(0.2)
+
+    def test_srpt_priority_zero_workload_is_infinite(self):
+        assert srpt_priority(1.0, 0.0) == float("inf")
+
+    def test_srpt_priority_validation(self):
+        with pytest.raises(ValueError):
+            srpt_priority(0.0, 1.0)
+        with pytest.raises(ValueError):
+            srpt_priority(1.0, -1.0)
+
+    def test_offline_priority_prefers_small_jobs(self):
+        small = make_spec(job_id=0, maps=1, reduces=0)
+        large = make_spec(job_id=1, maps=10, reduces=0)
+        assert offline_priority(small, 0.0) > offline_priority(large, 0.0)
+
+    def test_online_priority_rises_as_job_progresses(self):
+        job = Job.from_spec(make_spec(maps=3, reduces=1))
+        before = online_priority(job, 0.0)
+        copy = TaskCopy(copy_id=0, task=job.map_tasks[0], machine_id=0,
+                        launch_time=0.0, workload=10.0)
+        job.map_tasks[0].add_copy(copy)
+        assert online_priority(job, 0.0) > before
+
+    def test_sort_specs_by_priority(self):
+        small = make_spec(job_id=5, maps=1, reduces=0)
+        large = make_spec(job_id=3, maps=20, reduces=0)
+        ordered = sort_specs_by_priority([large, small], 0.0)
+        assert [spec.job_id for spec in ordered] == [5, 3]
+
+    def test_sort_jobs_breaks_ties_by_id(self):
+        jobs = [Job.from_spec(make_spec(job_id=i)) for i in (4, 2, 9)]
+        ordered = sort_jobs_by_remaining_priority(jobs, 0.0)
+        assert [job.job_id for job in ordered] == [2, 4, 9]

@@ -1,0 +1,168 @@
+"""Tests for the experiment harness (smoke-scale runs of every table/figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_offline_bound,
+    run_scheduler_comparison,
+    run_table2,
+)
+from repro.experiments.report import render_key_values, render_sweep_table
+
+
+@pytest.fixture(scope="module")
+def smoke_config() -> ExperimentConfig:
+    return ExperimentConfig.smoke()
+
+
+@pytest.fixture(scope="module")
+def comparison(smoke_config):
+    """One shared scheduler-comparison run reused by the figure 4/5/6 tests."""
+    return run_scheduler_comparison(smoke_config)
+
+
+class TestConfig:
+    def test_presets(self):
+        assert ExperimentConfig.smoke().scale < ExperimentConfig.default_bench().scale
+        full = ExperimentConfig.paper_full_scale()
+        assert full.scale == 1.0
+        assert len(full.seeds) == 10
+        assert full.machines == 12000
+
+    def test_machines_derived_from_scale(self):
+        assert ExperimentConfig(scale=0.5).machines == 6000
+        assert ExperimentConfig(scale=0.5, num_machines=123).machines == 123
+
+    def test_with_overrides(self):
+        config = ExperimentConfig.smoke().with_overrides(epsilon=0.3)
+        assert config.epsilon == 0.3
+        assert config.scale == ExperimentConfig.smoke().scale
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(seeds=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(r=-1.0)
+
+    def test_make_trace_is_reproducible(self, smoke_config):
+        a = smoke_config.make_trace()
+        b = smoke_config.make_trace()
+        assert [s.total_tasks for s in a] == [s.total_tasks for s in b]
+
+
+class TestReportHelpers:
+    def test_render_sweep_table(self):
+        text = render_sweep_table("x", [1, 2], {"y": [10.0, 20.0]}, title="T")
+        assert "T" in text and "10.0" in text and "20.0" in text
+
+    def test_render_sweep_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_sweep_table("x", [1, 2], {"y": [1.0]})
+
+    def test_render_key_values(self):
+        text = render_key_values({"a": 1, "bb": 2}, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "bb" in text
+
+
+class TestTable2:
+    def test_statistics_and_render(self, smoke_config):
+        result = run_table2(smoke_config)
+        assert result.statistics.total_jobs == smoke_config.trace_config().effective_num_jobs
+        text = result.render()
+        assert "Table II" in text
+        assert "Average task duration" in text
+
+
+class TestSweeps:
+    def test_figure1_structure(self, smoke_config):
+        result = run_figure1(smoke_config, epsilons=(0.3, 0.6, 1.0))
+        assert len(result.mean_flowtimes) == 3
+        assert result.best_epsilon_unweighted in (0.3, 0.6, 1.0)
+        assert "Figure 1" in result.render()
+
+    def test_figure1_rejects_empty_sweep(self, smoke_config):
+        with pytest.raises(ValueError):
+            run_figure1(smoke_config, epsilons=())
+
+    def test_figure2_structure(self, smoke_config):
+        result = run_figure2(smoke_config, r_values=(0.0, 3.0))
+        assert len(result.mean_flowtimes) == 2
+        assert result.relative_spread_unweighted >= 0.0
+        assert "Figure 2" in result.render()
+
+    def test_figure3_structure(self, smoke_config):
+        result = run_figure3(smoke_config, machine_fractions=(0.5, 1.0))
+        assert len(result.machine_counts) == 2
+        assert result.machine_counts[0] < result.machine_counts[1]
+        assert result.knee_machine_count in result.machine_counts
+        assert "Figure 3" in result.render()
+
+    def test_figure3_more_machines_never_hurt_much(self, smoke_config):
+        result = run_figure3(smoke_config, machine_fractions=(0.5, 1.0))
+        # Doubling the cluster should not increase mean flowtime by >20%.
+        assert result.mean_flowtimes[1] <= 1.2 * result.mean_flowtimes[0]
+
+    def test_figure3_validation(self, smoke_config):
+        with pytest.raises(ValueError):
+            run_figure3(smoke_config, machine_fractions=())
+        with pytest.raises(ValueError):
+            run_figure3(smoke_config, machine_fractions=(0.0,))
+
+
+class TestComparisonFigures:
+    def test_comparison_contains_three_policies(self, comparison):
+        assert set(comparison) == {"SRPTMS+C", "SCA", "Mantri"}
+
+    def test_scheduler_subset_and_unknown(self, smoke_config):
+        subset = run_scheduler_comparison(smoke_config, schedulers=("SRPTMS+C",))
+        assert set(subset) == {"SRPTMS+C"}
+        with pytest.raises(ValueError):
+            run_scheduler_comparison(smoke_config, schedulers=("nope",))
+
+    def test_figure4_curves(self, smoke_config, comparison):
+        result = run_figure4(smoke_config, results=comparison)
+        assert set(result.curves) == {"SRPTMS+C", "SCA", "Mantri"}
+        for curve in result.curves.values():
+            assert len(curve) == len(result.points)
+            assert all(0.0 <= value <= 1.0 for value in curve)
+        assert "Figure 4" in result.render()
+
+    def test_figure5_curves(self, smoke_config, comparison):
+        result = run_figure5(smoke_config, results=comparison)
+        assert result.points[-1] == 4000.0
+        assert "Figure 5" in result.render()
+        for name in result.curves:
+            assert result.fraction_within(name, 4000.0) >= result.fraction_within(
+                name, 500.0
+            )
+
+    def test_figure6_table(self, smoke_config, comparison):
+        result = run_figure6(smoke_config, results=comparison)
+        text = result.render()
+        assert "SRPTMS+C" in text and "Mantri" in text
+        # The improvement is a finite percentage (sign depends on noise at
+        # smoke scale; the benchmark suite checks the sign at larger scale).
+        assert isinstance(result.improvement_over_baseline(), float)
+
+
+class TestOfflineBound:
+    def test_reports(self, smoke_config):
+        result = run_offline_bound(smoke_config)
+        assert result.deterministic.fraction_satisfying_bound == 1.0
+        assert result.deterministic.empirical_competitive_ratio <= 2.0
+        assert result.noisy.num_jobs == result.deterministic.num_jobs
+        assert "Remark 2" in result.render() or "deterministic" in result.render()

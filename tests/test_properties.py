@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import fractional_shares, integer_shares
+from repro.core.bounds import theorem1_probability, lemma1_probability
+from repro.core.effective_workload import (
+    accumulated_higher_priority_workload,
+    total_effective_workload,
+)
+from repro.core.speedup import LogSpeedup, ParetoSpeedup, PowerSpeedup
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.simulation.engine import SimulationEngine
+from repro.workload.distributions import BoundedPareto, LogNormal
+from repro.workload.job import JobSpec
+from repro.workload.trace import Trace
+
+
+# --------------------------------------------------------------------------- strategies
+
+positive_weights = st.floats(min_value=0.1, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def job_weight_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [(i, draw(positive_weights)) for i in range(n)]
+
+
+@st.composite
+def job_spec_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    for i in range(n):
+        mean = draw(st.floats(min_value=1.0, max_value=50.0))
+        cv = draw(st.floats(min_value=0.0, max_value=1.0))
+        duration = LogNormal(mean, cv * mean) if cv > 0 else LogNormal(mean, 0.0)
+        specs.append(
+            JobSpec(
+                job_id=i,
+                arrival_time=draw(st.floats(min_value=0.0, max_value=30.0)),
+                weight=draw(st.floats(min_value=0.5, max_value=10.0)),
+                num_map_tasks=draw(st.integers(min_value=1, max_value=6)),
+                num_reduce_tasks=draw(st.integers(min_value=0, max_value=3)),
+                map_duration=duration,
+                reduce_duration=duration,
+            )
+        )
+    return specs
+
+
+# --------------------------------------------------------------------------- allocation
+
+class TestAllocationProperties:
+    @given(pairs=job_weight_lists(),
+           machines=st.integers(min_value=1, max_value=500),
+           epsilon=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fractional_shares_sum_to_m_and_are_nonnegative(self, pairs, machines,
+                                                            epsilon):
+        shares = fractional_shares(pairs, machines, epsilon)
+        assert all(share >= -1e-9 for share in shares.values())
+        assert sum(shares.values()) == pytest.approx(machines, rel=1e-6)
+
+    @given(pairs=job_weight_lists(),
+           machines=st.integers(min_value=1, max_value=500),
+           epsilon=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_integer_shares_sum_to_m(self, pairs, machines, epsilon):
+        fractional = fractional_shares(pairs, machines, epsilon)
+        order = [job_id for job_id, _ in pairs]
+        integers = integer_shares(fractional, order, machines)
+        assert sum(integers.values()) == machines
+        assert all(value >= 0 for value in integers.values())
+
+    @given(pairs=job_weight_lists(), machines=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_epsilon_one_is_weight_proportional(self, pairs, machines):
+        shares = fractional_shares(pairs, machines, 1.0)
+        total_weight = sum(weight for _, weight in pairs)
+        for job_id, weight in pairs:
+            assert shares[job_id] == pytest.approx(
+                machines * weight / total_weight, rel=1e-6
+            )
+
+    @given(pairs=job_weight_lists(),
+           machines=st.integers(min_value=1, max_value=200),
+           epsilon=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_higher_priority_jobs_never_get_less_per_weight(self, pairs, machines,
+                                                            epsilon):
+        shares = fractional_shares(pairs, machines, epsilon)
+        per_weight = [shares[job_id] / weight for job_id, weight in pairs]
+        # Walking down the priority order, the share per unit weight never
+        # increases (top jobs are served first).
+        for earlier, later in zip(per_weight, per_weight[1:]):
+            assert later <= earlier + 1e-9
+
+
+# --------------------------------------------------------------------------- speedup
+
+class TestSpeedupProperties:
+    @given(alpha=st.floats(min_value=1.5, max_value=10.0),
+           x=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=80, deadline=None)
+    def test_pareto_speedup_bounds(self, alpha, x):
+        # alpha >= 1.5 is the regime where the paper's s(x) <= x holds.
+        speedup = ParetoSpeedup(alpha=alpha)
+        value = speedup(x)
+        assert 1.0 - 1e-12 <= value <= x + 1e-9
+        # Monotone in x.
+        assert speedup(x + 1) >= value - 1e-12
+
+    @given(alpha=st.floats(min_value=1.05, max_value=1.45),
+           x=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_speedup_stays_concave_below_threshold(self, alpha, x):
+        # Below alpha = 1.5 the s(x) <= x property can fail (documented
+        # paper subtlety) but monotonicity and s(1) = 1 still hold.
+        speedup = ParetoSpeedup(alpha=alpha)
+        assert speedup(1) == pytest.approx(1.0)
+        assert speedup(x + 1) >= speedup(x) - 1e-12
+
+    @given(beta=st.floats(min_value=0.05, max_value=1.0),
+           x=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_power_speedup_bounds(self, beta, x):
+        value = PowerSpeedup(beta=beta)(x)
+        assert 1.0 - 1e-12 <= value <= x + 1e-9
+
+    @given(scale=st.floats(min_value=0.05, max_value=1.0),
+           x=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_log_speedup_bounds(self, scale, x):
+        value = LogSpeedup(scale=scale)(x)
+        assert 1.0 - 1e-12 <= value <= x + 1e-9
+
+
+# --------------------------------------------------------------------------- distributions
+
+class TestDistributionProperties:
+    @given(minimum=st.floats(min_value=0.5, max_value=50.0),
+           ratio=st.floats(min_value=1.5, max_value=100.0),
+           alpha=st.floats(min_value=0.3, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_pareto_mean_inside_support(self, minimum, ratio, alpha):
+        dist = BoundedPareto(minimum, minimum * ratio, alpha)
+        assert minimum <= dist.mean <= minimum * ratio
+        assert dist.std >= 0
+
+    @given(mean=st.floats(min_value=0.5, max_value=1000.0),
+           cv=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_lognormal_reports_requested_moments(self, mean, cv):
+        dist = LogNormal(mean, cv * mean)
+        assert dist.mean == pytest.approx(mean)
+        assert dist.std == pytest.approx(cv * mean)
+
+    @given(minimum=st.floats(min_value=0.5, max_value=20.0),
+           ratio=st.floats(min_value=1.5, max_value=50.0),
+           alpha=st.floats(min_value=0.3, max_value=4.0),
+           u=st.lists(st.floats(min_value=0.0, max_value=0.999), min_size=2,
+                      max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_pareto_quantile_monotone(self, minimum, ratio, alpha, u):
+        dist = BoundedPareto(minimum, minimum * ratio, alpha)
+        ordered = sorted(u)
+        values = dist.quantile(np.array(ordered))
+        assert np.all(np.diff(values) >= -1e-9)
+
+
+# --------------------------------------------------------------------------- theory
+
+class TestTheoryProperties:
+    @given(r=st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_valid_and_ordered(self, r):
+        lemma = lemma1_probability(r)
+        theorem = theorem1_probability(r)
+        assert 0.0 <= theorem <= lemma <= 1.0
+
+    @given(specs=job_spec_lists(), r=st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_accumulated_workload_dominates_own_workload(self, specs, r):
+        accumulated = accumulated_higher_priority_workload(specs, r)
+        total = sum(total_effective_workload(spec, r) for spec in specs)
+        for spec in specs:
+            own = total_effective_workload(spec, r)
+            assert accumulated[spec.job_id] >= own - 1e-9
+            assert accumulated[spec.job_id] <= total + 1e-9
+
+
+# --------------------------------------------------------------------------- simulation
+
+class TestSimulationProperties:
+    @given(specs=job_spec_lists(),
+           machines=st.integers(min_value=1, max_value=20),
+           use_srptms=st.booleans(),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_workloads_complete_with_invariants(self, specs, machines,
+                                                       use_srptms, seed):
+        trace = Trace(specs)
+        scheduler = (
+            SRPTMSCScheduler(epsilon=0.6, r=1.0) if use_srptms else FIFOScheduler()
+        )
+        engine = SimulationEngine(trace, scheduler, num_machines=machines,
+                                  seed=seed, check_invariants=True)
+        result = engine.run()
+        assert result.num_jobs == len(specs)
+        assert engine.cluster.num_free == machines
+        assert result.over_requests == 0
+        for record in result.records:
+            assert record.completion_time >= record.arrival_time
+        # Conservation: useful work equals the sum of winning-copy durations.
+        winning = sum(
+            copy.finish_time - copy.start_time
+            for job in engine._jobs
+            for task in job.all_tasks()
+            for copy in task.copies
+            if copy.is_finished
+        )
+        assert result.useful_work == pytest.approx(winning)

@@ -1,0 +1,140 @@
+"""Unit tests for the speedup functions of Section III-A."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.speedup import (
+    CappedLinearSpeedup,
+    LogSpeedup,
+    NoSpeedup,
+    ParetoSpeedup,
+    PowerSpeedup,
+    check_speedup_properties,
+)
+
+STRICT_SPEEDUPS = [
+    ParetoSpeedup(alpha=1.5),
+    ParetoSpeedup(alpha=2.0),
+    ParetoSpeedup(alpha=4.0),
+    PowerSpeedup(beta=0.5),
+    PowerSpeedup(beta=1.0),
+    LogSpeedup(scale=1.0),
+    LogSpeedup(scale=0.5),
+]
+VALID_SPEEDUPS = STRICT_SPEEDUPS + [CappedLinearSpeedup(cap=3.0)]
+
+
+class TestPaperProperties:
+    @pytest.mark.parametrize("speedup", STRICT_SPEEDUPS, ids=repr)
+    def test_satisfies_both_paper_properties(self, speedup):
+        check_speedup_properties(speedup)
+
+    def test_capped_linear_is_concave_but_not_strictly_increasing(self):
+        # Flat beyond the cap: valid as a concave model, fails strictness.
+        check_speedup_properties(
+            CappedLinearSpeedup(cap=3.0), require_strictly_increasing=False
+        )
+        with pytest.raises(AssertionError):
+            check_speedup_properties(CappedLinearSpeedup(cap=3.0))
+
+    @pytest.mark.parametrize("speedup", VALID_SPEEDUPS, ids=repr)
+    def test_one_copy_gives_no_speedup(self, speedup):
+        assert speedup(1) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("speedup", VALID_SPEEDUPS, ids=repr)
+    def test_speedup_never_exceeds_copy_count(self, speedup):
+        for x in range(1, 20):
+            assert speedup(x) <= x + 1e-9
+
+    def test_no_speedup_fails_strict_increase(self):
+        with pytest.raises(AssertionError):
+            check_speedup_properties(NoSpeedup())
+        # It is still a valid non-increasing degenerate model.
+        check_speedup_properties(NoSpeedup(), require_strictly_increasing=False)
+
+
+class TestParetoSpeedup:
+    def test_closed_form(self):
+        speedup = ParetoSpeedup(alpha=2.0)
+        # s(r) = (r*alpha - 1) / (r*(alpha-1)) with alpha=2: s(2) = 3/2.
+        assert speedup(2) == pytest.approx(1.5)
+        assert speedup(4) == pytest.approx(7.0 / 4.0)
+
+    def test_asymptote_is_alpha_over_alpha_minus_one(self):
+        speedup = ParetoSpeedup(alpha=2.0)
+        assert speedup(10_000) == pytest.approx(2.0, rel=1e-3)
+
+    def test_requires_alpha_above_one(self):
+        with pytest.raises(ValueError):
+            ParetoSpeedup(alpha=1.0)
+        with pytest.raises(ValueError):
+            ParetoSpeedup(alpha=0.5)
+
+    def test_rejects_copy_count_below_one(self):
+        with pytest.raises(ValueError):
+            ParetoSpeedup(alpha=2.0)(0.5)
+
+
+class TestOtherFamilies:
+    def test_power_speedup_values(self):
+        assert PowerSpeedup(beta=0.5)(4) == pytest.approx(2.0)
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            PowerSpeedup(beta=0.0)
+        with pytest.raises(ValueError):
+            PowerSpeedup(beta=1.2)
+
+    def test_log_speedup_values(self):
+        speedup = LogSpeedup(scale=1.0)
+        assert speedup(1) == 1.0
+        assert speedup(2) == pytest.approx(1.6931, rel=1e-3)
+
+    def test_log_validation(self):
+        with pytest.raises(ValueError):
+            LogSpeedup(scale=0.0)
+        with pytest.raises(ValueError):
+            LogSpeedup(scale=1.5)
+
+    def test_capped_linear_values(self):
+        speedup = CappedLinearSpeedup(cap=3.0)
+        assert speedup(2) == 2.0
+        assert speedup(5) == 3.0
+
+    def test_capped_linear_validation(self):
+        with pytest.raises(ValueError):
+            CappedLinearSpeedup(cap=0.5)
+
+    def test_no_speedup_is_always_one(self):
+        speedup = NoSpeedup()
+        assert speedup(1) == 1.0
+        assert speedup(50) == 1.0
+        with pytest.raises(ValueError):
+            speedup(0)
+
+
+class TestDerivedQuantities:
+    def test_expected_duration_divides_by_speedup(self):
+        speedup = ParetoSpeedup(alpha=2.0)
+        assert speedup.expected_duration(30.0, 2) == pytest.approx(20.0)
+
+    def test_expected_duration_validation(self):
+        speedup = ParetoSpeedup(alpha=2.0)
+        with pytest.raises(ValueError):
+            speedup.expected_duration(0.0, 2)
+        with pytest.raises(ValueError):
+            speedup.expected_duration(10.0, 0)
+
+    def test_marginal_gain_is_positive_and_decreasing(self):
+        speedup = ParetoSpeedup(alpha=2.0)
+        gains = [speedup.marginal_gain(100.0, copies) for copies in range(1, 8)]
+        assert all(gain > 0 for gain in gains)
+        assert gains == sorted(gains, reverse=True)
+
+    def test_no_speedup_has_zero_marginal_gain(self):
+        assert NoSpeedup().marginal_gain(100.0, 1) == 0.0
+
+    def test_check_properties_validation(self):
+        with pytest.raises(ValueError):
+            check_speedup_properties(ParetoSpeedup(2.0), max_copies=1)
