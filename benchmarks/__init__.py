@@ -1,0 +1,7 @@
+"""Benchmark suite regenerating the paper's tables and figures.
+
+This file makes ``benchmarks/`` a proper package so that the benchmark
+modules' ``from .conftest import ...`` relative imports resolve when pytest
+collects the suite from the repository root (without it, collection fails
+with "attempted relative import with no known parent package").
+"""

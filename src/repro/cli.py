@@ -5,6 +5,7 @@ Examples::
     repro-mapreduce table2
     repro-mapreduce figure1 --scale 0.02 --seeds 0 1
     repro-mapreduce figure6 --scale 0.03
+    repro-mapreduce figure1 --workers 0   # fan replications out over all CPUs
     repro-mapreduce offline-bound
     repro-mapreduce all --scale 0.01
 
@@ -91,7 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the cluster size (default: 12000 * scale)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for replicated sweeps: 1 runs serially, 0 uses "
+            "every CPU; results are identical for any value (default 1)"
+        ),
+    )
     return parser
+
+
+def _workers_from_args(args: argparse.Namespace) -> Optional[int]:
+    if args.workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+    return None if args.workers == 0 else args.workers
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -101,6 +117,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         epsilon=args.epsilon,
         r=args.r,
         num_machines=args.machines,
+        workers=_workers_from_args(args),
     )
 
 

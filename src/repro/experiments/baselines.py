@@ -20,7 +20,8 @@ from repro.schedulers import (
     SCAScheduler,
     SRPTScheduler,
 )
-from repro.simulation.runner import ReplicatedResult, run_replications
+from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
+from repro.simulation.runner import ReplicatedResult
 from repro.simulation.scheduler_api import Scheduler
 from repro.workload.trace import Trace
 
@@ -33,20 +34,24 @@ def scheduler_factories(
     """Factories for the paper's three compared policies (plus extras).
 
     The dictionary order is the order rows appear in reports: the paper's
-    algorithm first, then the two baselines it is compared against.
+    algorithm first, then the two baselines it is compared against.  Every
+    factory is a picklable :class:`SchedulerSpec`, so comparisons can fan
+    out over worker processes.
     """
     factories: Dict[str, Callable[[], Scheduler]] = {
-        "SRPTMS+C": lambda: SRPTMSCScheduler(epsilon=config.epsilon, r=config.r),
-        "SCA": lambda: SCAScheduler(),
-        "Mantri": lambda: MantriScheduler(),
+        "SRPTMS+C": SchedulerSpec(
+            SRPTMSCScheduler, {"epsilon": config.epsilon, "r": config.r}
+        ),
+        "SCA": SchedulerSpec(SCAScheduler),
+        "Mantri": SchedulerSpec(MantriScheduler),
     }
     if include_extra:
         factories.update(
             {
-                "LATE": lambda: LATEScheduler(),
-                "SRPT": lambda: SRPTScheduler(r=config.r),
-                "Fair": lambda: FairScheduler(),
-                "FIFO": lambda: FIFOScheduler(),
+                "LATE": SchedulerSpec(LATEScheduler),
+                "SRPT": SchedulerSpec(SRPTScheduler, {"r": config.r}),
+                "Fair": SchedulerSpec(FairScheduler),
+                "FIFO": SchedulerSpec(FIFOScheduler),
             }
         )
     return factories
@@ -73,19 +78,22 @@ def run_scheduler_comparison(
         Optional subset of policy names to run.
     """
     config = config if config is not None else ExperimentConfig.default_bench()
-    trace = trace if trace is not None else config.make_trace()
+    trace_source = trace if trace is not None else config.trace_source()
     factories = scheduler_factories(config, include_extra=include_extra)
     if schedulers is not None:
         unknown = set(schedulers) - set(factories)
         if unknown:
             raise ValueError(f"unknown scheduler names: {sorted(unknown)}")
         factories = {name: factories[name] for name in schedulers}
-    results: Dict[str, ReplicatedResult] = {}
-    for name, factory in factories.items():
-        results[name] = run_replications(
-            trace,
-            factory,
-            config.machines,
-            seeds=config.seeds,
+    specs = sweep_specs(
+        trace_source,
+        [(name, factory, config.machines) for name, factory in factories.items()],
+        config.seeds,
+    )
+    grouped = config.make_runner().run_grouped(specs)
+    return {
+        name: ReplicatedResult(
+            scheduler_name=runs[0].scheduler_name, results=runs
         )
-    return results
+        for name, runs in grouped.items()
+    }

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+from repro.simulation.experiment_runner import ExperimentRunner, TraceSpec
 from repro.workload.google_trace import (
     GoogleTraceConfig,
     GoogleTraceGenerator,
@@ -21,7 +22,12 @@ from repro.workload.google_trace import (
 )
 from repro.workload.trace import Trace
 
-__all__ = ["ExperimentConfig"]
+__all__ = ["ExperimentConfig", "generate_google_trace"]
+
+
+def generate_google_trace(trace_config: GoogleTraceConfig, seed: int) -> Trace:
+    """Module-level trace factory (picklable by reference for worker processes)."""
+    return GoogleTraceGenerator(trace_config).generate(seed=seed)
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,10 @@ class ExperimentConfig:
         replication seeds only vary the simulated task durations).
     within_job_cv:
         Within-job coefficient of variation of task durations.
+    workers:
+        Worker processes for replicated sweeps: ``1`` runs serially,
+        ``None`` uses every usable CPU.  Results are bit-identical either
+        way (see :mod:`repro.simulation.experiment_runner`).
     """
 
     scale: float = 0.02
@@ -55,6 +65,7 @@ class ExperimentConfig:
     num_machines: Optional[int] = None
     trace_seed: int = 0
     within_job_cv: float = 0.6
+    workers: Optional[int] = 1
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -65,6 +76,8 @@ class ExperimentConfig:
             raise ValueError(f"epsilon must lie in (0, 1], got {self.epsilon}")
         if self.r < 0:
             raise ValueError(f"r must be non-negative, got {self.r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
 
     # -- presets ------------------------------------------------------------------
 
@@ -103,3 +116,14 @@ class ExperimentConfig:
     def make_trace(self) -> Trace:
         """Generate the (deterministic, per ``trace_seed``) synthetic trace."""
         return GoogleTraceGenerator(self.trace_config()).generate(seed=self.trace_seed)
+
+    def trace_source(self) -> TraceSpec:
+        """Picklable recipe for :meth:`make_trace` (workers rebuild + memoise it)."""
+        return TraceSpec(
+            factory=generate_google_trace,
+            kwargs={"trace_config": self.trace_config(), "seed": self.trace_seed},
+        )
+
+    def make_runner(self) -> ExperimentRunner:
+        """The experiment runner this configuration asks for."""
+        return ExperimentRunner(workers=self.workers)

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_sweep_table
-from repro.simulation.runner import ReplicatedResult, run_replications
+from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
+from repro.simulation.runner import ReplicatedResult
 
 __all__ = ["Figure1Result", "run_figure1", "DEFAULT_EPSILONS"]
 
@@ -75,15 +76,25 @@ def run_figure1(
     config = config if config is not None else ExperimentConfig.default_bench()
     if not epsilons:
         raise ValueError("epsilons must not be empty")
-    trace = config.make_trace()
+    specs = sweep_specs(
+        config.trace_source(),
+        [
+            (
+                epsilon,
+                SchedulerSpec(SRPTMSCScheduler, {"epsilon": epsilon, "r": r}),
+                config.machines,
+            )
+            for epsilon in epsilons
+        ],
+        config.seeds,
+    )
+    grouped = config.make_runner().run_grouped(specs)
     means: List[float] = []
     weighted: List[float] = []
     for epsilon in epsilons:
-        replicated: ReplicatedResult = run_replications(
-            trace,
-            lambda eps=epsilon: SRPTMSCScheduler(epsilon=eps, r=r),
-            config.machines,
-            seeds=config.seeds,
+        replicated = ReplicatedResult(
+            scheduler_name=grouped[epsilon][0].scheduler_name,
+            results=grouped[epsilon],
         )
         means.append(replicated.mean_flowtime)
         weighted.append(replicated.weighted_mean_flowtime)

@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_sweep_table
-from repro.simulation.runner import run_replications
+from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
+from repro.simulation.runner import ReplicatedResult
 
 __all__ = ["Figure2Result", "run_figure2", "DEFAULT_R_VALUES"]
 
@@ -82,15 +83,24 @@ def run_figure2(
     config = config if config is not None else ExperimentConfig.default_bench()
     if not r_values:
         raise ValueError("r_values must not be empty")
-    trace = config.make_trace()
+    specs = sweep_specs(
+        config.trace_source(),
+        [
+            (
+                r,
+                SchedulerSpec(SRPTMSCScheduler, {"epsilon": epsilon, "r": r}),
+                config.machines,
+            )
+            for r in r_values
+        ],
+        config.seeds,
+    )
+    grouped = config.make_runner().run_grouped(specs)
     means: List[float] = []
     weighted: List[float] = []
     for r in r_values:
-        replicated = run_replications(
-            trace,
-            lambda r_value=r: SRPTMSCScheduler(epsilon=epsilon, r=r_value),
-            config.machines,
-            seeds=config.seeds,
+        replicated = ReplicatedResult(
+            scheduler_name=grouped[r][0].scheduler_name, results=grouped[r]
         )
         means.append(replicated.mean_flowtime)
         weighted.append(replicated.weighted_mean_flowtime)

@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_sweep_table
-from repro.simulation.runner import run_replications
+from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
+from repro.simulation.runner import ReplicatedResult
 
 __all__ = ["Figure3Result", "run_figure3", "DEFAULT_MACHINE_FRACTIONS"]
 
@@ -79,19 +80,25 @@ def run_figure3(
         raise ValueError("machine_fractions must not be empty")
     if any(fraction <= 0 for fraction in machine_fractions):
         raise ValueError("machine fractions must be positive")
-    trace = config.make_trace()
     full_cluster = config.machines
-    counts: List[int] = []
+    counts: List[int] = [
+        max(1, int(round(full_cluster * fraction))) for fraction in machine_fractions
+    ]
+    scheduler = SchedulerSpec(
+        SRPTMSCScheduler, {"epsilon": config.epsilon, "r": config.r}
+    )
+    # Tag by sweep index: different fractions may round to the same count.
+    specs = sweep_specs(
+        config.trace_source(),
+        [(index, scheduler, machines) for index, machines in enumerate(counts)],
+        config.seeds,
+    )
+    grouped = config.make_runner().run_grouped(specs)
     means: List[float] = []
     weighted: List[float] = []
-    for fraction in machine_fractions:
-        machines = max(1, int(round(full_cluster * fraction)))
-        counts.append(machines)
-        replicated = run_replications(
-            trace,
-            lambda: SRPTMSCScheduler(epsilon=config.epsilon, r=config.r),
-            machines,
-            seeds=config.seeds,
+    for index in range(len(counts)):
+        replicated = ReplicatedResult(
+            scheduler_name=grouped[index][0].scheduler_name, results=grouped[index]
         )
         means.append(replicated.mean_flowtime)
         weighted.append(replicated.weighted_mean_flowtime)

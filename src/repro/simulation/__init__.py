@@ -14,6 +14,14 @@ interface on a cluster of ``M`` machines, honouring the paper's semantics:
 
 from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.events import Event, EventType
+from repro.simulation.experiment_runner import (
+    ExperimentRunner,
+    RunSpec,
+    SchedulerSpec,
+    TraceSpec,
+    default_workers,
+    sweep_specs,
+)
 from repro.simulation.metrics import JobRecord, SimulationResult
 from repro.simulation.runner import (
     ReplicatedResult,
@@ -35,4 +43,10 @@ __all__ = [
     "ReplicatedResult",
     "run_simulation",
     "run_replications",
+    "ExperimentRunner",
+    "RunSpec",
+    "SchedulerSpec",
+    "TraceSpec",
+    "default_workers",
+    "sweep_specs",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +75,11 @@ class SimulationEngine:
         self._heap: List[Event] = []
         self._jobs: List[Job] = [Job.from_spec(spec) for spec in trace]
         self._alive: Dict[int, Job] = {}
+        # Pre-sampled task workloads, one buffer per (job, phase).  Buffers
+        # are filled with a single vectorised RNG call per job phase at
+        # arrival (and refilled in batches when clones exhaust them), which
+        # is far cheaper than one Generator call per copy.
+        self._workload_buffers: Dict[Tuple[int, Phase], List[float]] = {}
         self._completed = 0
         self._next_tick: Optional[float] = None
         self.result = SimulationResult(
@@ -130,7 +135,13 @@ class SimulationEngine:
         heapq.heappush(self._heap, event)
 
     def _pop_simultaneous_events(self) -> Optional[List[Event]]:
-        """Pop every event sharing the earliest timestamp, skipping stale ones."""
+        """Pop every event sharing the earliest timestamp, skipping stale ones.
+
+        Dropping stale completions (clones killed after their finish event
+        was queued) here guarantees every returned batch starts with a live
+        event, so the scheduler is never consulted -- and its view never
+        rebuilt -- for a timestamp at which nothing can change.
+        """
         batch: List[Event] = []
         while self._heap:
             head = self._heap[0]
@@ -141,9 +152,6 @@ class SimulationEngine:
                 self.now = head.time
                 batch.append(heapq.heappop(self._heap))
             elif head.time == self.now:
-                if self._is_stale(head):
-                    heapq.heappop(self._heap)
-                    continue
                 batch.append(heapq.heappop(self._heap))
             else:
                 break
@@ -169,11 +177,36 @@ class SimulationEngine:
 
     def _handle_arrival(self, job: Job) -> None:
         self._alive[job.job_id] = job
+        self._presample_workloads(job)
         self.scheduler.on_job_arrival(job, self.now)
+
+    def _presample_workloads(self, job: Job) -> None:
+        """Draw one workload per task of ``job`` in two vectorised calls."""
+        for phase in (Phase.MAP, Phase.REDUCE):
+            count = job.spec.num_tasks(phase)
+            if count == 0:
+                continue
+            buffer = job.spec.duration(phase).sample(self.rng, count).tolist()
+            # Reversed so pop() consumes values in draw order.
+            buffer.reverse()
+            self._workload_buffers[(job.job_id, phase)] = buffer
+
+    def _next_workload(self, task: Task) -> float:
+        """Next pre-sampled workload for ``task``'s phase (refill on demand)."""
+        key = (task.job.job_id, task.phase)
+        buffer = self._workload_buffers.get(key)
+        if not buffer:
+            # Clones (or relaunches) exhausted the arrival batch; refill
+            # with another phase-sized batch to keep RNG calls rare.
+            count = max(task.job.spec.num_tasks(task.phase), 1)
+            buffer = task.duration_distribution.sample(self.rng, count).tolist()
+            buffer.reverse()
+            self._workload_buffers[key] = buffer
+        return buffer.pop()
 
     def _handle_copy_finish(self, copy: TaskCopy) -> None:
         if not copy.is_active:
-            # Stale event (clone killed after this event was scheduled).
+            # Killed by an earlier event in this same batch.
             return
         task = copy.task
         elapsed = copy.elapsed(self.now)
@@ -210,6 +243,8 @@ class SimulationEngine:
     def _finalize_job(self, job: Job) -> None:
         del self._alive[job.job_id]
         self._completed += 1
+        self._workload_buffers.pop((job.job_id, Phase.MAP), None)
+        self._workload_buffers.pop((job.job_id, Phase.REDUCE), None)
         self.result.add_record(
             JobRecord(
                 job_id=job.job_id,
@@ -259,7 +294,7 @@ class SimulationEngine:
     def _launch_copy(self, task: Task) -> TaskCopy:
         machine_id = self.cluster.peek_free_machine()
         assert machine_id is not None
-        raw_workload = task.duration_distribution.sample_one(self.rng)
+        raw_workload = self._next_workload(task)
         raw_workload = self.straggler_model.inflate(raw_workload, machine_id, self.rng)
         machine = self.cluster.machine(machine_id)
         duration = machine.processing_time(raw_workload)

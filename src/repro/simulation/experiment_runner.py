@@ -1,0 +1,359 @@
+"""Parallel experiment runner: fan replicated sweeps out across processes.
+
+The paper's evaluation protocol (Section VI) repeats every simulation ten
+times per configuration and sweeps epsilon, r and the cluster size --
+hundreds of independent engine runs.  Each run is described by a picklable
+:class:`RunSpec` (trace source + scheduler spec + seed + cluster
+parameters); :class:`ExperimentRunner` executes a batch of specs either
+serially (``workers=1``) or on a ``multiprocessing`` pool, in both cases
+returning results in spec order.
+
+Seeding contract
+----------------
+Every worker builds its *own* trace, scheduler and engine from the spec and
+runs it with the spec's seed, exactly as the serial path does.  All
+randomness inside a run flows from ``numpy.random.default_rng(seed)`` owned
+by the engine, so a run's :class:`~repro.simulation.metrics.SimulationResult`
+is a pure function of its spec -- parallel execution is bit-identical to
+serial execution for the same seeds (only the wall-clock
+``runtime_seconds`` field differs; it is excluded from
+:meth:`SimulationResult.fingerprint`).
+
+Everything a spec carries must be picklable: scheduler *classes* plus
+keyword arguments (:class:`SchedulerSpec`) rather than closures, and either
+a :class:`~repro.workload.trace.Trace` instance or a :class:`TraceSpec`
+naming a module-level factory.  Lambdas work with ``workers=1`` only.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import multiprocessing
+
+from repro.cluster.stragglers import StragglerModel
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.scheduler_api import Scheduler
+from repro.workload.trace import Trace
+
+__all__ = [
+    "SchedulerSpec",
+    "TraceSpec",
+    "RunSpec",
+    "ExperimentRunner",
+    "default_workers",
+    "execute_run_spec",
+    "sweep_specs",
+]
+
+
+def default_workers() -> int:
+    """Number of workers a ``workers=None`` runner uses (the usable CPUs)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """A picklable recipe for constructing a scheduler in a worker process.
+
+    Holds the scheduler *class* (picklable by reference, unlike a lambda
+    closing over parameters) plus its keyword arguments.  Instances are
+    callable so they can stand in anywhere a zero-argument scheduler
+    factory is expected.
+    """
+
+    scheduler_cls: type
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.scheduler_cls, type) and issubclass(self.scheduler_cls, Scheduler)):
+            raise TypeError(
+                f"scheduler_cls must be a Scheduler subclass, got {self.scheduler_cls!r}"
+            )
+
+    def build(self) -> Scheduler:
+        return self.scheduler_cls(**dict(self.kwargs))
+
+    def __call__(self) -> Scheduler:
+        return self.build()
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A picklable recipe for constructing a trace in a worker process.
+
+    ``factory`` must be a module-level callable (picklable by reference);
+    workers call ``factory(**kwargs)``.  Shipping a recipe instead of the
+    trace itself keeps the per-task pickle payload small for large traces
+    and lets workers memoise construction (the factory must be
+    deterministic in its arguments -- true for every generator in
+    :mod:`repro.workload`, which all take explicit seeds).
+    """
+
+    factory: Callable[..., Trace]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Trace:
+        trace = self.factory(**dict(self.kwargs))
+        if not isinstance(trace, Trace):
+            raise TypeError(
+                f"trace factory {self.factory!r} returned {type(trace).__name__}, "
+                "expected a Trace"
+            )
+        return trace
+
+    def cache_key(self) -> str:
+        """Stable per-process memoisation key (factory identity + arguments)."""
+        factory = self.factory
+        name = f"{getattr(factory, '__module__', '?')}.{getattr(factory, '__qualname__', repr(factory))}"
+        items = ", ".join(f"{k}={self.kwargs[k]!r}" for k in sorted(self.kwargs))
+        return f"{name}({items})"
+
+
+TraceSource = Union[Trace, TraceSpec]
+
+#: Per-process memo of traces built from :class:`TraceSpec` recipes, so a
+#: process handling many runs of the same sweep builds the trace once.
+#: Bounded LRU (a long-lived parent process sweeping many configs must not
+#: retain every trace it ever built).
+_TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
+_TRACE_CACHE_MAX = 8
+
+
+def _resolve_trace(source: TraceSource) -> Trace:
+    if isinstance(source, Trace):
+        return source
+    if isinstance(source, TraceSpec):
+        key = source.cache_key()
+        trace = _TRACE_CACHE.get(key)
+        if trace is None:
+            trace = source.build()
+            _TRACE_CACHE[key] = trace
+            while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+                _TRACE_CACHE.popitem(last=False)
+        else:
+            _TRACE_CACHE.move_to_end(key)
+        return trace
+    raise TypeError(f"trace source must be a Trace or TraceSpec, got {source!r}")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything one simulation run needs, in picklable form.
+
+    Attributes
+    ----------
+    trace:
+        A :class:`Trace` (pickled wholesale) or a :class:`TraceSpec`
+        (rebuilt, and memoised, inside the worker).
+    scheduler:
+        A zero-argument factory; use :class:`SchedulerSpec` when the spec
+        must cross a process boundary.
+    seed:
+        Drives *all* randomness of the run (workload sampling, straggler
+        inflation, randomised tie-breaking).
+    tag:
+        Opaque grouping label (e.g. the sweep-point value) used by
+        :meth:`ExperimentRunner.run_grouped`.
+    """
+
+    trace: TraceSource
+    scheduler: Callable[[], Scheduler]
+    num_machines: int
+    seed: int = 0
+    machine_speed: float = 1.0
+    straggler_factory: Optional[Callable[[], StragglerModel]] = None
+    max_time: Optional[float] = None
+    tag: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if self.num_machines <= 0:
+            raise ValueError(f"num_machines must be positive, got {self.num_machines}")
+        if not callable(self.scheduler):
+            raise TypeError(f"scheduler must be callable, got {self.scheduler!r}")
+
+    def with_seed(self, seed: int) -> "RunSpec":
+        """Copy of this spec with a different replication seed."""
+        from dataclasses import replace
+
+        return replace(self, seed=seed)
+
+    def execute(self) -> SimulationResult:
+        """Build the trace/scheduler/engine and run the simulation."""
+        from repro.simulation.runner import run_simulation
+
+        straggler = self.straggler_factory() if self.straggler_factory else None
+        return run_simulation(
+            _resolve_trace(self.trace),
+            self.scheduler(),
+            self.num_machines,
+            seed=self.seed,
+            machine_speed=self.machine_speed,
+            straggler_model=straggler,
+            max_time=self.max_time,
+        )
+
+
+def execute_run_spec(spec: RunSpec) -> SimulationResult:
+    """Module-level worker entry point (must be picklable by reference)."""
+    return spec.execute()
+
+
+class ExperimentRunner:
+    """Executes batches of :class:`RunSpec` serially or on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs every spec in-process (no pool, no pickling
+        constraints).  ``N > 1`` fans specs out over ``N`` worker
+        processes.  ``None`` uses every usable CPU.
+    mp_context:
+        ``multiprocessing`` start-method name (``"fork"``/``"spawn"``) or
+        context object; defaults to the platform default.
+    chunksize:
+        Specs handed to a worker per dispatch; defaults to a heuristic
+        that balances scheduling overhead against load balance.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        *,
+        mp_context: Union[str, Any, None] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self._mp_context = mp_context
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self._chunksize = chunksize
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExperimentRunner(workers={self.workers})"
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Execute every spec and return results in spec order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        pool_size = min(self.workers, len(specs))
+        if pool_size == 1:
+            return [spec.execute() for spec in specs]
+        context = self._mp_context
+        if not isinstance(context, multiprocessing.context.BaseContext):
+            context = multiprocessing.get_context(context)
+        chunksize = self._chunksize
+        if chunksize is None:
+            # A few chunks per worker: amortise IPC without starving anyone.
+            chunksize = max(1, len(specs) // (pool_size * 4))
+        with context.Pool(processes=pool_size) as pool:
+            return pool.map(execute_run_spec, specs, chunksize=chunksize)
+
+    def run_grouped(
+        self, specs: Sequence[RunSpec]
+    ) -> "OrderedDict[Optional[Hashable], List[SimulationResult]]":
+        """Execute every spec and group results by ``spec.tag``.
+
+        Groups appear in first-occurrence order of their tag; within a
+        group, results keep spec order.  This is the natural shape for a
+        sweep: one spec per (sweep point, seed), tagged with the sweep
+        point.
+        """
+        specs = list(specs)
+        results = self.run(specs)
+        grouped: "OrderedDict[Optional[Hashable], List[SimulationResult]]" = OrderedDict()
+        for spec, result in zip(specs, results):
+            grouped.setdefault(spec.tag, []).append(result)
+        return grouped
+
+    def run_replications(
+        self,
+        trace: TraceSource,
+        scheduler_factory: Callable[[], Scheduler],
+        num_machines: int,
+        *,
+        seeds: Sequence[int] = (0, 1, 2),
+        machine_speed: float = 1.0,
+        straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
+        max_time: Optional[float] = None,
+    ):
+        """One run per seed of a single configuration (the paper's protocol).
+
+        Returns a :class:`~repro.simulation.runner.ReplicatedResult`, same
+        as the legacy serial helper.
+        """
+        from repro.simulation.runner import ReplicatedResult
+
+        if not seeds:
+            raise ValueError("at least one seed is required")
+        base = RunSpec(
+            trace=trace,
+            scheduler=scheduler_factory,
+            num_machines=num_machines,
+            machine_speed=machine_speed,
+            straggler_factory=straggler_model_factory,
+            max_time=max_time,
+        )
+        results = self.run([base.with_seed(seed) for seed in seeds])
+        return ReplicatedResult(
+            scheduler_name=results[0].scheduler_name, results=results
+        )
+
+
+def sweep_specs(
+    trace: TraceSource,
+    points: Sequence[Tuple[Hashable, Callable[[], Scheduler], int]],
+    seeds: Sequence[int],
+    *,
+    machine_speed: float = 1.0,
+    straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
+    max_time: Optional[float] = None,
+) -> List[RunSpec]:
+    """Cartesian product of sweep points and seeds as a flat spec list.
+
+    ``points`` is a sequence of ``(tag, scheduler_factory, num_machines)``
+    triples; each is replicated once per seed, tagged for
+    :meth:`ExperimentRunner.run_grouped`.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    specs: List[RunSpec] = []
+    for tag, factory, num_machines in points:
+        for seed in seeds:
+            specs.append(
+                RunSpec(
+                    trace=trace,
+                    scheduler=factory,
+                    num_machines=num_machines,
+                    seed=seed,
+                    machine_speed=machine_speed,
+                    straggler_factory=straggler_model_factory,
+                    max_time=max_time,
+                    tag=tag,
+                )
+            )
+    return specs

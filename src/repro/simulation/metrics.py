@@ -192,6 +192,54 @@ class SimulationResult:
             self.num_machines * self.makespan
         )
 
+    # -- determinism fingerprinting -----------------------------------------------------------
+
+    def canonical_dict(self) -> Dict[str, object]:
+        """Deterministic, JSON-serialisable dump of everything the simulation
+        computed -- every per-job record plus all counters -- *excluding*
+        wall-clock ``runtime_seconds``.
+
+        Two runs of the same (trace, scheduler, seed) configuration produce
+        equal canonical dicts regardless of where they executed; the
+        parallel-vs-serial equivalence tests compare these.
+        """
+        return {
+            "scheduler_name": self.scheduler_name,
+            "num_machines": self.num_machines,
+            "seed": self.seed,
+            "total_copies": self.total_copies,
+            "total_tasks": self.total_tasks,
+            "wasted_work": self.wasted_work,
+            "useful_work": self.useful_work,
+            "makespan": self.makespan,
+            "over_requests": self.over_requests,
+            "records": [
+                (
+                    r.job_id,
+                    r.arrival_time,
+                    r.completion_time,
+                    r.weight,
+                    r.num_map_tasks,
+                    r.num_reduce_tasks,
+                    r.copies_launched,
+                    r.map_phase_completion_time,
+                )
+                for r in self.records
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 over :meth:`canonical_dict` (byte-identical ⇔ equal hash).
+
+        Floats are serialised through ``repr`` (exact round-trip), so even
+        an ULP-level difference changes the fingerprint.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(self.canonical_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     # -- reporting ----------------------------------------------------------------------------
 
     def summary(self) -> Dict[str, float]:

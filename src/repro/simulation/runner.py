@@ -129,32 +129,27 @@ def run_replications(
     machine_speed: float = 1.0,
     straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
     max_time: Optional[float] = None,
+    workers: Optional[int] = 1,
 ) -> ReplicatedResult:
     """Run the same (trace, scheduler, cluster) configuration once per seed.
 
     A fresh scheduler instance is built per replication because schedulers
     carry state (priority queues, per-job bookkeeping) that must not leak
-    between runs.
+    between runs.  With ``workers > 1`` the replications fan out over a
+    process pool (``scheduler_factory`` and ``straggler_model_factory``
+    must then be picklable -- use
+    :class:`~repro.simulation.experiment_runner.SchedulerSpec` rather than
+    a lambda); results are bit-identical to ``workers=1`` for the same
+    seeds.
     """
-    if not seeds:
-        raise ValueError("at least one seed is required")
-    results: List[SimulationResult] = []
-    name = None
-    for seed in seeds:
-        scheduler = scheduler_factory()
-        name = scheduler.name if name is None else name
-        straggler_model = (
-            straggler_model_factory() if straggler_model_factory is not None else None
-        )
-        results.append(
-            run_simulation(
-                trace,
-                scheduler,
-                num_machines,
-                seed=seed,
-                machine_speed=machine_speed,
-                straggler_model=straggler_model,
-                max_time=max_time,
-            )
-        )
-    return ReplicatedResult(scheduler_name=name or "scheduler", results=results)
+    from repro.simulation.experiment_runner import ExperimentRunner
+
+    return ExperimentRunner(workers=workers).run_replications(
+        trace,
+        scheduler_factory,
+        num_machines,
+        seeds=seeds,
+        machine_speed=machine_speed,
+        straggler_model_factory=straggler_model_factory,
+        max_time=max_time,
+    )

@@ -1,0 +1,179 @@
+"""Property-style invariant tests for the simulation engine.
+
+Seeded random traces are replayed under several policies with an
+instrumented wrapper scheduler that validates the paper's Section III
+semantics at every decision point, plus post-mortem checks over the full
+copy history:
+
+* at most one copy occupies any machine at any decision point;
+* reduce copies make no progress before their job's map phase completes;
+* a task's completion time equals that of its earliest-finishing copy;
+* killed clones release their machines (the cluster drains to fully free).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.schedulers import FIFOScheduler, MantriScheduler, SCAScheduler
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scheduler_api import Scheduler
+from repro.workload.generators import poisson_trace
+from repro.workload.job import Phase
+
+NUM_MACHINES = 6
+
+
+class InvariantCheckingScheduler(Scheduler):
+    """Delegates to a real policy, validating engine state at every decision."""
+
+    def __init__(self, base: Scheduler) -> None:
+        self._base = base
+        self.name = f"checked-{base.name}"
+        self.tick_interval = base.tick_interval
+        self.decision_points = 0
+
+    def bind(self, view) -> None:
+        super().bind(view)
+        self._base.bind(view)
+
+    def on_job_arrival(self, job, time) -> None:
+        self._base.on_job_arrival(job, time)
+
+    def on_task_completion(self, task, time) -> None:
+        self._base.on_task_completion(task, time)
+
+    def on_job_completion(self, job, time) -> None:
+        self._base.on_job_completion(job, time)
+
+    def schedule(self, view):
+        self.decision_points += 1
+        occupied = list(view.running_copies())
+
+        # At most one active copy per machine, and occupancy must agree
+        # with the free-machine count.
+        machine_ids = [copy.machine_id for copy in occupied]
+        assert len(machine_ids) == len(set(machine_ids)), (
+            f"two active copies share a machine at t={view.time}"
+        )
+        assert len(machine_ids) == view.num_machines - view.num_free_machines
+
+        for copy in occupied:
+            # Blocked copies are exactly the reduce copies whose map phase
+            # is unfinished, and blocked copies have made zero progress.
+            job = copy.task.job
+            if copy.task.phase is Phase.REDUCE and not job.map_phase_complete:
+                assert copy.is_blocked
+                assert view.copy_progress(copy) == 0.0
+            else:
+                assert not copy.is_blocked
+
+        return self._base.schedule(view)
+
+
+def _policies():
+    return [
+        pytest.param(lambda: SRPTMSCScheduler(epsilon=0.6, r=3.0), id="srptms_c"),
+        pytest.param(lambda: SCAScheduler(), id="sca"),
+        pytest.param(lambda: MantriScheduler(), id="mantri"),
+        pytest.param(lambda: FIFOScheduler(), id="fifo"),
+    ]
+
+
+@pytest.mark.parametrize("make_scheduler", _policies())
+@pytest.mark.parametrize("trace_seed", [11, 23, 47])
+def test_engine_invariants_on_random_traces(make_scheduler, trace_seed):
+    trace = poisson_trace(
+        num_jobs=15,
+        arrival_rate=0.4,
+        mean_tasks_per_job=5,
+        mean_duration=8.0,
+        cv=0.8,
+        seed=trace_seed,
+    )
+    scheduler = InvariantCheckingScheduler(make_scheduler())
+    engine = SimulationEngine(
+        trace,
+        scheduler,
+        NUM_MACHINES,
+        seed=trace_seed,
+        check_invariants=True,
+    )
+    result = engine.run()
+    assert scheduler.decision_points > 0
+    assert result.num_jobs == trace.num_jobs
+
+    # Killed clones freed their machines: the cluster fully drains.
+    assert engine.cluster.num_free == NUM_MACHINES
+    assert engine.cluster.num_busy == 0
+    engine.cluster.check_invariants()
+
+    total_copies = 0
+    useful = 0.0
+    wasted = 0.0
+    for job in engine._jobs:
+        assert job.is_complete
+        for task in job.all_tasks():
+            assert task.is_completed
+            total_copies += len(task.copies)
+
+            finished = [copy for copy in task.copies if copy.is_finished]
+            killed = [copy for copy in task.copies if copy.is_killed]
+            # Exactly one copy wins; every other copy was killed.
+            assert len(finished) == 1
+            assert len(finished) + len(killed) == len(task.copies)
+
+            # Task completion time is the earliest-finishing copy's finish
+            # time: the winner finished then, and no killed copy could have
+            # finished earlier.
+            winner = finished[0]
+            assert task.completion_time == winner.finish_time
+            for clone in killed:
+                assert clone.killed_at <= task.completion_time
+                if clone.start_time is not None:
+                    assert (
+                        clone.start_time + clone.workload
+                        >= task.completion_time - 1e-9
+                    )
+
+            if task.phase is Phase.REDUCE:
+                # No reduce copy starts processing before the map phase is done.
+                assert job.map_phase_completion_time is not None
+                for copy in task.copies:
+                    if copy.start_time is not None:
+                        assert (
+                            copy.start_time
+                            >= job.map_phase_completion_time - 1e-9
+                        )
+
+            useful += sum(copy.elapsed(result.makespan) for copy in finished)
+            wasted += sum(copy.elapsed(result.makespan) for copy in killed)
+
+    # The engine's work accounting matches the copy history.
+    assert total_copies == result.total_copies
+    assert useful == pytest.approx(result.useful_work)
+    assert wasted == pytest.approx(result.wasted_work)
+
+
+@pytest.mark.parametrize("trace_seed", [3, 9])
+def test_invariants_hold_under_heavy_cloning(trace_seed):
+    """An over-provisioned cluster forces aggressive cloning; the
+    one-copy-per-machine and kill-frees-machine invariants must survive it."""
+    trace = poisson_trace(
+        num_jobs=8,
+        arrival_rate=0.2,
+        mean_tasks_per_job=3,
+        mean_duration=10.0,
+        cv=1.0,
+        seed=trace_seed,
+    )
+    machines = 24  # far more machines than work
+    scheduler = InvariantCheckingScheduler(SRPTMSCScheduler(epsilon=1.0, r=3.0))
+    engine = SimulationEngine(
+        trace, scheduler, machines, seed=trace_seed, check_invariants=True
+    )
+    result = engine.run()
+    assert result.total_copies > result.total_tasks, "expected cloning to happen"
+    assert result.wasted_work > 0.0
+    assert engine.cluster.num_free == machines

@@ -1,0 +1,215 @@
+"""Tests for the parallel experiment runner.
+
+The load-bearing guarantee: ``ExperimentRunner(workers=N)`` produces
+*byte-identical* results to ``workers=1`` for the same seed list, for every
+scheduling policy in the repository.  Equality is checked through
+:meth:`SimulationResult.fingerprint`, which hashes every per-job record and
+counter (wall-clock runtime excluded).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.schedulers import (
+    FIFOScheduler,
+    FairScheduler,
+    LATEScheduler,
+    MantriScheduler,
+    SCAScheduler,
+    SRPTScheduler,
+)
+from repro.simulation.experiment_runner import (
+    ExperimentRunner,
+    RunSpec,
+    SchedulerSpec,
+    TraceSpec,
+    default_workers,
+    sweep_specs,
+)
+from repro.simulation.runner import run_replications, run_simulation
+from repro.workload.generators import poisson_trace
+
+#: One spec per scheduling policy shipped with the repository.
+ALL_SCHEDULER_SPECS = [
+    SchedulerSpec(SRPTMSCScheduler, {"epsilon": 0.6, "r": 3.0}),
+    SchedulerSpec(SCAScheduler),
+    SchedulerSpec(MantriScheduler),
+    SchedulerSpec(LATEScheduler),
+    SchedulerSpec(SRPTScheduler, {"r": 3.0}),
+    SchedulerSpec(FairScheduler),
+    SchedulerSpec(FIFOScheduler),
+]
+
+SEEDS = (0, 1, 2, 3)
+
+
+def _specs_for(scheduler_spec, trace, num_machines=8):
+    base = RunSpec(trace=trace, scheduler=scheduler_spec, num_machines=num_machines)
+    return [base.with_seed(seed) for seed in SEEDS]
+
+
+class TestParallelSerialEquivalence:
+    """workers=4 must be bit-identical to workers=1 for every scheduler."""
+
+    @pytest.mark.parametrize(
+        "scheduler_spec",
+        ALL_SCHEDULER_SPECS,
+        ids=lambda s: s.scheduler_cls.__name__,
+    )
+    def test_workers4_matches_workers1(self, scheduler_spec, small_online_trace):
+        specs = _specs_for(scheduler_spec, small_online_trace)
+        serial = ExperimentRunner(workers=1).run(specs)
+        parallel = ExperimentRunner(workers=4).run(specs)
+        assert [r.canonical_dict() for r in serial] == [
+            r.canonical_dict() for r in parallel
+        ]
+        assert [r.fingerprint() for r in serial] == [
+            r.fingerprint() for r in parallel
+        ]
+
+    def test_trace_spec_source_matches_inline_trace(self, small_online_trace):
+        """A TraceSpec rebuilt in the worker yields the same results as the
+        equivalent pre-built Trace shipped by pickle."""
+        trace_spec = TraceSpec(
+            factory=poisson_trace,
+            kwargs={
+                "num_jobs": 25,
+                "arrival_rate": 0.5,
+                "mean_tasks_per_job": 6,
+                "mean_duration": 8.0,
+                "cv": 0.5,
+                "seed": 7,
+            },
+        )
+        scheduler = SchedulerSpec(SRPTMSCScheduler, {"epsilon": 0.6, "r": 3.0})
+        inline = ExperimentRunner(workers=2).run(
+            _specs_for(scheduler, small_online_trace)
+        )
+        rebuilt = ExperimentRunner(workers=2).run(_specs_for(scheduler, trace_spec))
+        assert [r.fingerprint() for r in inline] == [
+            r.fingerprint() for r in rebuilt
+        ]
+
+    def test_run_replications_workers_param(self, small_online_trace):
+        scheduler = SchedulerSpec(SCAScheduler)
+        serial = run_replications(
+            small_online_trace, scheduler, 8, seeds=SEEDS, workers=1
+        )
+        parallel = run_replications(
+            small_online_trace, scheduler, 8, seeds=SEEDS, workers=4
+        )
+        assert serial.scheduler_name == parallel.scheduler_name
+        assert [r.fingerprint() for r in serial.results] == [
+            r.fingerprint() for r in parallel.results
+        ]
+        assert serial.mean_flowtime == parallel.mean_flowtime
+        assert serial.weighted_mean_flowtime == parallel.weighted_mean_flowtime
+
+    def test_matches_legacy_direct_simulation(self, small_online_trace):
+        """RunSpec.execute reproduces run_simulation exactly."""
+        spec = RunSpec(
+            trace=small_online_trace,
+            scheduler=SchedulerSpec(FIFOScheduler),
+            num_machines=8,
+            seed=5,
+        )
+        direct = run_simulation(small_online_trace, FIFOScheduler(), 8, seed=5)
+        assert spec.execute().fingerprint() == direct.fingerprint()
+
+
+class TestRunnerMechanics:
+    def test_results_keep_spec_order(self, small_online_trace):
+        scheduler = SchedulerSpec(FIFOScheduler)
+        specs = _specs_for(scheduler, small_online_trace)
+        results = ExperimentRunner(workers=2).run(specs)
+        assert [r.seed for r in results] == list(SEEDS)
+
+    def test_empty_spec_list(self):
+        assert ExperimentRunner(workers=2).run([]) == []
+
+    def test_run_grouped_by_tag(self, small_online_trace):
+        points = [
+            (0.4, SchedulerSpec(SRPTMSCScheduler, {"epsilon": 0.4, "r": 0.0}), 8),
+            (0.8, SchedulerSpec(SRPTMSCScheduler, {"epsilon": 0.8, "r": 0.0}), 8),
+        ]
+        specs = sweep_specs(small_online_trace, points, seeds=(0, 1))
+        grouped = ExperimentRunner(workers=1).run_grouped(specs)
+        assert list(grouped) == [0.4, 0.8]
+        assert [r.seed for r in grouped[0.4]] == [0, 1]
+        assert [r.seed for r in grouped[0.8]] == [0, 1]
+
+    def test_sweep_specs_requires_seeds(self, small_online_trace):
+        with pytest.raises(ValueError):
+            sweep_specs(small_online_trace, [], seeds=())
+
+    def test_run_replications_requires_seeds(self, small_online_trace):
+        with pytest.raises(ValueError):
+            ExperimentRunner().run_replications(
+                small_online_trace, SchedulerSpec(FIFOScheduler), 8, seeds=()
+            )
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(workers=0)
+        with pytest.raises(ValueError):
+            ExperimentRunner(workers=2, chunksize=0)
+        assert ExperimentRunner(workers=None).workers == default_workers()
+        assert default_workers() >= 1
+
+    def test_run_spec_validation(self, small_online_trace):
+        with pytest.raises(ValueError):
+            RunSpec(
+                trace=small_online_trace,
+                scheduler=SchedulerSpec(FIFOScheduler),
+                num_machines=0,
+            )
+        with pytest.raises(TypeError):
+            RunSpec(trace=small_online_trace, scheduler="FIFO", num_machines=4)
+
+
+class TestSpecPicklability:
+    def test_scheduler_spec_roundtrip(self):
+        spec = SchedulerSpec(SRPTMSCScheduler, {"epsilon": 0.6, "r": 3.0})
+        clone = pickle.loads(pickle.dumps(spec))
+        scheduler = clone.build()
+        assert isinstance(scheduler, SRPTMSCScheduler)
+
+    def test_scheduler_spec_rejects_non_scheduler(self):
+        with pytest.raises(TypeError):
+            SchedulerSpec(dict)
+
+    def test_run_spec_roundtrip(self, small_online_trace):
+        spec = RunSpec(
+            trace=small_online_trace,
+            scheduler=SchedulerSpec(SCAScheduler),
+            num_machines=8,
+            seed=3,
+            tag="sca",
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.execute().fingerprint() == spec.execute().fingerprint()
+
+    def test_trace_spec_build_and_cache_key(self):
+        spec = TraceSpec(
+            factory=poisson_trace,
+            kwargs={
+                "num_jobs": 5,
+                "arrival_rate": 1.0,
+                "mean_tasks_per_job": 3,
+                "mean_duration": 5.0,
+                "cv": 0.0,
+                "seed": 1,
+            },
+        )
+        trace = spec.build()
+        assert trace.num_jobs == 5
+        assert spec.cache_key() == pickle.loads(pickle.dumps(spec)).cache_key()
+
+    def test_trace_spec_rejects_non_trace_factory(self):
+        spec = TraceSpec(factory=dict, kwargs={})
+        with pytest.raises(TypeError):
+            spec.build()
