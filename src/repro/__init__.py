@@ -10,6 +10,9 @@ The package is organised as:
   and the synthetic Google-trace generator;
 * :mod:`repro.cluster` -- machines, occupancy bookkeeping and straggler
   injection;
+* :mod:`repro.scenarios` -- cluster environments (heterogeneous machine
+  speeds, dynamic stragglers, machine failures) behind a picklable
+  :class:`~repro.scenarios.ScenarioSpec`;
 * :mod:`repro.simulation` -- the discrete-event cluster simulator;
 * :mod:`repro.schedulers` -- baseline policies (Mantri, SCA, LATE, FIFO,
   Fair, plain SRPT);
@@ -29,6 +32,7 @@ Quickstart::
 
 from repro.core.offline import OfflineSRPTScheduler
 from repro.core.srptms_c import SRPTMSCScheduler
+from repro.scenarios import ScenarioSpec
 from repro.schedulers import (
     FIFOScheduler,
     FairScheduler,
@@ -59,6 +63,7 @@ __all__ = [
     "SRPTScheduler",
     "SimulationEngine",
     "SimulationResult",
+    "ScenarioSpec",
     "run_simulation",
     "run_replications",
     "Trace",

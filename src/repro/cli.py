@@ -8,10 +8,17 @@ Examples::
     repro-mapreduce figure1 --workers 0   # fan replications out over all CPUs
     repro-mapreduce offline-bound
     repro-mapreduce all --scale 0.01
+    repro-mapreduce figure6 --scenario uniform-hetero
+    repro-mapreduce figure6 --failure-rate 0.001 --repair-time 50
+    repro-mapreduce scenario-sweep --scale 0.01 --workers 0
 
 Each subcommand prints the plain-text report of the corresponding
 experiment; ``--scale`` shrinks the trace and the cluster together so the
-offered load stays at the paper's level.
+offered load stays at the paper's level.  ``--scenario`` (and the
+fine-grained ``--speed-spread``/``--failure-rate``/``--slowdown-*`` flags)
+run any *figure* experiment under a non-ideal cluster environment; the
+non-simulating experiments reject scenario flags instead of silently
+ignoring them.  See :mod:`repro.scenarios`.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.cluster.stragglers import DynamicStragglers
 from repro.experiments import (
     ExperimentConfig,
     run_figure1,
@@ -29,8 +37,19 @@ from repro.experiments import (
     run_figure5,
     run_figure6,
     run_offline_bound,
+    run_scenario_sweep,
     run_scheduler_comparison,
     run_table2,
+)
+from repro.scenarios import (
+    DEFAULT_MEAN_REPAIR,
+    DEFAULT_SLOWDOWN_DURATION,
+    DEFAULT_SLOWDOWN_FACTOR,
+    SCENARIO_PRESETS,
+    MachineFailures,
+    ScenarioSpec,
+    UniformSpeeds,
+    scenario_preset,
 )
 
 __all__ = ["main", "build_parser"]
@@ -57,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure5",
             "figure6",
             "offline-bound",
+            "scenario-sweep",
             "all",
         ],
         help="which table/figure to regenerate",
@@ -101,7 +121,175 @@ def build_parser() -> argparse.ArgumentParser:
             "every CPU; results are identical for any value (default 1)"
         ),
     )
+    scenario = parser.add_argument_group(
+        "scenario",
+        "cluster environment the experiment runs under (repro.scenarios); "
+        "fine-grained flags override the chosen preset",
+    )
+    scenario.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIO_PRESETS),
+        default=None,
+        help="named scenario preset (default: the paper's homogeneous cluster)",
+    )
+    scenario.add_argument(
+        "--speed-spread",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "machine speeds ~ Uniform[1-S, 1+S], mean-normalised; "
+            "0 restores homogeneous speeds"
+        ),
+    )
+    scenario.add_argument(
+        "--failure-rate",
+        type=float,
+        default=None,
+        help="per-machine failure rate (events/s); 0 disables failures",
+    )
+    scenario.add_argument(
+        "--repair-time",
+        type=float,
+        default=None,
+        help=f"mean machine repair time in seconds (default {_DEFAULT_REPAIR:g})",
+    )
+    scenario.add_argument(
+        "--slowdown-rate",
+        type=float,
+        default=None,
+        help="per-machine dynamic-straggler onset rate (events/s); 0 disables",
+    )
+    scenario.add_argument(
+        "--slowdown-duration",
+        type=float,
+        default=None,
+        help=(
+            "mean length of a dynamic slow period in seconds "
+            f"(default {_DEFAULT_SLOW_DURATION:g})"
+        ),
+    )
+    scenario.add_argument(
+        "--slowdown-factor",
+        type=float,
+        default=None,
+        help=(
+            "effective-speed divisor during a slow period "
+            f"(default {_DEFAULT_SLOW_FACTOR:g})"
+        ),
+    )
     return parser
+
+
+#: Fallbacks when a rate flag creates a process without its detail flags
+#: (the same constants parameterise the presets in :mod:`repro.scenarios`).
+_DEFAULT_REPAIR = DEFAULT_MEAN_REPAIR
+_DEFAULT_SLOW_DURATION = DEFAULT_SLOWDOWN_DURATION
+_DEFAULT_SLOW_FACTOR = DEFAULT_SLOWDOWN_FACTOR
+
+#: Experiments that simulate under ``ExperimentConfig.scenario``.  The others
+#: reject scenario flags instead of silently ignoring them: table2 is pure
+#: trace statistics, offline-bound validates the homogeneous-cluster bounds,
+#: and scenario-sweep defines its own scenario axes.
+_SCENARIO_EXPERIMENTS = frozenset(
+    {"figure1", "figure2", "figure3", "figure4", "figure5", "figure6"}
+)
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Optional[ScenarioSpec]:
+    """Compose the ScenarioSpec the CLI flags describe (None = homogeneous).
+
+    Rate flags (``--failure-rate``, ``--slowdown-rate``) create or disable a
+    process; detail flags (``--repair-time``, ``--slowdown-duration``,
+    ``--slowdown-factor``) override that process wherever it came from --
+    the command line or the ``--scenario`` preset -- and error out when no
+    process exists to override.
+    """
+    try:
+        return _compose_scenario(args)
+    except ValueError as exc:
+        # Spec validation (negative rates, factor <= 1, repair <= 0, ...)
+        # must surface as a clean CLI error, not a traceback.
+        raise SystemExit(f"invalid scenario flags: {exc}") from None
+
+
+def _compose_scenario(args: argparse.Namespace) -> Optional[ScenarioSpec]:
+    from dataclasses import replace
+
+    base = scenario_preset(args.scenario) if args.scenario else ScenarioSpec()
+    speeds = base.speeds
+    normalize = base.normalize_mean_speed
+    if args.speed_spread is not None:
+        if not 0.0 <= args.speed_spread < 1.0:
+            raise SystemExit(
+                f"--speed-spread must lie in [0, 1), got {args.speed_spread}"
+            )
+        if args.speed_spread == 0.0:
+            speeds, normalize = None, False
+        else:
+            speeds = UniformSpeeds(
+                1.0 - args.speed_spread, 1.0 + args.speed_spread
+            )
+            normalize = True
+
+    stragglers = base.stragglers
+    if args.slowdown_rate is not None:
+        if args.slowdown_rate == 0.0:
+            stragglers = None
+        else:
+            stragglers = DynamicStragglers(
+                onset_rate=args.slowdown_rate,
+                mean_duration=_DEFAULT_SLOW_DURATION,
+                factor=_DEFAULT_SLOW_FACTOR,
+            )
+    if args.slowdown_duration is not None or args.slowdown_factor is not None:
+        if stragglers is None:
+            raise SystemExit(
+                "--slowdown-duration/--slowdown-factor need a straggler "
+                "process to modify; pass --slowdown-rate or a preset with "
+                "dynamic stragglers"
+            )
+        stragglers = replace(
+            stragglers,
+            mean_duration=(
+                args.slowdown_duration
+                if args.slowdown_duration is not None
+                else stragglers.mean_duration
+            ),
+            factor=(
+                args.slowdown_factor
+                if args.slowdown_factor is not None
+                else stragglers.factor
+            ),
+        )
+
+    failures = base.failures
+    if args.failure_rate is not None:
+        if args.failure_rate == 0.0:
+            failures = None
+        else:
+            failures = MachineFailures(
+                rate=args.failure_rate, mean_repair=_DEFAULT_REPAIR
+            )
+    if args.repair_time is not None:
+        if failures is None:
+            # scenario-sweep runs its own failure axis; --repair-time
+            # parameterises that axis instead (handled in _run_one).
+            if args.experiment != "scenario-sweep":
+                raise SystemExit(
+                    "--repair-time needs a failure process to modify; pass "
+                    "--failure-rate or a preset with failures"
+                )
+        else:
+            failures = replace(failures, mean_repair=args.repair_time)
+
+    spec = ScenarioSpec(
+        speeds=speeds,
+        normalize_mean_speed=normalize,
+        stragglers=stragglers,
+        failures=failures,
+    )
+    return None if spec.is_default else spec
 
 
 def _workers_from_args(args: argparse.Namespace) -> Optional[int]:
@@ -111,6 +299,15 @@ def _workers_from_args(args: argparse.Namespace) -> Optional[int]:
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    scenario = _scenario_from_args(args)
+    if scenario is not None and args.experiment not in _SCENARIO_EXPERIMENTS:
+        raise SystemExit(
+            f"scenario flags do not apply to {args.experiment!r}: table2 is "
+            "pure trace statistics, offline-bound validates the "
+            "homogeneous-cluster bounds, scenario-sweep defines its own "
+            "scenario axes (only --repair-time applies), and 'all' mixes "
+            "both kinds -- run the figure commands individually instead"
+        )
     return ExperimentConfig(
         scale=args.scale,
         seeds=tuple(args.seeds),
@@ -118,10 +315,13 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         r=args.r,
         num_machines=args.machines,
         workers=_workers_from_args(args),
+        scenario=scenario,
     )
 
 
-def _run_one(name: str, config: ExperimentConfig) -> str:
+def _run_one(
+    name: str, config: ExperimentConfig, *, repair_time: Optional[float] = None
+) -> str:
     if name == "table2":
         return run_table2(config).render()
     if name == "figure1":
@@ -139,6 +339,10 @@ def _run_one(name: str, config: ExperimentConfig) -> str:
         return run_figure6(config, results=results).render()
     if name == "offline-bound":
         return run_offline_bound(config).render()
+    if name == "scenario-sweep":
+        if repair_time is not None:
+            return run_scenario_sweep(config, mean_repair=repair_time).render()
+        return run_scenario_sweep(config).render()
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -161,7 +365,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n\n".join(reports))
         return 0
 
-    print(_run_one(args.experiment, config))
+    print(_run_one(args.experiment, config, repair_time=args.repair_time))
     return 0
 
 

@@ -2,6 +2,7 @@
 
 from repro.cluster.machine import Machine
 from repro.cluster.stragglers import (
+    DynamicStragglers,
     NoStragglers,
     ParetoTailInflation,
     ProbabilisticSlowdown,
@@ -18,4 +19,5 @@ __all__ = [
     "ProbabilisticSlowdown",
     "SlowMachines",
     "ParetoTailInflation",
+    "DynamicStragglers",
 ]

@@ -29,33 +29,63 @@ class Machine:
     machine_id:
         Index of the machine within the cluster, ``0 .. M-1``.
     speed:
-        Processing speed; a task copy with workload ``p`` takes ``p / speed``
-        time units on this machine.  Defaults to the paper's unit speed.
+        Base processing speed; a task copy with workload ``p`` takes
+        ``p / speed`` time units on this machine at full health.  Defaults
+        to the paper's unit speed; heterogeneous scenarios assign each
+        machine its own value.
+    slowdown:
+        Current dynamic straggler divisor (``>= 1``); the engine raises it
+        at slowdown onset and resets it to 1 at recovery.
+    is_down:
+        True while the machine is failed; a down machine hosts no copies.
     current_copy:
         The task copy occupying this machine, or ``None`` when idle.
     """
 
     machine_id: int
     speed: float = 1.0
+    #: Dynamic straggler divisor applied to ``speed`` (1.0 = healthy).
+    slowdown: float = 1.0
+    #: True while the machine is failed (engine/ClusterState managed).
+    is_down: bool = False
     current_copy: Optional["TaskCopy"] = field(default=None, repr=False)
     #: Total busy time accumulated, for utilisation accounting.
     busy_time: float = 0.0
     #: Number of copies this machine has ever executed (including killed clones).
     copies_hosted: int = 0
+    #: Number of failures this machine has suffered.
+    failures: int = 0
 
     def __post_init__(self) -> None:
         if self.machine_id < 0:
             raise ValueError(f"machine_id must be >= 0, got {self.machine_id}")
         if self.speed <= 0:
             raise ValueError(f"machine speed must be positive, got {self.speed}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
 
     @property
     def is_free(self) -> bool:
         """True when no task copy occupies the machine."""
         return self.current_copy is None
 
+    @property
+    def effective_speed(self) -> float:
+        """Current processing rate: base speed divided by any active slowdown.
+
+        Returns ``speed`` *exactly* (no division) while healthy, so static
+        scenarios reproduce pre-scenario results bit for bit.
+        """
+        if self.is_down:
+            return 0.0
+        if self.slowdown == 1.0:
+            return self.speed
+        return self.speed / self.slowdown
+
     def assign(self, copy: "TaskCopy") -> None:
         """Place ``copy`` on this machine."""
+        if self.is_down:
+            raise ValueError(f"machine {self.machine_id} is down")
         if not self.is_free:
             raise ValueError(
                 f"machine {self.machine_id} is already running a copy"
@@ -75,7 +105,13 @@ class Machine:
         return copy
 
     def processing_time(self, workload: float) -> float:
-        """Wall-clock time needed to process ``workload`` on this machine."""
+        """Wall-clock time to process ``workload`` at the *current* rate.
+
+        Under a dynamic scenario this is an estimate that the engine revises
+        whenever the machine's effective speed changes.
+        """
         if workload <= 0:
             raise ValueError(f"workload must be positive, got {workload}")
-        return workload / self.speed
+        if self.is_down:
+            raise ValueError(f"machine {self.machine_id} is down")
+        return workload / self.effective_speed

@@ -1,15 +1,19 @@
 """Cluster occupancy bookkeeping.
 
-:class:`ClusterState` tracks which machines are free, which task copy runs
-where, and the per-phase machine counts ``M(t)`` (map) and ``R(t)`` (reduce)
-that appear in constraints (1h)-(1j) of the paper's optimisation program.
-The simulation engine is the only writer; schedulers receive a read-only
-view through :class:`repro.simulation.scheduler_api.SchedulerView`.
+:class:`ClusterState` tracks which machines are free, busy or down, which
+task copy runs where, and the per-phase machine counts ``M(t)`` (map) and
+``R(t)`` (reduce) that appear in constraints (1h)-(1j) of the paper's
+optimisation program.  Machines may carry *individual* speeds (heterogeneous
+scenarios); all speed queries go through :meth:`speed_of` rather than a
+single cluster-wide scalar, so heterogeneity can never silently read the
+wrong rate.  The simulation engine is the only writer; schedulers receive a
+read-only view through
+:class:`repro.simulation.scheduler_api.SchedulerView`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.machine import Machine
 from repro.workload.job import Phase, TaskCopy
@@ -20,39 +24,75 @@ __all__ = ["ClusterState"]
 class ClusterState:
     """Tracks machine occupancy for a cluster of ``num_machines`` machines."""
 
-    def __init__(self, num_machines: int, machine_speed: float = 1.0) -> None:
+    def __init__(
+        self,
+        num_machines: int,
+        machine_speed: float = 1.0,
+        *,
+        speeds: Optional[Sequence[float]] = None,
+    ) -> None:
         if num_machines <= 0:
             raise ValueError(f"num_machines must be positive, got {num_machines}")
         if machine_speed <= 0:
             raise ValueError(f"machine_speed must be positive, got {machine_speed}")
+        if speeds is None:
+            per_machine = [machine_speed] * num_machines
+        else:
+            per_machine = [float(s) for s in speeds]
+            if len(per_machine) != num_machines:
+                raise ValueError(
+                    f"speeds has {len(per_machine)} entries for "
+                    f"{num_machines} machines"
+                )
+            if any(s <= 0 for s in per_machine):
+                raise ValueError("every machine speed must be positive")
         self._machines: List[Machine] = [
-            Machine(machine_id=i, speed=machine_speed) for i in range(num_machines)
+            Machine(machine_id=i, speed=per_machine[i]) for i in range(num_machines)
         ]
         self._free_ids: List[int] = list(range(num_machines - 1, -1, -1))
         self._copy_to_machine: Dict[int, int] = {}
         self._phase_counts: Dict[Phase, int] = {Phase.MAP: 0, Phase.REDUCE: 0}
-        self.machine_speed = machine_speed
+        self._num_down = 0
 
     # -- basic accessors ---------------------------------------------------------
 
     @property
     def num_machines(self) -> int:
-        """``M`` -- the total machine count."""
+        """``M`` -- the total machine count (up or down)."""
         return len(self._machines)
 
     @property
     def num_free(self) -> int:
-        """Machines currently idle."""
+        """Machines currently idle and up."""
         return len(self._free_ids)
+
+    @property
+    def num_down(self) -> int:
+        """Machines currently failed."""
+        return self._num_down
 
     @property
     def num_busy(self) -> int:
         """Machines currently running (or holding a blocked) copy."""
-        return self.num_machines - self.num_free
+        return self.num_machines - self.num_free - self.num_down
 
     def machine(self, machine_id: int) -> Machine:
         """Look up a machine by id."""
         return self._machines[machine_id]
+
+    def speed_of(self, machine_id: int) -> float:
+        """Base speed of one machine (heterogeneity-safe speed query)."""
+        return self._machines[machine_id].speed
+
+    @property
+    def speeds(self) -> List[float]:
+        """Base speed of every machine, in machine-id order."""
+        return [machine.speed for machine in self._machines]
+
+    @property
+    def mean_speed(self) -> float:
+        """Average base speed across all machines."""
+        return sum(self.speeds) / self.num_machines
 
     @property
     def machines(self) -> List[Machine]:
@@ -115,6 +155,38 @@ class ClusterState:
         """Machine id currently hosting ``copy``, or ``None``."""
         return self._copy_to_machine.get(id(copy))
 
+    # -- failure state transitions ---------------------------------------------------
+
+    def mark_down(self, machine_id: int) -> Machine:
+        """Take a machine out of service (failure).
+
+        The machine must be idle: the engine kills and releases any resident
+        copy *before* marking its host down, so occupancy bookkeeping stays
+        exact.  The machine leaves the free pool until :meth:`mark_up`.
+        """
+        machine = self._machines[machine_id]
+        if machine.is_down:
+            raise ValueError(f"machine {machine_id} is already down")
+        if not machine.is_free:
+            raise ValueError(
+                f"machine {machine_id} still hosts a copy; release it first"
+            )
+        self._free_ids.remove(machine_id)
+        machine.is_down = True
+        machine.failures += 1
+        self._num_down += 1
+        return machine
+
+    def mark_up(self, machine_id: int) -> Machine:
+        """Return a repaired machine to the free pool."""
+        machine = self._machines[machine_id]
+        if not machine.is_down:
+            raise ValueError(f"machine {machine_id} is not down")
+        machine.is_down = False
+        self._free_ids.append(machine_id)
+        self._num_down -= 1
+        return machine
+
     # -- invariants -------------------------------------------------------------------
 
     def check_invariants(self) -> None:
@@ -122,14 +194,21 @@ class ClusterState:
 
         Used by the property-based tests and by the engine's debug mode.
         """
-        busy_machines = [m for m in self._machines if not m.is_free]
+        busy_machines = [
+            m for m in self._machines if not m.is_free and not m.is_down
+        ]
+        down_machines = [m for m in self._machines if m.is_down]
         assert len(busy_machines) == self.num_busy, "free-list inconsistent"
+        assert len(down_machines) == self.num_down, "down count inconsistent"
         assert len(self._copy_to_machine) == self.num_busy, "copy map inconsistent"
         assert (
             self._phase_counts[Phase.MAP] + self._phase_counts[Phase.REDUCE]
             == self.num_busy
         ), "phase counts inconsistent"
-        assert self.num_busy + self.num_free == self.num_machines
+        assert self.num_busy + self.num_free + self.num_down == self.num_machines
+        for machine in down_machines:
+            assert machine.is_free, "down machine still hosts a copy"
+            assert machine.machine_id not in self._free_ids, "down machine in free list"
         for machine in busy_machines:
             copy = machine.current_copy
             assert copy is not None

@@ -20,11 +20,18 @@ independently of the base workload:
 All models act on the *sampled workload of one copy*; two copies of the same
 task placed on different machines therefore see independent straggler
 events, which is exactly why cloning helps.
+
+:class:`DynamicStragglers` is different in kind: it is not a per-copy
+workload transform but a *time-varying machine process* (slowdown onset and
+recovery events) executed by the simulation engine, which re-estimates the
+remaining work of whatever copy is running when a machine's effective speed
+changes.  It composes into a :class:`~repro.scenarios.ScenarioSpec`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Optional, Set
 
 import numpy as np
@@ -35,6 +42,7 @@ __all__ = [
     "ProbabilisticSlowdown",
     "SlowMachines",
     "ParetoTailInflation",
+    "DynamicStragglers",
 ]
 
 
@@ -153,3 +161,41 @@ class ParetoTailInflation(StragglerModel):
     ) -> float:
         factor = (1.0 - rng.random()) ** (-1.0 / self.alpha)
         return workload * min(factor, self.cap)
+
+
+@dataclass(frozen=True)
+class DynamicStragglers:
+    """A per-machine alternating normal/slow renewal process.
+
+    While healthy, a machine hits a slowdown after an exponential time with
+    rate ``onset_rate``; the slow period lasts an exponential time with mean
+    ``mean_duration``, during which the machine's effective speed is divided
+    by ``factor``.  Onset and recovery are *events*: copies already running
+    on the machine slow down (or speed back up) mid-flight, which is what
+    distinguishes this model from the static per-copy transforms above.
+
+    The engine drives the process from each machine's dedicated scenario
+    stream (see :mod:`repro.scenarios` for the seeding contract).
+    """
+
+    onset_rate: float
+    mean_duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.onset_rate <= 0:
+            raise ValueError(f"onset_rate must be positive, got {self.onset_rate}")
+        if self.mean_duration <= 0:
+            raise ValueError(
+                f"mean_duration must be positive, got {self.mean_duration}"
+            )
+        if self.factor <= 1.0:
+            raise ValueError(f"slowdown factor must exceed 1, got {self.factor}")
+
+    def draw_onset(self, rng: np.random.Generator) -> float:
+        """Healthy time until the next slowdown begins."""
+        return float(rng.exponential(1.0 / self.onset_rate))
+
+    def draw_duration(self, rng: np.random.Generator) -> float:
+        """Length of one slow period."""
+        return float(rng.exponential(self.mean_duration))

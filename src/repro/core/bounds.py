@@ -23,10 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.core.effective_workload import (
-    accumulated_higher_priority_workload,
-    total_effective_workload,
-)
+from repro.core.effective_workload import accumulated_higher_priority_workload
 from repro.workload.job import JobSpec
 
 __all__ = [

@@ -20,7 +20,7 @@ the theory utilities and the schedulers share a single implementation.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Sequence
 
 from repro.workload.job import Job, JobSpec
 

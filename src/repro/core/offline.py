@@ -25,7 +25,7 @@ makes it a useful "static SRPT, no cloning" reference policy.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

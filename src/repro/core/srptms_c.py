@@ -31,7 +31,7 @@ metrics near ``epsilon = 0.6`` (Figure 1) and a flat dependence on ``r``
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

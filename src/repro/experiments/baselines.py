@@ -89,6 +89,7 @@ def run_scheduler_comparison(
         trace_source,
         [(name, factory, config.machines) for name, factory in factories.items()],
         config.seeds,
+        scenario=config.scenario,
     )
     grouped = config.make_runner().run_grouped(specs)
     return {

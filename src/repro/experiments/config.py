@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
+from repro.scenarios import ScenarioSpec
 from repro.simulation.experiment_runner import ExperimentRunner, TraceSpec
 from repro.workload.google_trace import (
     GoogleTraceConfig,
@@ -56,6 +57,11 @@ class ExperimentConfig:
         Worker processes for replicated sweeps: ``1`` runs serially,
         ``None`` uses every usable CPU.  Results are bit-identical either
         way (see :mod:`repro.simulation.experiment_runner`).
+    scenario:
+        Cluster environment every run of the experiment executes under
+        (heterogeneous speeds, dynamic stragglers, failures); ``None`` is
+        the paper's homogeneous static cluster.  The CLI sets this from
+        ``--scenario`` and its override flags.
     """
 
     scale: float = 0.02
@@ -66,8 +72,11 @@ class ExperimentConfig:
     trace_seed: int = 0
     within_job_cv: float = 0.6
     workers: Optional[int] = 1
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
+            raise TypeError(f"scenario must be a ScenarioSpec, got {self.scenario!r}")
         if self.scale <= 0:
             raise ValueError(f"scale must be positive, got {self.scale}")
         if not self.seeds:

@@ -10,7 +10,7 @@ too thinly across all alive jobs (too fair-share-like).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments.config import ExperimentConfig
@@ -87,6 +87,7 @@ def run_figure1(
             for epsilon in epsilons
         ],
         config.seeds,
+        scenario=config.scenario,
     )
     grouped = config.make_runner().run_grouped(specs)
     means: List[float] = []

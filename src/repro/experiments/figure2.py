@@ -94,6 +94,7 @@ def run_figure2(
             for r in r_values
         ],
         config.seeds,
+        scenario=config.scenario,
     )
     grouped = config.make_runner().run_grouped(specs)
     means: List[float] = []

@@ -92,6 +92,7 @@ def run_figure3(
         config.trace_source(),
         [(index, scheduler, machines) for index, machines in enumerate(counts)],
         config.seeds,
+        scenario=config.scenario,
     )
     grouped = config.make_runner().run_grouped(specs)
     means: List[float] = []

@@ -1,0 +1,239 @@
+"""Heterogeneity/failure sweep: how cloning's advantage grows with adversity.
+
+The paper evaluates cloning on a homogeneous, failure-free cluster; its
+premise, however, is that stragglers come from machine-level trouble.  This
+driver sweeps two adversity axes of the scenario subsystem
+(:mod:`repro.scenarios`):
+
+* **speed variance** -- machines drawn from ``UniformSpeeds(1-s, 1+s)``
+  with the empirical mean normalised to 1, so total cluster capacity is
+  constant and only the *spread* grows;
+* **failure rate** -- a per-machine fail/repair process that kills resident
+  copies (re-dispatched by the scheduler) at increasing rates.
+
+For every sweep point the cloning policy (SCA) runs against the
+detection/fairness baselines (LATE, Mantri, Fair) on the same trace and
+seeds through :class:`~repro.simulation.experiment_runner.ExperimentRunner`,
+and the report shows SCA's mean-flowtime advantage over the *best* baseline
+widening as variance and failure rate rise -- proactive redundancy beats
+reactive speculation precisely when machines misbehave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_sweep_table
+from repro.scenarios import (
+    DEFAULT_MEAN_REPAIR,
+    MachineFailures,
+    ScenarioSpec,
+    UniformSpeeds,
+)
+from repro.schedulers import (
+    FairScheduler,
+    LATEScheduler,
+    MantriScheduler,
+    SCAScheduler,
+)
+from repro.simulation.experiment_runner import RunSpec, SchedulerSpec
+from repro.simulation.runner import ReplicatedResult
+from repro.simulation.scheduler_api import Scheduler
+
+__all__ = [
+    "ScenarioSweepResult",
+    "run_scenario_sweep",
+    "DEFAULT_SPEED_SPREADS",
+    "DEFAULT_FAILURE_RATES",
+]
+
+#: Half-widths ``s`` of the ``UniformSpeeds(1-s, 1+s)`` heterogeneity axis.
+DEFAULT_SPEED_SPREADS: Tuple[float, ...] = (0.0, 0.25, 0.5, 0.75)
+
+#: Per-machine failure rates (events per simulated second) of the failure
+#: axis.  Scaled to the synthetic Google trace, whose tasks average ~640 s:
+#: the top rate (mean uptime ~3300 s) already kills roughly a fifth of task
+#: executions.  Rates approaching ``1 / mean task duration`` make task
+#: completion itself improbable and blow the makespan up -- interesting
+#: physics, wrong default.
+DEFAULT_FAILURE_RATES: Tuple[float, ...] = (0.0, 2e-5, 1e-4, 3e-4)
+
+#: The cloning policy under study.
+_CLONING = "SCA"
+
+
+def _sweep_factories() -> Dict[str, Callable[[], Scheduler]]:
+    """SCA plus the baselines whose gap the sweep measures, in report order."""
+    return {
+        _CLONING: SchedulerSpec(SCAScheduler),
+        "LATE": SchedulerSpec(LATEScheduler),
+        "Mantri": SchedulerSpec(MantriScheduler),
+        "Fair": SchedulerSpec(FairScheduler),
+    }
+
+
+def _heterogeneity_scenario(spread: float) -> Optional[ScenarioSpec]:
+    if spread == 0.0:
+        return None
+    return ScenarioSpec(
+        speeds=UniformSpeeds(1.0 - spread, 1.0 + spread),
+        normalize_mean_speed=True,
+    )
+
+
+def _failure_scenario(rate: float, mean_repair: float) -> Optional[ScenarioSpec]:
+    if rate == 0.0:
+        return None
+    return ScenarioSpec(failures=MachineFailures(rate=rate, mean_repair=mean_repair))
+
+
+@dataclass(frozen=True)
+class ScenarioSweepResult:
+    """Mean flowtime per scheduler along both adversity axes."""
+
+    speed_spreads: Tuple[float, ...]
+    failure_rates: Tuple[float, ...]
+    schedulers: Tuple[str, ...]
+    #: ``hetero_flowtimes[name][i]`` -- mean flowtime of ``name`` at spread i.
+    hetero_flowtimes: Dict[str, Tuple[float, ...]]
+    #: ``failure_flowtimes[name][i]`` -- mean flowtime of ``name`` at rate i.
+    failure_flowtimes: Dict[str, Tuple[float, ...]]
+    mean_repair: float
+
+    def _advantages(self, flowtimes: Dict[str, Tuple[float, ...]]) -> List[float]:
+        """Percent flowtime reduction of SCA vs the best baseline per point."""
+        baselines = [name for name in self.schedulers if name != _CLONING]
+        advantages: List[float] = []
+        for index in range(len(flowtimes[_CLONING])):
+            best = min(flowtimes[name][index] for name in baselines)
+            advantages.append(100.0 * (best - flowtimes[_CLONING][index]) / best)
+        return advantages
+
+    @property
+    def hetero_advantages(self) -> List[float]:
+        """SCA's advantage (% vs best baseline) along the heterogeneity axis."""
+        return self._advantages(self.hetero_flowtimes)
+
+    @property
+    def failure_advantages(self) -> List[float]:
+        """SCA's advantage (% vs best baseline) along the failure axis."""
+        return self._advantages(self.failure_flowtimes)
+
+    def render(self) -> str:
+        hetero_series: Dict[str, Sequence[float]] = {
+            name: list(self.hetero_flowtimes[name]) for name in self.schedulers
+        }
+        hetero_series["SCA adv. (%)"] = self.hetero_advantages
+        failure_series: Dict[str, Sequence[float]] = {
+            name: list(self.failure_flowtimes[name]) for name in self.schedulers
+        }
+        failure_series["SCA adv. (%)"] = self.failure_advantages
+        hetero_table = render_sweep_table(
+            "speed spread",
+            list(self.speed_spreads),
+            hetero_series,
+            title=(
+                "Scenario sweep -- mean flowtime vs machine-speed spread "
+                "(UniformSpeeds(1-s, 1+s), mean-normalised)"
+            ),
+        )
+        failure_table = render_sweep_table(
+            "failure rate",
+            list(self.failure_rates),
+            failure_series,
+            title=(
+                "Scenario sweep -- mean flowtime vs per-machine failure rate "
+                f"(mean repair {self.mean_repair:g} s)"
+            ),
+        )
+        footer = (
+            "SCA adv. (%) = flowtime reduction of SCA vs the best of "
+            "LATE/Mantri/Fair at that sweep point"
+        )
+        return "\n\n".join([hetero_table, failure_table, footer])
+
+
+def run_scenario_sweep(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    speed_spreads: Sequence[float] = DEFAULT_SPEED_SPREADS,
+    failure_rates: Sequence[float] = DEFAULT_FAILURE_RATES,
+    mean_repair: float = DEFAULT_MEAN_REPAIR,
+) -> ScenarioSweepResult:
+    """Run both adversity axes and collect per-scheduler mean flowtimes.
+
+    Every (axis point, scheduler, seed) combination is one
+    :class:`RunSpec`; the whole sweep goes through a single
+    :meth:`ExperimentRunner.run_grouped` call, so ``config.workers`` fans
+    it out over a process pool with bit-identical results.
+    """
+    config = config if config is not None else ExperimentConfig.default_bench()
+    if not speed_spreads or not failure_rates:
+        raise ValueError("both sweep axes need at least one point")
+    if any(not 0.0 <= s < 1.0 for s in speed_spreads):
+        raise ValueError(f"speed spreads must lie in [0, 1), got {speed_spreads}")
+    if any(rate < 0.0 for rate in failure_rates):
+        raise ValueError(f"failure rates must be >= 0, got {failure_rates}")
+
+    factories = _sweep_factories()
+    trace_source = config.trace_source()
+
+    def _tag(axis: str, value: float, name: str):
+        # Both axes share their zero point (the homogeneous cluster): tag it
+        # once so those simulations run once, not once per axis.
+        return ("base", name) if value == 0.0 else (axis, value, name)
+
+    specs: List[RunSpec] = []
+    seen_tags = set()
+    for axis, values, make_scenario in (
+        ("hetero", speed_spreads, _heterogeneity_scenario),
+        ("failure", failure_rates, lambda rate: _failure_scenario(rate, mean_repair)),
+    ):
+        for value in values:
+            scenario = make_scenario(value)
+            for name, factory in factories.items():
+                tag = _tag(axis, value, name)
+                if tag in seen_tags:
+                    continue
+                seen_tags.add(tag)
+                for seed in config.seeds:
+                    specs.append(
+                        RunSpec(
+                            trace=trace_source,
+                            scheduler=factory,
+                            num_machines=config.machines,
+                            seed=seed,
+                            scenario=scenario,
+                            tag=tag,
+                        )
+                    )
+
+    grouped = config.make_runner().run_grouped(specs)
+
+    def _mean_flowtime(tag) -> float:
+        return ReplicatedResult(
+            scheduler_name=grouped[tag][0].scheduler_name, results=grouped[tag]
+        ).mean_flowtime
+
+    hetero = {
+        name: tuple(
+            _mean_flowtime(_tag("hetero", spread, name)) for spread in speed_spreads
+        )
+        for name in factories
+    }
+    failures = {
+        name: tuple(
+            _mean_flowtime(_tag("failure", rate, name)) for rate in failure_rates
+        )
+        for name in factories
+    }
+    return ScenarioSweepResult(
+        speed_spreads=tuple(speed_spreads),
+        failure_rates=tuple(failure_rates),
+        schedulers=tuple(factories),
+        hetero_flowtimes=hetero,
+        failure_flowtimes=failures,
+        mean_repair=mean_repair,
+    )

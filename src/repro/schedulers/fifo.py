@@ -8,7 +8,7 @@ ordering in the paper.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.schedulers.base import SingleCopyScheduler
 from repro.simulation.scheduler_api import SchedulerView

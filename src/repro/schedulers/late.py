@@ -24,7 +24,6 @@ import numpy as np
 from repro.schedulers.base import SpeculationEstimator
 from repro.schedulers.fair import FairScheduler
 from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
-from repro.workload.job import TaskCopy
 
 __all__ = ["LATEScheduler"]
 

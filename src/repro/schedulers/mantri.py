@@ -27,10 +27,10 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.schedulers.base import SingleCopyScheduler, SpeculationEstimator
+from repro.schedulers.base import SpeculationEstimator
 from repro.schedulers.fair import FairScheduler
 from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
-from repro.workload.job import Job, TaskCopy
+from repro.workload.job import TaskCopy
 
 __all__ = ["MantriScheduler"]
 

@@ -2,9 +2,9 @@
 
 The engine owns all mutable state (jobs, tasks, copies, machines) and is the
 only component allowed to sample task workloads.  It advances time from one
-decision point to the next -- job arrivals, copy completions and optional
-periodic ticks -- which is equivalent to the paper's per-slot stepping
-because machine allocations only change at those points.
+decision point to the next -- job arrivals, copy completions, machine
+events and optional periodic ticks -- which is equivalent to the paper's
+per-slot stepping because machine allocations only change at those points.
 
 Semantics enforced here (Section III of the paper):
 
@@ -14,18 +14,36 @@ Semantics enforced here (Section III of the paper):
 * a task completes when its earliest-finishing copy completes; surviving
   clones are killed at that instant and their machines freed;
 * the scheduler is consulted after every batch of simultaneous events.
+
+Scenario extensions (:mod:`repro.scenarios`):
+
+* machines may carry individual static speeds (heterogeneous clusters);
+* a machine's *effective* speed can change mid-run -- dynamic straggler
+  slowdown onset/recovery -- in which case the engine settles the work its
+  resident copy has completed so far and re-estimates the finish time at
+  the new rate (stale finish events are dropped by version);
+* machines can fail, killing the resident copy (re-dispatched exactly once
+  through the normal scheduling path because the task becomes unscheduled
+  again) and rejoining the free pool after repair.
+
+All scenario randomness flows from dedicated per-run / per-machine streams
+(see the seeding contract in :mod:`repro.scenarios`), so enabling a
+scenario never perturbs workload sampling, and every run stays a pure
+function of its spec.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.cluster.stragglers import NoStragglers, StragglerModel
+from repro.scenarios import ScenarioSpec, machine_process_rng
 from repro.simulation.events import Event, EventType
 from repro.simulation.metrics import JobRecord, SimulationResult
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
@@ -37,6 +55,22 @@ __all__ = ["SimulationEngine", "SimulationError"]
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent or stuck state."""
+
+
+@dataclass
+class _RunningCopy:
+    """Dynamic-scenario progress ledger for the copy running on one machine.
+
+    ``work_remaining`` is in raw work units; ``rate`` is the machine's
+    effective speed at ``settled_at``.  Settling folds the work processed
+    since the last settle into ``work_remaining`` so the finish time can be
+    re-estimated whenever the rate changes.
+    """
+
+    copy: TaskCopy
+    work_remaining: float
+    settled_at: float
+    rate: float
 
 
 class SimulationEngine:
@@ -51,6 +85,7 @@ class SimulationEngine:
         seed: int = 0,
         machine_speed: float = 1.0,
         straggler_model: Optional[StragglerModel] = None,
+        scenario: Optional[ScenarioSpec] = None,
         max_time: Optional[float] = None,
         check_invariants: bool = False,
     ) -> None:
@@ -60,12 +95,23 @@ class SimulationEngine:
             raise ValueError(f"machine_speed must be positive, got {machine_speed}")
         self.trace = trace
         self.scheduler = scheduler
-        self.cluster = ClusterState(num_machines, machine_speed=machine_speed)
+        self.scenario = scenario
+        speeds = None
+        if scenario is not None:
+            sampled = scenario.machine_speeds(num_machines, seed)
+            if sampled is not None:
+                # ``machine_speed`` stays the resource-augmentation knob: it
+                # scales every sampled per-machine speed uniformly.
+                speeds = sampled * machine_speed
+        self.cluster = ClusterState(
+            num_machines, machine_speed=machine_speed, speeds=speeds
+        )
         self.machine_speed = machine_speed
         self.straggler_model = (
             straggler_model if straggler_model is not None else NoStragglers()
         )
         self.rng = np.random.default_rng(seed)
+        self.seed = seed
         self.max_time = max_time
         self.check_invariants = check_invariants
 
@@ -81,7 +127,18 @@ class SimulationEngine:
         # is far cheaper than one Generator call per copy.
         self._workload_buffers: Dict[Tuple[int, Phase], List[float]] = {}
         self._completed = 0
+        self._arrived = 0
         self._next_tick: Optional[float] = None
+        # Dynamic-scenario state: per-machine process streams and the
+        # progress ledger of running copies.  ``_dynamic`` gates every piece
+        # of this bookkeeping so static scenarios keep the fast path.
+        self._dynamic = scenario is not None and scenario.is_dynamic
+        self._running: Dict[int, _RunningCopy] = {}
+        self._machine_rngs: List[np.random.Generator] = []
+        if self._dynamic:
+            self._machine_rngs = [
+                machine_process_rng(seed, m) for m in range(num_machines)
+            ]
         self.result = SimulationResult(
             scheduler_name=scheduler.name,
             num_machines=num_machines,
@@ -102,6 +159,7 @@ class SimulationEngine:
         self.scheduler.bind(self._view)
         for job in self._jobs:
             self._push(Event.arrival(job.arrival_time, next(self._sequence), job))
+        self._schedule_initial_machine_events()
 
         while self._heap:
             batch = self._pop_simultaneous_events()
@@ -134,13 +192,23 @@ class SimulationEngine:
     def _push(self, event: Event) -> None:
         heapq.heappush(self._heap, event)
 
+    def _push_finish(self, copy: TaskCopy, time: float) -> None:
+        """Queue the (only currently valid) finish event of ``copy``."""
+        copy.finish_version += 1
+        self._push(
+            Event.copy_finish(
+                time, next(self._sequence), copy, version=copy.finish_version
+            )
+        )
+
     def _pop_simultaneous_events(self) -> Optional[List[Event]]:
         """Pop every event sharing the earliest timestamp, skipping stale ones.
 
         Dropping stale completions (clones killed after their finish event
-        was queued) here guarantees every returned batch starts with a live
-        event, so the scheduler is never consulted -- and its view never
-        rebuilt -- for a timestamp at which nothing can change.
+        was queued, or finish estimates superseded by a machine rate change)
+        here guarantees every returned batch starts with a live event, so
+        the scheduler is never consulted -- and its view never rebuilt --
+        for a timestamp at which nothing can change.
         """
         batch: List[Event] = []
         while self._heap:
@@ -159,17 +227,25 @@ class SimulationEngine:
 
     @staticmethod
     def _is_stale(event: Event) -> bool:
-        """A completion event for a copy that was killed in the meantime."""
+        """A finish event for a copy that was killed or re-estimated since."""
         if event.event_type is not EventType.COPY_FINISH:
             return False
         assert event.copy is not None
-        return not event.copy.is_active
+        return not event.copy.is_active or event.version != event.copy.finish_version
 
     def _handle_event(self, event: Event) -> None:
         if event.event_type is EventType.JOB_ARRIVAL:
             self._handle_arrival(event.job)
         elif event.event_type is EventType.COPY_FINISH:
-            self._handle_copy_finish(event.copy)
+            self._handle_copy_finish(event.copy, event.version)
+        elif event.event_type is EventType.MACHINE_FAILURE:
+            self._handle_machine_failure(event.machine_id)
+        elif event.event_type is EventType.MACHINE_REPAIR:
+            self._handle_machine_repair(event.machine_id)
+        elif event.event_type is EventType.MACHINE_SLOWDOWN_START:
+            self._handle_slowdown_start(event.machine_id)
+        elif event.event_type is EventType.MACHINE_SLOWDOWN_END:
+            self._handle_slowdown_end(event.machine_id)
         elif event.event_type is EventType.TICK:
             self._next_tick = None
         else:  # pragma: no cover - defensive
@@ -177,6 +253,7 @@ class SimulationEngine:
 
     def _handle_arrival(self, job: Job) -> None:
         self._alive[job.job_id] = job
+        self._arrived += 1
         self._presample_workloads(job)
         self.scheduler.on_job_arrival(job, self.now)
 
@@ -204,20 +281,24 @@ class SimulationEngine:
             self._workload_buffers[key] = buffer
         return buffer.pop()
 
-    def _handle_copy_finish(self, copy: TaskCopy) -> None:
-        if not copy.is_active:
-            # Killed by an earlier event in this same batch.
+    def _handle_copy_finish(self, copy: TaskCopy, version: int = 0) -> None:
+        if not copy.is_active or version != copy.finish_version:
+            # Killed, or re-estimated, by an earlier event in this same batch.
             return
         task = copy.task
         elapsed = copy.elapsed(self.now)
         copy.finish(self.now)
         self.cluster.release(copy, elapsed=elapsed)
+        if self._dynamic:
+            self._running.pop(copy.machine_id, None)
         self.result.useful_work += elapsed
 
         killed = task.complete(self.now)
         for clone in killed:
             clone_elapsed = clone.elapsed(self.now)
             self.cluster.release(clone, elapsed=clone_elapsed)
+            if self._dynamic:
+                self._running.pop(clone.machine_id, None)
             self.result.wasted_work += clone_elapsed
 
         job = task.job
@@ -234,11 +315,18 @@ class SimulationEngine:
             for copy in task.copies:
                 if copy.is_active and copy.is_blocked:
                     copy.start(self.now)
-                    self._push(
-                        Event.copy_finish(
-                            self.now + copy.workload, next(self._sequence), copy
+                    if self._dynamic:
+                        # The machine's effective speed may have changed since
+                        # launch; price the parked work at the current rate.
+                        machine = self.cluster.machine(copy.machine_id)
+                        copy.workload = copy.work / machine.effective_speed
+                        self._running[copy.machine_id] = _RunningCopy(
+                            copy=copy,
+                            work_remaining=copy.work,
+                            settled_at=self.now,
+                            rate=machine.effective_speed,
                         )
-                    )
+                    self._push_finish(copy, self.now + copy.workload)
 
     def _finalize_job(self, job: Job) -> None:
         del self._alive[job.job_id]
@@ -258,6 +346,143 @@ class SimulationEngine:
             )
         )
         self.scheduler.on_job_completion(job, self.now)
+
+    # ------------------------------------------------------------------ machine events
+
+    def _schedule_initial_machine_events(self) -> None:
+        """Seed the per-machine failure/slowdown timelines (dynamic scenarios).
+
+        Draw order is fixed -- per machine, failure before slowdown -- and
+        each machine draws from its own dedicated stream, so timelines are
+        reproducible regardless of how events later interleave.
+        """
+        if self.scenario is None:
+            return
+        failures = self.scenario.failures
+        stragglers = self.scenario.stragglers
+        for machine_id in range(self.cluster.num_machines):
+            rng = self._machine_rngs[machine_id] if self._dynamic else None
+            if failures is not None:
+                self._push(
+                    Event.machine_failure(
+                        failures.draw_uptime(rng),
+                        next(self._sequence),
+                        machine_id,
+                    )
+                )
+            if stragglers is not None:
+                self._push(
+                    Event.slowdown_start(
+                        stragglers.draw_onset(rng),
+                        next(self._sequence),
+                        machine_id,
+                    )
+                )
+
+    def _handle_machine_failure(self, machine_id: int) -> None:
+        """Kill the resident copy (if any) and take the machine down.
+
+        The killed copy's task reverts to *unscheduled*, so the scheduler --
+        consulted right after this event batch -- re-dispatches it through
+        the normal launch path: exactly one replacement copy per kill for
+        single-copy policies (asserted in the engine invariant tests).
+        """
+        machine = self.cluster.machine(machine_id)
+        if machine.is_down:  # pragma: no cover - defensive (no double failures)
+            return
+        copy = machine.current_copy
+        if copy is not None and copy.is_active:
+            elapsed = copy.elapsed(self.now)
+            copy.kill(self.now)
+            self.cluster.release(copy, elapsed=elapsed)
+            self._running.pop(machine_id, None)
+            self.result.wasted_work += elapsed
+            self.result.copies_killed_by_failure += 1
+        self.cluster.mark_down(machine_id)
+        self.result.machine_failures += 1
+        failures = self.scenario.failures if self.scenario is not None else None
+        if failures is not None:
+            repair_after = failures.draw_repair(self._machine_rngs[machine_id])
+            self._push(
+                Event.machine_repair(
+                    self.now + repair_after, next(self._sequence), machine_id
+                )
+            )
+        # A failure event injected without a failure process (tests) leaves
+        # the machine down for the rest of the run.
+
+    def _handle_machine_repair(self, machine_id: int) -> None:
+        """Return a repaired machine to the free pool and draw its next uptime."""
+        self.cluster.mark_up(machine_id)
+        failures = self.scenario.failures if self.scenario is not None else None
+        if failures is not None:
+            uptime = failures.draw_uptime(self._machine_rngs[machine_id])
+            self._push(
+                Event.machine_failure(
+                    self.now + uptime, next(self._sequence), machine_id
+                )
+            )
+
+    def _handle_slowdown_start(self, machine_id: int) -> None:
+        """Begin a slow period: drop the machine's effective speed mid-flight."""
+        stragglers = self.scenario.stragglers
+        machine = self.cluster.machine(machine_id)
+        self._settle_machine(machine_id)
+        machine.slowdown = stragglers.factor
+        self._reschedule_running_copy(machine_id)
+        self.result.straggler_onsets += 1
+        self._push(
+            Event.slowdown_end(
+                self.now + stragglers.draw_duration(self._machine_rngs[machine_id]),
+                next(self._sequence),
+                machine_id,
+            )
+        )
+
+    def _handle_slowdown_end(self, machine_id: int) -> None:
+        """End a slow period: restore the machine's base speed."""
+        stragglers = self.scenario.stragglers
+        machine = self.cluster.machine(machine_id)
+        self._settle_machine(machine_id)
+        machine.slowdown = 1.0
+        self._reschedule_running_copy(machine_id)
+        if stragglers is not None:
+            self._push(
+                Event.slowdown_start(
+                    self.now + stragglers.draw_onset(self._machine_rngs[machine_id]),
+                    next(self._sequence),
+                    machine_id,
+                )
+            )
+
+    def _settle_machine(self, machine_id: int) -> None:
+        """Fold work processed since the last settle into the ledger."""
+        entry = self._running.get(machine_id)
+        if entry is None:
+            return
+        entry.work_remaining = max(
+            0.0, entry.work_remaining - entry.rate * (self.now - entry.settled_at)
+        )
+        entry.settled_at = self.now
+
+    def _reschedule_running_copy(self, machine_id: int) -> None:
+        """Re-estimate the resident copy's finish time at the machine's new rate.
+
+        Must be called right after :meth:`_settle_machine` (which priced the
+        work done so far at the *old* rate).  The superseded finish event is
+        invalidated by the version bump in :meth:`_push_finish`.
+        """
+        entry = self._running.get(machine_id)
+        if entry is None:
+            return
+        machine = self.cluster.machine(machine_id)
+        entry.rate = machine.effective_speed
+        remaining_wall = entry.work_remaining / entry.rate
+        copy = entry.copy
+        # Keep the wall-clock workload estimate coherent so progress scores
+        # (LATE/Mantri) and remaining-work queries stay meaningful.
+        copy.workload = copy.elapsed(self.now) + remaining_wall
+        self._push_finish(copy, self.now + remaining_wall)
 
     # ------------------------------------------------------------------ scheduling
 
@@ -304,6 +529,7 @@ class SimulationEngine:
             machine_id=machine_id,
             launch_time=self.now,
             workload=duration,
+            work=raw_workload,
         )
         task.add_copy(copy)
         self.cluster.place(copy)
@@ -314,9 +540,14 @@ class SimulationEngine:
             # Parked: occupies the machine, progresses only after the map phase.
             return copy
         copy.start(self.now)
-        self._push(
-            Event.copy_finish(self.now + copy.workload, next(self._sequence), copy)
-        )
+        if self._dynamic:
+            self._running[machine_id] = _RunningCopy(
+                copy=copy,
+                work_remaining=raw_workload,
+                settled_at=self.now,
+                rate=machine.effective_speed,
+            )
+        self._push_finish(copy, self.now + copy.workload)
         return copy
 
     def _maybe_schedule_tick(self) -> None:
@@ -332,17 +563,44 @@ class SimulationEngine:
         self._push(Event.tick(tick_time, next(self._sequence)))
 
     def _check_progress_possible(self) -> None:
-        """Detect a stuck simulation: pending work, free machines, no future events."""
-        if self._heap:
-            return
+        """Detect a stuck simulation: pending work, free machines, no way forward.
+
+        Under a dynamic scenario the heap is never empty (failure/repair and
+        slowdown renewal chains are perpetual), so heap non-emptiness proves
+        nothing.  Only *job-relevant* events can unstick a scheduler that
+        declines to launch: a future arrival, the completion of a running
+        copy, or a tick.  In dynamic mode ``self._running`` is exactly the
+        set of started active copies, which makes the check O(1).
+        """
         if self._completed == len(self._jobs):
+            return
+        if self._dynamic:
+            if (
+                self._arrived < len(self._jobs)
+                or self._running
+                or self._next_tick is not None
+            ):
+                return
+        elif self._heap:
             return
         pending_tasks = sum(
             job.num_unscheduled_map_tasks + job.num_unscheduled_reduce_tasks
             for job in self._alive.values()
         )
-        if pending_tasks > 0 and self.cluster.has_free_machine():
+        if pending_tasks == 0:
+            return
+        if self.cluster.has_free_machine():
             raise SimulationError(
                 "scheduler made no progress: free machines and pending tasks exist "
-                "but no launches were issued and no future events remain"
+                "but no launches were issued and no future job-relevant events remain"
+            )
+        if self._dynamic and self.cluster.num_down == 0:
+            # Every machine holds a parked (blocked) copy, nothing is
+            # running, arriving or ticking, and no repair can free capacity:
+            # machine events alone can never unblock this.  The static path
+            # reports the same deadlock after its heap drains.
+            raise SimulationError(
+                "scheduler deadlocked the cluster: every machine holds a "
+                "blocked copy while tasks remain unscheduled and no future "
+                "job-relevant events remain"
             )

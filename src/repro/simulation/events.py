@@ -1,10 +1,19 @@
 """Event types of the discrete-event engine.
 
 Events are totally ordered by ``(time, priority, sequence)``.  At equal
-timestamps copy completions are processed before job arrivals so that the
-machines freed by a completing task are visible to the scheduling decision
-triggered by a simultaneous arrival; ticks come last because they exist only
-to wake progress-monitoring schedulers.
+timestamps copy completions are processed before anything else, so a copy
+that finishes at the exact instant its machine fails (or slows down) still
+completes -- the work was done by then.  Machine repairs precede failures
+and slowdown transitions so a machine returning at a decision point is
+visible to that decision; job arrivals come next; ticks come last because
+they exist only to wake progress-monitoring schedulers.
+
+Copy-finish events carry a ``version``: under dynamic scenarios the engine
+re-estimates a running copy's finish time whenever its machine's effective
+speed changes, pushing a *new* finish event and bumping the copy's
+``finish_version``.  A finish event whose version no longer matches its
+copy's is stale and is dropped at pop time, exactly like the finish event of
+a killed clone.
 """
 
 from __future__ import annotations
@@ -22,8 +31,12 @@ class EventType(enum.IntEnum):
     """Kinds of events; the integer value doubles as the same-time priority."""
 
     COPY_FINISH = 0
-    JOB_ARRIVAL = 1
-    TICK = 2
+    MACHINE_REPAIR = 1
+    MACHINE_FAILURE = 2
+    MACHINE_SLOWDOWN_START = 3
+    MACHINE_SLOWDOWN_END = 4
+    JOB_ARRIVAL = 5
+    TICK = 6
 
 
 @dataclass(order=True)
@@ -36,6 +49,9 @@ class Event:
     event_type: EventType = field(compare=False)
     job: Optional[Job] = field(default=None, compare=False)
     copy: Optional[TaskCopy] = field(default=None, compare=False)
+    machine_id: Optional[int] = field(default=None, compare=False)
+    #: Finish-event version (see module docstring); 0 for other event types.
+    version: int = field(default=0, compare=False)
 
     @classmethod
     def arrival(cls, time: float, sequence: int, job: Job) -> "Event":
@@ -49,7 +65,9 @@ class Event:
         )
 
     @classmethod
-    def copy_finish(cls, time: float, sequence: int, copy: TaskCopy) -> "Event":
+    def copy_finish(
+        cls, time: float, sequence: int, copy: TaskCopy, version: int = 0
+    ) -> "Event":
         """A task copy running to completion on its machine."""
         return cls(
             time=time,
@@ -57,6 +75,7 @@ class Event:
             sequence=sequence,
             event_type=EventType.COPY_FINISH,
             copy=copy,
+            version=version,
         )
 
     @classmethod
@@ -67,4 +86,48 @@ class Event:
             priority=int(EventType.TICK),
             sequence=sequence,
             event_type=EventType.TICK,
+        )
+
+    @classmethod
+    def machine_failure(cls, time: float, sequence: int, machine_id: int) -> "Event":
+        """A machine going down, killing its resident copy."""
+        return cls(
+            time=time,
+            priority=int(EventType.MACHINE_FAILURE),
+            sequence=sequence,
+            event_type=EventType.MACHINE_FAILURE,
+            machine_id=machine_id,
+        )
+
+    @classmethod
+    def machine_repair(cls, time: float, sequence: int, machine_id: int) -> "Event":
+        """A failed machine returning to service."""
+        return cls(
+            time=time,
+            priority=int(EventType.MACHINE_REPAIR),
+            sequence=sequence,
+            event_type=EventType.MACHINE_REPAIR,
+            machine_id=machine_id,
+        )
+
+    @classmethod
+    def slowdown_start(cls, time: float, sequence: int, machine_id: int) -> "Event":
+        """A dynamic straggler period beginning on one machine."""
+        return cls(
+            time=time,
+            priority=int(EventType.MACHINE_SLOWDOWN_START),
+            sequence=sequence,
+            event_type=EventType.MACHINE_SLOWDOWN_START,
+            machine_id=machine_id,
+        )
+
+    @classmethod
+    def slowdown_end(cls, time: float, sequence: int, machine_id: int) -> "Event":
+        """A dynamic straggler period ending (the machine recovers)."""
+        return cls(
+            time=time,
+            priority=int(EventType.MACHINE_SLOWDOWN_END),
+            sequence=sequence,
+            event_type=EventType.MACHINE_SLOWDOWN_END,
+            machine_id=machine_id,
         )

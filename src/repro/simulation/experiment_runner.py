@@ -33,7 +33,6 @@ from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
-    Dict,
     Hashable,
     List,
     Mapping,
@@ -46,6 +45,7 @@ from typing import (
 import multiprocessing
 
 from repro.cluster.stragglers import StragglerModel
+from repro.scenarios import ScenarioSpec
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.scheduler_api import Scheduler
 from repro.workload.trace import Trace
@@ -168,7 +168,14 @@ class RunSpec:
         must cross a process boundary.
     seed:
         Drives *all* randomness of the run (workload sampling, straggler
-        inflation, randomised tie-breaking).
+        inflation, randomised tie-breaking, and -- through dedicated
+        streams -- the scenario's speed sampling and failure/slowdown
+        timelines).
+    scenario:
+        Cluster environment (heterogeneous speeds, dynamic stragglers,
+        failures); ``None`` is the paper's homogeneous static cluster.
+        :class:`~repro.scenarios.ScenarioSpec` is a frozen dataclass, so it
+        pickles across the pool like every other spec field.
     tag:
         Opaque grouping label (e.g. the sweep-point value) used by
         :meth:`ExperimentRunner.run_grouped`.
@@ -180,6 +187,7 @@ class RunSpec:
     seed: int = 0
     machine_speed: float = 1.0
     straggler_factory: Optional[Callable[[], StragglerModel]] = None
+    scenario: Optional[ScenarioSpec] = None
     max_time: Optional[float] = None
     tag: Optional[Hashable] = None
 
@@ -188,6 +196,10 @@ class RunSpec:
             raise ValueError(f"num_machines must be positive, got {self.num_machines}")
         if not callable(self.scheduler):
             raise TypeError(f"scheduler must be callable, got {self.scheduler!r}")
+        if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
+            raise TypeError(
+                f"scenario must be a ScenarioSpec, got {self.scenario!r}"
+            )
 
     def with_seed(self, seed: int) -> "RunSpec":
         """Copy of this spec with a different replication seed."""
@@ -207,6 +219,7 @@ class RunSpec:
             seed=self.seed,
             machine_speed=self.machine_speed,
             straggler_model=straggler,
+            scenario=self.scenario,
             max_time=self.max_time,
         )
 
@@ -299,6 +312,7 @@ class ExperimentRunner:
         seeds: Sequence[int] = (0, 1, 2),
         machine_speed: float = 1.0,
         straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
+        scenario: Optional[ScenarioSpec] = None,
         max_time: Optional[float] = None,
     ):
         """One run per seed of a single configuration (the paper's protocol).
@@ -316,6 +330,7 @@ class ExperimentRunner:
             num_machines=num_machines,
             machine_speed=machine_speed,
             straggler_factory=straggler_model_factory,
+            scenario=scenario,
             max_time=max_time,
         )
         results = self.run([base.with_seed(seed) for seed in seeds])
@@ -331,6 +346,7 @@ def sweep_specs(
     *,
     machine_speed: float = 1.0,
     straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
+    scenario: Optional[ScenarioSpec] = None,
     max_time: Optional[float] = None,
 ) -> List[RunSpec]:
     """Cartesian product of sweep points and seeds as a flat spec list.
@@ -352,6 +368,7 @@ def sweep_specs(
                     seed=seed,
                     machine_speed=machine_speed,
                     straggler_factory=straggler_model_factory,
+                    scenario=scenario,
                     max_time=max_time,
                     tag=tag,
                 )

@@ -71,6 +71,13 @@ class SimulationResult:
     makespan: float = 0.0
     #: Copies requested by the scheduler beyond the free-machine supply.
     over_requests: int = 0
+    #: Machine failures that occurred during the run (scenario-driven).
+    machine_failures: int = 0
+    #: Copies killed because their hosting machine failed (each is
+    #: re-dispatched exactly once through the normal scheduling path).
+    copies_killed_by_failure: int = 0
+    #: Dynamic straggler slowdown periods that began during the run.
+    straggler_onsets: int = 0
     #: Wall-clock seconds the simulation took (filled by the runner).
     runtime_seconds: float = 0.0
     #: Seed used for the run (filled by the runner).
@@ -213,6 +220,9 @@ class SimulationResult:
             "useful_work": self.useful_work,
             "makespan": self.makespan,
             "over_requests": self.over_requests,
+            "machine_failures": self.machine_failures,
+            "copies_killed_by_failure": self.copies_killed_by_failure,
+            "straggler_onsets": self.straggler_onsets,
             "records": [
                 (
                     r.job_id,
@@ -257,6 +267,9 @@ class SimulationResult:
             "redundant_work_fraction": self.redundant_work_fraction,
             "average_utilization": self.average_utilization,
             "over_requests": self.over_requests,
+            "machine_failures": self.machine_failures,
+            "copies_killed_by_failure": self.copies_killed_by_failure,
+            "straggler_onsets": self.straggler_onsets,
         }
 
     @staticmethod

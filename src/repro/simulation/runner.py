@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.stragglers import StragglerModel
+from repro.scenarios import ScenarioSpec
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.scheduler_api import Scheduler
@@ -31,6 +32,7 @@ def run_simulation(
     seed: int = 0,
     machine_speed: float = 1.0,
     straggler_model: Optional[StragglerModel] = None,
+    scenario: Optional[ScenarioSpec] = None,
     max_time: Optional[float] = None,
     check_invariants: bool = False,
 ) -> SimulationResult:
@@ -38,7 +40,8 @@ def run_simulation(
 
     Parameters mirror :class:`~repro.simulation.engine.SimulationEngine`;
     ``seed`` controls both the workload sampling and any randomised
-    tie-breaking inside the engine.
+    tie-breaking inside the engine (scenario processes draw from dedicated
+    streams derived from the same seed).
     """
     engine = SimulationEngine(
         trace=trace,
@@ -47,6 +50,7 @@ def run_simulation(
         seed=seed,
         machine_speed=machine_speed,
         straggler_model=straggler_model,
+        scenario=scenario,
         max_time=max_time,
         check_invariants=check_invariants,
     )
@@ -128,6 +132,7 @@ def run_replications(
     seeds: Sequence[int] = (0, 1, 2),
     machine_speed: float = 1.0,
     straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
+    scenario: Optional[ScenarioSpec] = None,
     max_time: Optional[float] = None,
     workers: Optional[int] = 1,
 ) -> ReplicatedResult:
@@ -151,5 +156,6 @@ def run_replications(
         seeds=seeds,
         machine_speed=machine_speed,
         straggler_model_factory=straggler_model_factory,
+        scenario=scenario,
         max_time=max_time,
     )

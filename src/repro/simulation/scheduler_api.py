@@ -59,12 +59,21 @@ class SchedulerView:
 
     @property
     def num_free_machines(self) -> int:
-        """Machines idle at this instant."""
+        """Machines idle (and up) at this instant."""
         return self._engine.cluster.num_free
+
+    @property
+    def num_down_machines(self) -> int:
+        """Machines currently failed (0 outside failure scenarios)."""
+        return self._engine.cluster.num_down
 
     def num_running(self, phase: Phase) -> int:
         """``M(t)`` / ``R(t)`` -- machines running copies of the given phase."""
         return self._engine.cluster.num_running(phase)
+
+    def machine_speed(self, machine_id: int) -> float:
+        """Base speed of one machine (heterogeneous scenarios expose these)."""
+        return self._engine.cluster.speed_of(machine_id)
 
     # -- jobs ---------------------------------------------------------------------
 

@@ -141,6 +141,14 @@ class TaskCopy:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     killed_at: Optional[float] = None
+    #: Raw work units of this copy (post straggler inflation, before the
+    #: hosting machine's speed is applied).  Engine-managed; lets dynamic
+    #: scenarios recompute the wall-clock ``workload`` when the machine's
+    #: effective speed changes.
+    work: Optional[float] = None
+    #: Version of the copy's currently valid finish event (engine-managed).
+    #: A queued finish event with a smaller version is stale.
+    finish_version: int = 0
 
     def __post_init__(self) -> None:
         if self.workload <= 0:

@@ -16,7 +16,7 @@ from repro.schedulers.base import SpeculationEstimator
 from repro.core.speedup import ParetoSpeedup
 from repro.simulation.runner import run_simulation
 from repro.workload.distributions import Deterministic, LogNormal
-from repro.workload.generators import bimodal_trace, bulk_arrival_trace
+from repro.workload.generators import bulk_arrival_trace
 from repro.workload.job import JobSpec, Phase
 from repro.workload.trace import Trace
 

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _scenario_from_args, build_parser, main
+from repro.scenarios import scenario_preset
 
 
 class TestParser:
@@ -29,6 +30,70 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure99"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure6", "--scenario", "bogus"])
+
+
+class TestScenarioFlags:
+    def _scenario(self, *flags, experiment="figure6"):
+        return _scenario_from_args(build_parser().parse_args([experiment, *flags]))
+
+    def test_no_flags_is_homogeneous(self):
+        assert self._scenario() is None
+
+    def test_preset_selected(self):
+        assert self._scenario("--scenario", "failures") == scenario_preset("failures")
+
+    def test_detail_flags_override_preset(self):
+        spec = self._scenario("--scenario", "failures", "--repair-time", "5")
+        assert spec.failures.mean_repair == 5.0
+        assert spec.failures.rate == scenario_preset("failures").failures.rate
+        spec = self._scenario(
+            "--scenario", "dynamic-stragglers", "--slowdown-factor", "8"
+        )
+        assert spec.stragglers.factor == 8.0
+
+    def test_rate_flags_create_processes(self):
+        spec = self._scenario(
+            "--failure-rate", "1e-4", "--slowdown-rate", "1e-3",
+            "--slowdown-duration", "30", "--speed-spread", "0.5",
+        )
+        assert spec.failures.rate == 1e-4
+        assert spec.stragglers.mean_duration == 30.0
+        assert spec.speeds.low == 0.5 and spec.speeds.high == 1.5
+        assert spec.normalize_mean_speed
+
+    def test_zero_rate_disables_preset_process(self):
+        assert self._scenario("--scenario", "failures", "--failure-rate", "0") is None
+
+    def test_orphan_detail_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            self._scenario("--repair-time", "5")
+        with pytest.raises(SystemExit):
+            self._scenario("--slowdown-duration", "5")
+        with pytest.raises(SystemExit):
+            self._scenario("--speed-spread", "1.5")
+
+    def test_invalid_process_values_exit_cleanly(self):
+        """Spec validation errors surface as SystemExit, not tracebacks."""
+        with pytest.raises(SystemExit):
+            self._scenario("--failure-rate", "-1")
+        with pytest.raises(SystemExit):
+            self._scenario("--slowdown-rate", "1e-3", "--slowdown-factor", "0.5")
+        with pytest.raises(SystemExit):
+            self._scenario("--scenario", "failures", "--repair-time", "0")
+
+    def test_scenario_sweep_allows_bare_repair_time(self):
+        assert self._scenario(
+            "--repair-time", "5", experiment="scenario-sweep"
+        ) is None
+
+    def test_scenario_rejected_for_non_simulating_experiments(self):
+        for experiment in ("table2", "offline-bound", "scenario-sweep", "all"):
+            with pytest.raises(SystemExit):
+                main([experiment, "--scenario", "failures"])
 
 
 class TestMain:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cluster.machine import Machine
@@ -153,6 +152,81 @@ class TestClusterState:
             ClusterState(0)
         with pytest.raises(ValueError):
             ClusterState(1, machine_speed=0.0)
+        with pytest.raises(ValueError):
+            ClusterState(2, speeds=[1.0])
+        with pytest.raises(ValueError):
+            ClusterState(2, speeds=[1.0, 0.0])
+
+    def test_per_machine_speeds(self):
+        cluster = ClusterState(3, speeds=[0.5, 1.0, 2.0])
+        assert cluster.speed_of(0) == 0.5
+        assert cluster.speed_of(2) == 2.0
+        assert cluster.speeds == [0.5, 1.0, 2.0]
+        assert cluster.mean_speed == pytest.approx(3.5 / 3)
+        assert cluster.machine(1).processing_time(10.0) == 10.0
+        assert cluster.machine(2).processing_time(10.0) == 5.0
+
+    def test_homogeneous_speed_fills_every_machine(self):
+        cluster = ClusterState(3, machine_speed=2.0)
+        assert cluster.speeds == [2.0, 2.0, 2.0]
+        assert cluster.mean_speed == 2.0
+
+
+class TestClusterFailureState:
+    def test_mark_down_removes_from_free_pool(self):
+        cluster = ClusterState(3)
+        cluster.mark_down(1)
+        assert cluster.num_down == 1
+        assert cluster.num_free == 2
+        assert cluster.num_busy == 0
+        assert cluster.machine(1).is_down
+        assert cluster.machine(1).failures == 1
+        cluster.check_invariants()
+        # Placements skip the down machine.
+        assert cluster.peek_free_machine() != 1
+
+    def test_mark_up_restores_machine(self):
+        cluster = ClusterState(2)
+        cluster.mark_down(0)
+        cluster.mark_up(0)
+        assert cluster.num_down == 0
+        assert cluster.num_free == 2
+        assert not cluster.machine(0).is_down
+        cluster.check_invariants()
+
+    def test_down_machine_rejects_assignment(self):
+        cluster = ClusterState(1)
+        cluster.mark_down(0)
+        job = make_job()
+        with pytest.raises(ValueError):
+            cluster.machine(0).assign(make_copy(job.map_tasks[0], 0))
+        with pytest.raises(ValueError):
+            cluster.machine(0).processing_time(10.0)
+
+    def test_mark_down_requires_idle_machine(self):
+        cluster = ClusterState(1)
+        job = make_job()
+        copy = make_copy(job.map_tasks[0], cluster.peek_free_machine())
+        cluster.place(copy)
+        with pytest.raises(ValueError):
+            cluster.mark_down(0)
+
+    def test_double_transitions_rejected(self):
+        cluster = ClusterState(1)
+        cluster.mark_down(0)
+        with pytest.raises(ValueError):
+            cluster.mark_down(0)
+        cluster.mark_up(0)
+        with pytest.raises(ValueError):
+            cluster.mark_up(0)
+
+    def test_effective_speed_reflects_slowdown(self):
+        machine = Machine(machine_id=0, speed=2.0)
+        assert machine.effective_speed == 2.0
+        machine.slowdown = 4.0
+        assert machine.effective_speed == 0.5
+        machine.is_down = True
+        assert machine.effective_speed == 0.0
 
 
 class TestStragglerModels:

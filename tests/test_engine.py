@@ -11,7 +11,7 @@ from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.events import Event, EventType
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
 from repro.workload.distributions import Deterministic
-from repro.workload.generators import bulk_arrival_trace, uniform_trace
+from repro.workload.generators import uniform_trace
 from repro.workload.job import JobSpec, Phase
 from repro.workload.trace import Trace
 

@@ -17,7 +17,7 @@ from repro.schedulers import (
     SRPTScheduler,
 )
 from repro.simulation.engine import SimulationEngine
-from repro.workload.generators import bimodal_trace, poisson_trace
+from repro.workload.generators import bimodal_trace
 
 
 def all_schedulers():

@@ -7,9 +7,8 @@ import pytest
 
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.simulation.metrics import JobRecord, SimulationResult
-from repro.simulation.runner import ReplicatedResult, run_replications, run_simulation
+from repro.simulation.runner import run_replications, run_simulation
 from repro.schedulers.fifo import FIFOScheduler
-from repro.workload.generators import uniform_trace
 
 
 def record(job_id=0, arrival=0.0, completion=10.0, weight=1.0, maps=2, reduces=1,

@@ -8,7 +8,6 @@ from repro.analysis.theory import offline_bound_check
 from repro.core.offline import OfflineSRPTScheduler
 from repro.simulation.runner import run_simulation
 from repro.workload.generators import bulk_arrival_trace
-from repro.workload.job import Phase
 
 
 class TestPriorityOrdering:

@@ -9,7 +9,7 @@ from repro.simulation.engine import SimulationEngine
 from repro.simulation.runner import run_simulation
 from repro.workload.distributions import Deterministic, LogNormal
 from repro.workload.generators import bulk_arrival_trace, uniform_trace
-from repro.workload.job import JobSpec, Phase
+from repro.workload.job import JobSpec
 from repro.workload.trace import Trace
 
 
