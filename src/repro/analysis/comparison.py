@@ -36,6 +36,7 @@ class ComparisonRow:
     weighted_mean_flowtime: float
 
     def as_dict(self) -> Dict[str, float]:
+        """The comparison table as a plain dictionary."""
         return {
             "scheduler": self.scheduler,
             "mean_flowtime": self.mean_flowtime,
@@ -64,6 +65,7 @@ class ComparisonTable:
         return table
 
     def row(self, scheduler: str) -> ComparisonRow:
+        """One scheduler's row of the comparison table."""
         for entry in self.rows:
             if entry.scheduler == scheduler:
                 return entry

@@ -40,11 +40,13 @@ class OfflineBoundReport:
 
     @property
     def fraction_satisfying_bound(self) -> float:
+        """Fraction of runs whose flowtime meets the theoretical bound."""
         if self.num_jobs == 0:
             return 0.0
         return self.num_satisfying_bound / self.num_jobs
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         return "\n".join(
             [
                 f"jobs                        : {self.num_jobs}",

@@ -11,6 +11,7 @@ Examples::
     repro-mapreduce figure6 --scenario uniform-hetero
     repro-mapreduce figure6 --failure-rate 0.001 --repair-time 50
     repro-mapreduce scenario-sweep --scale 0.01 --workers 0
+    repro-mapreduce figure6 --cache-dir ~/.cache/repro-mapreduce
 
 Each subcommand prints the plain-text report of the corresponding
 experiment; ``--scale`` shrinks the trace and the cluster together so the
@@ -18,7 +19,10 @@ offered load stays at the paper's level.  ``--scenario`` (and the
 fine-grained ``--speed-spread``/``--failure-rate``/``--slowdown-*`` flags)
 run any *figure* experiment under a non-ideal cluster environment; the
 non-simulating experiments reject scenario flags instead of silently
-ignoring them.  See :mod:`repro.scenarios`.
+ignoring them.  See :mod:`repro.scenarios`.  ``--cache-dir`` enables the
+results cache (:mod:`repro.simulation.results_store`): re-invocations and
+interrupted sweeps reuse already-computed cells byte-for-byte instead of
+re-simulating; ``--no-cache`` bypasses it.
 """
 
 from __future__ import annotations
@@ -120,6 +124,27 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for replicated sweeps: 1 runs serially, 0 uses "
             "every CPU; results are identical for any value (default 1)"
         ),
+    )
+    cache = parser.add_argument_group(
+        "results cache",
+        "content-addressed store of simulation results "
+        "(repro.simulation.results_store); cached cells are returned "
+        "byte-equal with zero engine runs, so re-invocations and "
+        "interrupted sweeps resume instead of recomputing",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory to cache simulation results in (created if missing); "
+            "default: no caching"
+        ),
+    )
+    cache.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the results cache even if --cache-dir is given",
     )
     scenario = parser.add_argument_group(
         "scenario",
@@ -316,6 +341,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         num_machines=args.machines,
         workers=_workers_from_args(args),
         scenario=scenario,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
 
 

@@ -11,7 +11,6 @@ straggler model can both be expressed directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -20,7 +19,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 __all__ = ["Machine"]
 
 
-@dataclass
 class Machine:
     """One machine (processor, core or VM) of the cluster.
 
@@ -40,29 +38,56 @@ class Machine:
         True while the machine is failed; a down machine hosts no copies.
     current_copy:
         The task copy occupying this machine, or ``None`` when idle.
+    busy_time:
+        Total busy time accumulated, for utilisation accounting.
+    copies_hosted:
+        Number of copies this machine has ever executed (incl. killed clones).
+    failures:
+        Number of failures this machine has suffered.
     """
 
-    machine_id: int
-    speed: float = 1.0
-    #: Dynamic straggler divisor applied to ``speed`` (1.0 = healthy).
-    slowdown: float = 1.0
-    #: True while the machine is failed (engine/ClusterState managed).
-    is_down: bool = False
-    current_copy: Optional["TaskCopy"] = field(default=None, repr=False)
-    #: Total busy time accumulated, for utilisation accounting.
-    busy_time: float = 0.0
-    #: Number of copies this machine has ever executed (including killed clones).
-    copies_hosted: int = 0
-    #: Number of failures this machine has suffered.
-    failures: int = 0
+    __slots__ = (
+        "machine_id",
+        "speed",
+        "slowdown",
+        "is_down",
+        "current_copy",
+        "busy_time",
+        "copies_hosted",
+        "failures",
+    )
 
-    def __post_init__(self) -> None:
-        if self.machine_id < 0:
-            raise ValueError(f"machine_id must be >= 0, got {self.machine_id}")
-        if self.speed <= 0:
-            raise ValueError(f"machine speed must be positive, got {self.speed}")
-        if self.slowdown < 1.0:
-            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+    def __init__(
+        self,
+        machine_id: int,
+        speed: float = 1.0,
+        slowdown: float = 1.0,
+        is_down: bool = False,
+        current_copy: Optional["TaskCopy"] = None,
+        busy_time: float = 0.0,
+        copies_hosted: int = 0,
+        failures: int = 0,
+    ) -> None:
+        if machine_id < 0:
+            raise ValueError(f"machine_id must be >= 0, got {machine_id}")
+        if speed <= 0:
+            raise ValueError(f"machine speed must be positive, got {speed}")
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+        self.machine_id = machine_id
+        self.speed = speed
+        self.slowdown = slowdown
+        self.is_down = is_down
+        self.current_copy = current_copy
+        self.busy_time = busy_time
+        self.copies_hosted = copies_hosted
+        self.failures = failures
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine(machine_id={self.machine_id}, speed={self.speed}, "
+            f"slowdown={self.slowdown}, is_down={self.is_down})"
+        )
 
     @property
     def is_free(self) -> bool:

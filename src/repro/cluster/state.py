@@ -51,7 +51,10 @@ class ClusterState:
         ]
         self._free_ids: List[int] = list(range(num_machines - 1, -1, -1))
         self._copy_to_machine: Dict[int, int] = {}
-        self._phase_counts: Dict[Phase, int] = {Phase.MAP: 0, Phase.REDUCE: 0}
+        # Plain int counters per phase (dict-of-Phase hashing is measurable
+        # on the placement hot path).
+        self._map_running = 0
+        self._reduce_running = 0
         self._num_down = 0
 
     # -- basic accessors ---------------------------------------------------------
@@ -101,7 +104,7 @@ class ClusterState:
 
     def num_running(self, phase: Phase) -> int:
         """``M(t)`` or ``R(t)``: machines occupied by copies of ``phase``."""
-        return self._phase_counts[phase]
+        return self._map_running if phase is Phase.MAP else self._reduce_running
 
     @property
     def utilization(self) -> float:
@@ -111,6 +114,7 @@ class ClusterState:
     # -- placement -----------------------------------------------------------------
 
     def has_free_machine(self) -> bool:
+        """True while at least one machine is idle and up."""
         return bool(self._free_ids)
 
     def peek_free_machine(self) -> Optional[int]:
@@ -136,7 +140,10 @@ class ClusterState:
         machine = self._machines[machine_id]
         machine.assign(copy)
         self._copy_to_machine[id(copy)] = machine_id
-        self._phase_counts[copy.task.phase] += 1
+        if copy.task.phase is Phase.MAP:
+            self._map_running += 1
+        else:
+            self._reduce_running += 1
         return machine
 
     def release(self, copy: TaskCopy, elapsed: float = 0.0) -> Machine:
@@ -148,7 +155,10 @@ class ClusterState:
         machine = self._machines[machine_id]
         machine.release(elapsed=elapsed)
         self._free_ids.append(machine_id)
-        self._phase_counts[copy.task.phase] -= 1
+        if copy.task.phase is Phase.MAP:
+            self._map_running -= 1
+        else:
+            self._reduce_running -= 1
         return machine
 
     def machine_of(self, copy: TaskCopy) -> Optional[int]:
@@ -202,8 +212,7 @@ class ClusterState:
         assert len(down_machines) == self.num_down, "down count inconsistent"
         assert len(self._copy_to_machine) == self.num_busy, "copy map inconsistent"
         assert (
-            self._phase_counts[Phase.MAP] + self._phase_counts[Phase.REDUCE]
-            == self.num_busy
+            self._map_running + self._reduce_running == self.num_busy
         ), "phase counts inconsistent"
         assert self.num_busy + self.num_free + self.num_down == self.num_machines
         for machine in down_machines:

@@ -79,6 +79,7 @@ class NoStragglers(StragglerModel):
     def inflate(
         self, workload: float, machine_id: int, rng: np.random.Generator
     ) -> float:
+        """Apply the straggler model to one sampled workload (see base class)."""
         return workload
 
 
@@ -96,6 +97,7 @@ class ProbabilisticSlowdown(StragglerModel):
     def inflate(
         self, workload: float, machine_id: int, rng: np.random.Generator
     ) -> float:
+        """Apply the straggler model to one sampled workload (see base class)."""
         if self.probability > 0 and rng.random() < self.probability:
             return workload * self.factor
         return workload
@@ -124,6 +126,7 @@ class SlowMachines(StragglerModel):
         return set(self._slow_machines) if self._slow_machines else set()
 
     def prepare(self, num_machines: int, rng: np.random.Generator) -> None:
+        """Pre-run hook: sample per-machine straggler state (see base class)."""
         if num_machines <= 0:
             raise ValueError(f"num_machines must be positive, got {num_machines}")
         n_slow = int(round(self.fraction * num_machines))
@@ -133,6 +136,7 @@ class SlowMachines(StragglerModel):
     def inflate(
         self, workload: float, machine_id: int, rng: np.random.Generator
     ) -> float:
+        """Apply the straggler model to one sampled workload (see base class)."""
         if self._slow_machines is None:
             raise RuntimeError("SlowMachines.prepare() must be called before use")
         if machine_id in self._slow_machines:
@@ -159,6 +163,7 @@ class ParetoTailInflation(StragglerModel):
     def inflate(
         self, workload: float, machine_id: int, rng: np.random.Generator
     ) -> float:
+        """Apply the straggler model to one sampled workload (see base class)."""
         factor = (1.0 - rng.random()) ** (-1.0 / self.alpha)
         return workload * min(factor, self.cap)
 

@@ -24,7 +24,12 @@ from typing import Dict, List, Sequence, Tuple
 from repro.core.priority import online_priority
 from repro.workload.job import Job
 
-__all__ = ["fractional_shares", "integer_shares", "epsilon_shares"]
+__all__ = [
+    "fractional_shares",
+    "integer_shares",
+    "epsilon_shares",
+    "epsilon_shares_from_ordered",
+]
 
 
 def fractional_shares(
@@ -116,6 +121,24 @@ def integer_shares(
     return floors
 
 
+def epsilon_shares_from_ordered(
+    pairs: Sequence[Tuple[int, float]],
+    num_machines: int,
+    epsilon: float,
+) -> Dict[int, int]:
+    """Fractional then integer shares for already-priority-sorted jobs.
+
+    ``pairs`` is ``(job_id, weight)`` sorted by *decreasing* priority.  This
+    is the single implementation of the sharing pipeline; callers that have
+    already sorted (the SRPTMS+C scheduler sorts once per decision point)
+    use it directly, :func:`epsilon_shares` sorts and delegates.
+    """
+    fractional = fractional_shares(pairs, num_machines, epsilon)
+    return integer_shares(
+        fractional, [job_id for job_id, _ in pairs], num_machines
+    )
+
+
 def epsilon_shares(
     jobs: Sequence[Job],
     num_machines: int,
@@ -133,6 +156,6 @@ def epsilon_shares(
     ordered = sorted(
         jobs, key=lambda job: (-online_priority(job, r), job.job_id)
     )
-    pairs = [(job.job_id, job.weight) for job in ordered]
-    fractional = fractional_shares(pairs, num_machines, epsilon)
-    return integer_shares(fractional, [job.job_id for job in ordered], num_machines)
+    return epsilon_shares_from_ordered(
+        [(job.job_id, job.weight) for job in ordered], num_machines, epsilon
+    )

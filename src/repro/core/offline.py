@@ -101,6 +101,7 @@ class OfflineSRPTScheduler(Scheduler):
         return candidates[index]
 
     def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
+        """Return the copies to launch at this decision point (see base class)."""
         free = view.num_free_machines
         if free <= 0:
             return []

@@ -35,7 +35,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.core.allocation import epsilon_shares
+from repro.core.allocation import epsilon_shares_from_ordered
 from repro.core.priority import online_priority
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
 from repro.workload.job import Job, Phase, Task
@@ -106,10 +106,20 @@ class SRPTMSCScheduler(Scheduler):
     # -- helpers ------------------------------------------------------------------------
 
     def _schedulable_jobs(self, view: SchedulerView) -> List[Job]:
-        """``psi^s(l)``: alive jobs that still have unscheduled, launchable tasks."""
+        """``psi^s(l)``: alive jobs that still have unscheduled, launchable tasks.
+
+        Uses the O(1) per-job counters (never builds task lists), so this is
+        O(alive jobs) per decision point regardless of job sizes.
+        """
         jobs: List[Job] = []
+        allow_early_reduce = self.schedule_reduce_before_map_completion
         for job in view.alive_jobs:
-            if self._unscheduled_candidates(job):
+            if job.num_unscheduled_map_tasks > 0:
+                jobs.append(job)
+            elif (
+                (job.map_phase_complete or allow_early_reduce)
+                and job.num_unscheduled_reduce_tasks > 0
+            ):
                 jobs.append(job)
         return jobs
 
@@ -173,6 +183,7 @@ class SRPTMSCScheduler(Scheduler):
     # -- decision ------------------------------------------------------------------------
 
     def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
+        """Return the copies to launch at this decision point (see base class)."""
         available = view.num_free_machines
         if available <= 0:
             return []
@@ -180,9 +191,17 @@ class SRPTMSCScheduler(Scheduler):
         if not jobs:
             return []
 
-        shares = epsilon_shares(jobs, view.num_machines, self.epsilon, self.r)
+        # Priorities are O(1) per job (incremental counters); sort once and
+        # feed the same ordering to the sharing rule instead of re-sorting
+        # inside an epsilon_shares() call.
+        r = self.r
         ordered = sorted(
-            jobs, key=lambda job: (-online_priority(job, self.r), job.job_id)
+            jobs, key=lambda job: (-online_priority(job, r), job.job_id)
+        )
+        shares = epsilon_shares_from_ordered(
+            [(job.job_id, job.weight) for job in ordered],
+            view.num_machines,
+            self.epsilon,
         )
 
         requests: List[LaunchRequest] = []

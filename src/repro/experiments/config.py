@@ -62,6 +62,14 @@ class ExperimentConfig:
         (heterogeneous speeds, dynamic stragglers, failures); ``None`` is
         the paper's homogeneous static cluster.  The CLI sets this from
         ``--scenario`` and its override flags.
+    cache_dir:
+        Directory of the results cache
+        (:class:`~repro.simulation.results_store.ResultsStore`).  When set,
+        every simulation cell an experiment executes is persisted there and
+        re-invocations (same trace, scheduler, scenario, seed) are served
+        from disk byte-equal, with zero engine runs -- this is what lets an
+        interrupted sweep resume.  ``None`` disables caching.  The CLI sets
+        this from ``--cache-dir`` / ``--no-cache``.
     """
 
     scale: float = 0.02
@@ -73,6 +81,7 @@ class ExperimentConfig:
     within_job_cv: float = 0.6
     workers: Optional[int] = 1
     scenario: Optional[ScenarioSpec] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
@@ -135,4 +144,4 @@ class ExperimentConfig:
 
     def make_runner(self) -> ExperimentRunner:
         """The experiment runner this configuration asks for."""
-        return ExperimentRunner(workers=self.workers)
+        return ExperimentRunner(workers=self.workers, cache_dir=self.cache_dir)

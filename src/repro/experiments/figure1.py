@@ -51,6 +51,7 @@ class Figure1Result:
         return self.epsilons[index]
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         table = render_sweep_table(
             "epsilon",
             list(self.epsilons),

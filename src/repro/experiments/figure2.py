@@ -35,11 +35,13 @@ class Figure2Result:
 
     @property
     def best_r_unweighted(self) -> float:
+        """The swept ``r`` minimising the unweighted mean flowtime."""
         index = min(range(len(self.r_values)), key=lambda i: self.mean_flowtimes[i])
         return self.r_values[index]
 
     @property
     def best_r_weighted(self) -> float:
+        """The swept ``r`` minimising the weighted mean flowtime."""
         index = min(
             range(len(self.r_values)),
             key=lambda i: self.weighted_mean_flowtimes[i],
@@ -56,6 +58,7 @@ class Figure2Result:
         return (high - low) / low
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         table = render_sweep_table(
             "r",
             list(self.r_values),

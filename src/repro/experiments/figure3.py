@@ -52,6 +52,7 @@ class Figure3Result:
         return self.machine_counts[-1]
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         table = render_sweep_table(
             "machines",
             list(self.machine_counts),

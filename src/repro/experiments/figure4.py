@@ -36,6 +36,7 @@ class Figure4Result:
         return self.curves[scheduler][index]
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         table = render_cdf_table(
             {name: list(values) for name, values in self.curves.items()},
             list(self.points),

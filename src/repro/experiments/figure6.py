@@ -32,6 +32,7 @@ class Figure6Result:
         return self.table.improvement_over(scheduler, self.baseline, weighted=weighted)
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         header = "Figure 6 -- average job flowtime per scheduler"
         body = self.table.render(baseline=self.baseline)
         unweighted = self.improvement_over_baseline(weighted=False)

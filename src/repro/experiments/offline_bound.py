@@ -40,6 +40,7 @@ class OfflineBoundResult:
     num_machines: int
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         return "\n".join(
             [
                 f"Offline Algorithm 1 on a bulk arrival ({self.num_machines} machines, r={self.r:g})",

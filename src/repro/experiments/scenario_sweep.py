@@ -122,6 +122,7 @@ class ScenarioSweepResult:
         return self._advantages(self.failure_flowtimes)
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         hetero_series: Dict[str, Sequence[float]] = {
             name: list(self.hetero_flowtimes[name]) for name in self.schedulers
         }

@@ -43,6 +43,7 @@ class Table2Result:
         }
 
     def render(self) -> str:
+        """Human-readable report of this experiment's results."""
         stats = self.statistics
         targets = self.targets
         rows = {

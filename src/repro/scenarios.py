@@ -112,6 +112,7 @@ class UniformSpeeds(SpeedDistribution):
             raise ValueError(f"high must be >= low, got [{self.low}, {self.high}]")
 
     def sample(self, num_machines: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw one speed per machine (see base class)."""
         return rng.uniform(self.low, self.high, size=num_machines)
 
 
@@ -140,6 +141,7 @@ class BimodalSpeeds(SpeedDistribution):
             )
 
     def sample(self, num_machines: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw one speed per machine (see base class)."""
         slow = rng.random(num_machines) < self.slow_fraction
         return np.where(slow, self.slow_speed, self.fast_speed)
 
@@ -164,6 +166,7 @@ class ZipfSpeeds(SpeedDistribution):
             raise ValueError(f"num_tiers must be >= 1, got {self.num_tiers}")
 
     def sample(self, num_machines: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw one speed per machine (see base class)."""
         tiers = np.arange(1, self.num_tiers + 1, dtype=float)
         weights = tiers**-self.alpha
         probabilities = weights / weights.sum()

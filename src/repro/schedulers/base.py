@@ -40,6 +40,13 @@ class SingleCopyScheduler(Scheduler):
     def job_order(self, view: SchedulerView) -> Sequence[Job]:
         """Alive jobs in the order machines should be offered to them."""
 
+    @staticmethod
+    def has_launchable_tasks(job: Job) -> bool:
+        """O(1) counter-based test for :meth:`launchable_tasks` being non-empty."""
+        if job.num_unscheduled_map_tasks > 0:
+            return True
+        return job.map_phase_complete and job.num_unscheduled_reduce_tasks > 0
+
     def launchable_tasks(self, job: Job) -> List[Task]:
         """Unscheduled tasks of ``job`` that can run right now."""
         pending_maps = job.unscheduled_tasks(Phase.MAP)
@@ -50,6 +57,7 @@ class SingleCopyScheduler(Scheduler):
         return []
 
     def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
+        """Return the copies to launch at this decision point (see base class)."""
         free = view.num_free_machines
         if free <= 0:
             return []
@@ -57,6 +65,10 @@ class SingleCopyScheduler(Scheduler):
         for job in self.job_order(view):
             if free <= 0:
                 break
+            if not self.has_launchable_tasks(job):
+                # O(1) skip: don't build a task list for a job with nothing
+                # launchable (the common case once a job is fully dispatched).
+                continue
             for task in self.launchable_tasks(job):
                 if free <= 0:
                     break

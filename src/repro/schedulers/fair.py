@@ -37,6 +37,7 @@ class FairScheduler(SingleCopyScheduler):
         )
 
     def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
+        """Return the copies to launch at this decision point (see base class)."""
         free = view.num_free_machines
         if free <= 0:
             return []
@@ -45,10 +46,10 @@ class FairScheduler(SingleCopyScheduler):
         candidates: Dict[int, List] = {}
         jobs: Dict[int, Job] = {}
         for job in view.alive_jobs:
-            tasks = self.launchable_tasks(job)
-            if tasks:
-                candidates[job.job_id] = list(tasks)
-                jobs[job.job_id] = job
+            if not self.has_launchable_tasks(job):
+                continue
+            candidates[job.job_id] = self.launchable_tasks(job)
+            jobs[job.job_id] = job
         if not candidates:
             return []
 

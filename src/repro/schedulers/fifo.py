@@ -23,4 +23,12 @@ class FIFOScheduler(SingleCopyScheduler):
     name = "FIFO"
 
     def job_order(self, view: SchedulerView) -> Sequence[Job]:
-        return sorted(view.alive_jobs, key=lambda job: (job.arrival_time, job.job_id))
+        """Alive jobs in arrival order.
+
+        The engine maintains the alive set in arrival-event order, which is
+        exactly ``(arrival_time, job_id)``: traces are sorted on that key
+        and simultaneous arrivals are enqueued in trace order.  Returning
+        the view's order directly is therefore identical to re-sorting --
+        and O(n) instead of O(n log n) at every decision point.
+        """
+        return view.alive_jobs

@@ -111,6 +111,7 @@ class MantriScheduler(FairScheduler):
     # -- decision ----------------------------------------------------------------------
 
     def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
+        """Return the copies to launch at this decision point (see base class)."""
         requests = list(super().schedule(view))
         used = sum(request.num_copies for request in requests)
         free = view.num_free_machines - used

@@ -68,7 +68,7 @@ class SCAScheduler(FairScheduler):
 
     def _phase_pending_count(self, job: Job, phase: Phase) -> int:
         """Unfinished task count of one phase, used to scale marginal gains."""
-        return sum(1 for task in job.tasks(phase) if not task.is_completed)
+        return job.num_incomplete_tasks(phase)
 
     def _marginal_gain(self, task: Task, copies: int, pending_in_phase: int) -> float:
         """Weighted reduction in expected phase time from one more clone."""
@@ -117,6 +117,7 @@ class SCAScheduler(FairScheduler):
     # -- decision --------------------------------------------------------------------------
 
     def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
+        """Return the copies to launch at this decision point (see base class)."""
         free = view.num_free_machines
         if free <= 0:
             return []

@@ -30,6 +30,7 @@ class SRPTScheduler(SingleCopyScheduler):
         self.r = r
 
     def job_order(self, view: SchedulerView) -> Sequence[Job]:
+        """Alive jobs in this policy's service order (see base class)."""
         return sorted(
             view.alive_jobs,
             key=lambda job: (-online_priority(job, self.r), job.job_id),

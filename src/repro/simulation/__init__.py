@@ -23,6 +23,11 @@ from repro.simulation.experiment_runner import (
     sweep_specs,
 )
 from repro.simulation.metrics import JobRecord, SimulationResult
+from repro.simulation.results_store import (
+    ResultsStore,
+    UncacheableSpecError,
+    run_spec_fingerprint,
+)
 from repro.simulation.runner import (
     ReplicatedResult,
     run_replications,
@@ -49,4 +54,7 @@ __all__ = [
     "TraceSpec",
     "default_workers",
     "sweep_specs",
+    "ResultsStore",
+    "UncacheableSpecError",
+    "run_spec_fingerprint",
 ]

@@ -21,43 +21,66 @@ Scenario extensions (:mod:`repro.scenarios`):
 * a machine's *effective* speed can change mid-run -- dynamic straggler
   slowdown onset/recovery -- in which case the engine settles the work its
   resident copy has completed so far and re-estimates the finish time at
-  the new rate (stale finish events are dropped by version);
-* machines can fail, killing the resident copy (re-dispatched exactly once
-  through the normal scheduling path because the task becomes unscheduled
-  again) and rejoining the free pool after repair.
+  the new rate (stale finish events are dropped by version: the
+  *versioned finish event* contract of :mod:`repro.simulation.events`);
+* machines can fail, killing the resident copy (re-dispatched **exactly
+  once** through the normal scheduling path because the task becomes
+  unscheduled again) and rejoining the free pool after repair.
 
 All scenario randomness flows from dedicated per-run / per-machine streams
 (see the seeding contract in :mod:`repro.scenarios`), so enabling a
 scenario never perturbs workload sampling, and every run stays a pure
 function of its spec.
+
+Streaming traces and the hot path
+---------------------------------
+The engine accepts either a fully materialised
+:class:`~repro.workload.trace.Trace` or a lazy
+:class:`~repro.workload.stream.TraceStream`.  In both cases arrivals are
+consumed with **one event of lookahead**: exactly one not-yet-fired arrival
+event sits in the heap at any time, and popping it immediately pulls the
+next job spec from the source.  Because the source is arrival-ordered, this
+produces byte-identical event batches to pushing every arrival up front
+while keeping memory proportional to the *alive* job set -- a million-job
+stream never materialises a million specs.  For a ``Trace`` the engine
+additionally retains finished :class:`~repro.workload.job.Job` objects (in
+``_jobs``, arrival order) for post-run inspection; for a stream it drops
+them as they finish so memory stays bounded.
+
+The hot path relies on the O(1) incremental counters of
+:mod:`repro.workload.job` (unscheduled/active/incomplete task counts
+updated at copy transitions, never recomputed by scanning) and on the
+tuple-keyed :class:`~repro.simulation.events.EventHeap` (C-speed
+comparisons, lazy-deletion decrease-key for finish re-estimates).
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.cluster.stragglers import NoStragglers, StragglerModel
 from repro.scenarios import ScenarioSpec, machine_process_rng
-from repro.simulation.events import Event, EventType
+from repro.simulation.events import Event, EventHeap, EventType
 from repro.simulation.metrics import JobRecord, SimulationResult
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
 from repro.workload.job import Job, Phase, Task, TaskCopy
+from repro.workload.stream import TraceStream
 from repro.workload.trace import Trace
 
 __all__ = ["SimulationEngine", "SimulationError"]
+
+#: What the engine accepts as a workload: an in-memory trace or a lazy stream.
+TraceLike = Union[Trace, TraceStream]
 
 
 class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent or stuck state."""
 
 
-@dataclass
 class _RunningCopy:
     """Dynamic-scenario progress ledger for the copy running on one machine.
 
@@ -67,18 +90,23 @@ class _RunningCopy:
     re-estimated whenever the rate changes.
     """
 
-    copy: TaskCopy
-    work_remaining: float
-    settled_at: float
-    rate: float
+    __slots__ = ("copy", "work_remaining", "settled_at", "rate")
+
+    def __init__(
+        self, copy: TaskCopy, work_remaining: float, settled_at: float, rate: float
+    ) -> None:
+        self.copy = copy
+        self.work_remaining = work_remaining
+        self.settled_at = settled_at
+        self.rate = rate
 
 
 class SimulationEngine:
-    """Replays one trace against one scheduler on an ``M``-machine cluster."""
+    """Replays one trace (or stream) against one scheduler on ``M`` machines."""
 
     def __init__(
         self,
-        trace: Trace,
+        trace: TraceLike,
         scheduler: Scheduler,
         num_machines: int,
         *,
@@ -110,6 +138,13 @@ class SimulationEngine:
         self.straggler_model = (
             straggler_model if straggler_model is not None else NoStragglers()
         )
+        # Fast path: skip the per-copy inflate() call entirely when no
+        # straggler model is configured (the overwhelmingly common case).
+        self._inflate = (
+            None
+            if isinstance(self.straggler_model, NoStragglers)
+            else self.straggler_model.inflate
+        )
         self.rng = np.random.default_rng(seed)
         self.seed = seed
         self.max_time = max_time
@@ -118,14 +153,25 @@ class SimulationEngine:
         self.now: float = 0.0
         self._sequence = itertools.count()
         self._copy_ids = itertools.count()
-        self._heap: List[Event] = []
-        self._jobs: List[Job] = [Job.from_spec(spec) for spec in trace]
+        self._events = EventHeap()
+        # Arrival stream state: jobs are pulled lazily, one lookahead at a
+        # time (see the module docstring).  ``_jobs`` retains materialised
+        # jobs for post-run inspection only when the source is an in-memory
+        # Trace; streams stay memory-bounded by dropping finished jobs.
+        self._spec_iter = iter(trace)
+        self._total_jobs = trace.num_jobs
+        self._retain_jobs = isinstance(trace, Trace)
+        self._jobs: List[Job] = []
+        self._specs_drawn = 0
+        self._last_arrival_time = 0.0
         self._alive: Dict[int, Job] = {}
         # Pre-sampled task workloads, one buffer per (job, phase).  Buffers
         # are filled with a single vectorised RNG call per job phase at
         # arrival (and refilled in batches when clones exhaust them), which
         # is far cheaper than one Generator call per copy.
-        self._workload_buffers: Dict[Tuple[int, Phase], List[float]] = {}
+        # Keyed by (job_id, is_reduce): bool keys hash faster than Phase
+        # members on the per-launch hot path.
+        self._workload_buffers: Dict[Tuple[int, bool], List[float]] = {}
         self._completed = 0
         self._arrived = 0
         self._next_tick: Optional[float] = None
@@ -139,10 +185,12 @@ class SimulationEngine:
             self._machine_rngs = [
                 machine_process_rng(seed, m) for m in range(num_machines)
             ]
+        declared_tasks = trace.total_tasks
+        self._accumulate_tasks = declared_tasks is None
         self.result = SimulationResult(
             scheduler_name=scheduler.name,
             num_machines=num_machines,
-            total_tasks=trace.total_tasks,
+            total_tasks=0 if declared_tasks is None else declared_tasks,
             seed=seed,
         )
         self.straggler_model.prepare(num_machines, self.rng)
@@ -157,11 +205,10 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the collected metrics."""
         self.scheduler.bind(self._view)
-        for job in self._jobs:
-            self._push(Event.arrival(job.arrival_time, next(self._sequence), job))
+        self._push_next_arrival()
         self._schedule_initial_machine_events()
 
-        while self._heap:
+        while True:
             batch = self._pop_simultaneous_events()
             if batch is None:
                 break
@@ -171,15 +218,20 @@ class SimulationEngine:
                 )
             for event in batch:
                 self._handle_event(event)
-            if self._completed == len(self._jobs):
+            if self._completed == self._total_jobs:
                 break
             self._invoke_scheduler()
             self._maybe_schedule_tick()
             if self.check_invariants:
                 self.cluster.check_invariants()
 
-        if self._completed != len(self._jobs):
-            unfinished = [job.job_id for job in self._jobs if not job.is_complete]
+        if self._completed != self._total_jobs:
+            if self._specs_drawn < self._total_jobs and not self._alive:
+                raise SimulationError(
+                    f"trace source {getattr(self.trace, 'name', '?')!r} yielded "
+                    f"{self._specs_drawn} of its declared {self._total_jobs} jobs"
+                )
+            unfinished = [job.job_id for job in self._alive.values()]
             raise SimulationError(
                 f"simulation ended with {len(unfinished)} unfinished jobs "
                 f"(e.g. {unfinished[:5]}); the scheduler left work unscheduled"
@@ -190,48 +242,60 @@ class SimulationEngine:
     # ------------------------------------------------------------------ event plumbing
 
     def _push(self, event: Event) -> None:
-        heapq.heappush(self._heap, event)
+        self._events.push(event)
 
     def _push_finish(self, copy: TaskCopy, time: float) -> None:
         """Queue the (only currently valid) finish event of ``copy``."""
-        copy.finish_version += 1
-        self._push(
-            Event.copy_finish(
-                time, next(self._sequence), copy, version=copy.finish_version
+        self._events.push_finish(copy, time, next(self._sequence))
+
+    def _push_next_arrival(self) -> None:
+        """Pull the next job spec from the source and queue its arrival.
+
+        Maintains the one-lookahead invariant: at most one unfired arrival
+        event exists, and it is queued before the current event batch is
+        sealed, so simultaneous arrivals land in the same batch exactly as
+        they would with all arrivals pushed up front.
+        """
+        spec = next(self._spec_iter, None)
+        if spec is None:
+            return
+        if spec.arrival_time < self._last_arrival_time:
+            raise SimulationError(
+                f"trace source yielded arrivals out of order: job {spec.job_id} "
+                f"at t={spec.arrival_time} after t={self._last_arrival_time}"
             )
-        )
+        self._last_arrival_time = spec.arrival_time
+        self._specs_drawn += 1
+        job = Job.from_spec(spec)
+        if self._retain_jobs:
+            self._jobs.append(job)
+        self._push(Event.arrival(job.arrival_time, next(self._sequence), job))
 
     def _pop_simultaneous_events(self) -> Optional[List[Event]]:
-        """Pop every event sharing the earliest timestamp, skipping stale ones.
+        """Pop every live event sharing the earliest timestamp.
 
-        Dropping stale completions (clones killed after their finish event
-        was queued, or finish estimates superseded by a machine rate change)
-        here guarantees every returned batch starts with a live event, so
-        the scheduler is never consulted -- and its view never rebuilt --
-        for a timestamp at which nothing can change.
+        Stale completions are dropped inside :class:`EventHeap`, so every
+        returned batch starts with a live event and the scheduler is never
+        consulted -- and its view never rebuilt -- for a timestamp at which
+        nothing can change.  Popping an arrival immediately pumps the next
+        one from the source (see :meth:`_push_next_arrival`).
         """
-        batch: List[Event] = []
-        while self._heap:
-            head = self._heap[0]
-            if self._is_stale(head):
-                heapq.heappop(self._heap)
-                continue
-            if not batch:
-                self.now = head.time
-                batch.append(heapq.heappop(self._heap))
-            elif head.time == self.now:
-                batch.append(heapq.heappop(self._heap))
-            else:
+        events = self._events
+        first = events.pop_next()
+        if first is None:
+            return None
+        self.now = first.time
+        if first.event_type is EventType.JOB_ARRIVAL:
+            self._push_next_arrival()
+        batch = [first]
+        while True:
+            event = events.pop_at(self.now)
+            if event is None:
                 break
-        return batch if batch else None
-
-    @staticmethod
-    def _is_stale(event: Event) -> bool:
-        """A finish event for a copy that was killed or re-estimated since."""
-        if event.event_type is not EventType.COPY_FINISH:
-            return False
-        assert event.copy is not None
-        return not event.copy.is_active or event.version != event.copy.finish_version
+            batch.append(event)
+            if event.event_type is EventType.JOB_ARRIVAL:
+                self._push_next_arrival()
+        return batch
 
     def _handle_event(self, event: Event) -> None:
         if event.event_type is EventType.JOB_ARRIVAL:
@@ -252,8 +316,18 @@ class SimulationEngine:
             raise SimulationError(f"unknown event type {event.event_type}")
 
     def _handle_arrival(self, job: Job) -> None:
+        if job.job_id in self._alive:
+            # Trace.__init__ rejects duplicate ids up front; a stream factory
+            # can only be checked as it yields.  A duplicate would corrupt
+            # the job_id-keyed alive/buffer bookkeeping -- fail fast instead.
+            raise SimulationError(
+                f"trace source yielded duplicate job_id {job.job_id} while "
+                "the first job with that id is still alive"
+            )
         self._alive[job.job_id] = job
         self._arrived += 1
+        if self._accumulate_tasks:
+            self.result.total_tasks += job.spec.total_tasks
         self._presample_workloads(job)
         self.scheduler.on_job_arrival(job, self.now)
 
@@ -263,30 +337,35 @@ class SimulationEngine:
             count = job.spec.num_tasks(phase)
             if count == 0:
                 continue
-            buffer = job.spec.duration(phase).sample(self.rng, count).tolist()
+            buffer = job.spec.duration(phase).sample_list(self.rng, count)
             # Reversed so pop() consumes values in draw order.
             buffer.reverse()
-            self._workload_buffers[(job.job_id, phase)] = buffer
+            self._workload_buffers[(job.job_id, phase is Phase.REDUCE)] = buffer
 
     def _next_workload(self, task: Task) -> float:
         """Next pre-sampled workload for ``task``'s phase (refill on demand)."""
-        key = (task.job.job_id, task.phase)
+        key = (task.job.job_id, task.phase is Phase.REDUCE)
         buffer = self._workload_buffers.get(key)
         if not buffer:
             # Clones (or relaunches) exhausted the arrival batch; refill
             # with another phase-sized batch to keep RNG calls rare.
             count = max(task.job.spec.num_tasks(task.phase), 1)
-            buffer = task.duration_distribution.sample(self.rng, count).tolist()
+            buffer = task.duration_distribution.sample_list(self.rng, count)
             buffer.reverse()
             self._workload_buffers[key] = buffer
         return buffer.pop()
 
     def _handle_copy_finish(self, copy: TaskCopy, version: int = 0) -> None:
-        if not copy.is_active or version != copy.finish_version:
-            # Killed, or re-estimated, by an earlier event in this same batch.
+        if copy.finish_time is not None or copy.killed_at is not None:
+            # Killed by an earlier event in this same batch.
+            return
+        if version != copy.finish_version:
+            # Re-estimated by an earlier event in this same batch.
             return
         task = copy.task
-        elapsed = copy.elapsed(self.now)
+        # A finishing copy always started; elapsed = now - start (inlined
+        # from TaskCopy.elapsed, which this hot path calls per completion).
+        elapsed = self.now - copy.start_time
         copy.finish(self.now)
         self.cluster.release(copy, elapsed=elapsed)
         if self._dynamic:
@@ -295,7 +374,10 @@ class SimulationEngine:
 
         killed = task.complete(self.now)
         for clone in killed:
-            clone_elapsed = clone.elapsed(self.now)
+            # Killed at now: elapsed = now - start, or 0 for a blocked copy.
+            clone_elapsed = (
+                0.0 if clone.start_time is None else self.now - clone.start_time
+            )
             self.cluster.release(clone, elapsed=clone_elapsed)
             if self._dynamic:
                 self._running.pop(clone.machine_id, None)
@@ -331,8 +413,8 @@ class SimulationEngine:
     def _finalize_job(self, job: Job) -> None:
         del self._alive[job.job_id]
         self._completed += 1
-        self._workload_buffers.pop((job.job_id, Phase.MAP), None)
-        self._workload_buffers.pop((job.job_id, Phase.REDUCE), None)
+        self._workload_buffers.pop((job.job_id, False), None)
+        self._workload_buffers.pop((job.job_id, True), None)
         self.result.add_record(
             JobRecord(
                 job_id=job.job_id,
@@ -470,7 +552,8 @@ class SimulationEngine:
 
         Must be called right after :meth:`_settle_machine` (which priced the
         work done so far at the *old* rate).  The superseded finish event is
-        invalidated by the version bump in :meth:`_push_finish`.
+        invalidated by the version bump in :meth:`_push_finish` -- the
+        decrease-key operation of :class:`~repro.simulation.events.EventHeap`.
         """
         entry = self._running.get(machine_id)
         if entry is None:
@@ -517,22 +600,24 @@ class SimulationEngine:
             )
 
     def _launch_copy(self, task: Task) -> TaskCopy:
-        machine_id = self.cluster.peek_free_machine()
+        cluster = self.cluster
+        machine_id = cluster.peek_free_machine()
         assert machine_id is not None
         raw_workload = self._next_workload(task)
-        raw_workload = self.straggler_model.inflate(raw_workload, machine_id, self.rng)
-        machine = self.cluster.machine(machine_id)
+        if self._inflate is not None:
+            raw_workload = self._inflate(raw_workload, machine_id, self.rng)
+        machine = cluster.machine(machine_id)
         duration = machine.processing_time(raw_workload)
         copy = TaskCopy(
-            copy_id=next(self._copy_ids),
-            task=task,
-            machine_id=machine_id,
-            launch_time=self.now,
-            workload=duration,
+            next(self._copy_ids),
+            task,
+            machine_id,
+            self.now,
+            duration,
             work=raw_workload,
         )
         task.add_copy(copy)
-        self.cluster.place(copy)
+        cluster.place(copy)
         self.result.total_copies += 1
 
         job = task.job
@@ -572,19 +657,19 @@ class SimulationEngine:
         copy, or a tick.  In dynamic mode ``self._running`` is exactly the
         set of started active copies, which makes the check O(1).
         """
-        if self._completed == len(self._jobs):
+        if self._completed == self._total_jobs:
             return
         if self._dynamic:
             if (
-                self._arrived < len(self._jobs)
+                self._arrived < self._total_jobs
                 or self._running
                 or self._next_tick is not None
             ):
                 return
-        elif self._heap:
+        elif self._events:
             return
         pending_tasks = sum(
-            job.num_unscheduled_map_tasks + job.num_unscheduled_reduce_tasks
+            job._unscheduled_map + job._unscheduled_reduce
             for job in self._alive.values()
         )
         if pending_tasks == 0:

@@ -1,4 +1,4 @@
-"""Event types of the discrete-event engine.
+"""Event types and the indexed event heap of the discrete-event engine.
 
 Events are totally ordered by ``(time, priority, sequence)``.  At equal
 timestamps copy completions are processed before anything else, so a copy
@@ -8,23 +8,35 @@ and slowdown transitions so a machine returning at a decision point is
 visible to that decision; job arrivals come next; ticks come last because
 they exist only to wake progress-monitoring schedulers.
 
-Copy-finish events carry a ``version``: under dynamic scenarios the engine
-re-estimates a running copy's finish time whenever its machine's effective
-speed changes, pushing a *new* finish event and bumping the copy's
-``finish_version``.  A finish event whose version no longer matches its
-copy's is stale and is dropped at pop time, exactly like the finish event of
-a killed clone.
+The heap (:class:`EventHeap`) stores plain ``(time, priority, sequence,
+event)`` tuples so every comparison during sift-up/down happens at C speed
+-- an :class:`Event` is never compared on the hot path (it still defines
+``__lt__`` for direct sorting in tests and analysis code).
+
+Decrease-key semantics
+----------------------
+Copy-finish events carry a ``version`` and the copy itself carries
+``finish_version`` -- together they form the heap's *index*: the currently
+valid finish entry of a copy is exactly the one whose version matches.
+Under dynamic scenarios the engine re-estimates a running copy's finish
+time whenever its machine's effective speed changes; the re-estimate is an
+O(log n) decrease-key (or increase-key) implemented the standard ``heapq``
+way: push a fresh entry with the bumped version and let the superseded one
+be dropped lazily at pop time (:meth:`EventHeap.pop_next` /
+:meth:`EventHeap.pop_at`), exactly like the finish event of a killed
+clone.  Stale entries therefore never reach the engine, never form an
+event batch on their own, and never cause a scheduler consultation.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+import heapq
+from typing import List, Optional, Tuple
 
 from repro.workload.job import Job, TaskCopy
 
-__all__ = ["EventType", "Event"]
+__all__ = ["EventType", "Event", "EventHeap"]
 
 
 class EventType(enum.IntEnum):
@@ -39,30 +51,59 @@ class EventType(enum.IntEnum):
     TICK = 6
 
 
-@dataclass(order=True)
 class Event:
-    """One entry of the event heap."""
+    """One schedulable event (see the module docstring for the ordering)."""
 
-    time: float
-    priority: int
-    sequence: int
-    event_type: EventType = field(compare=False)
-    job: Optional[Job] = field(default=None, compare=False)
-    copy: Optional[TaskCopy] = field(default=None, compare=False)
-    machine_id: Optional[int] = field(default=None, compare=False)
-    #: Finish-event version (see module docstring); 0 for other event types.
-    version: int = field(default=0, compare=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "sequence",
+        "event_type",
+        "job",
+        "copy",
+        "machine_id",
+        "version",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        event_type: EventType,
+        job: Optional[Job] = None,
+        copy: Optional[TaskCopy] = None,
+        machine_id: Optional[int] = None,
+        version: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.event_type = event_type
+        self.job = job
+        self.copy = copy
+        self.machine_id = machine_id
+        #: Finish-event version (see module docstring); 0 for other types.
+        self.version = version
+
+    def __lt__(self, other: "Event") -> bool:
+        """Order by ``(time, priority, sequence)`` -- the heap contract."""
+        return (self.time, self.priority, self.sequence) < (
+            other.time,
+            other.priority,
+            other.sequence,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Event({self.event_type.name}, t={self.time}, "
+            f"seq={self.sequence}, version={self.version})"
+        )
 
     @classmethod
     def arrival(cls, time: float, sequence: int, job: Job) -> "Event":
         """A job entering the cluster."""
-        return cls(
-            time=time,
-            priority=int(EventType.JOB_ARRIVAL),
-            sequence=sequence,
-            event_type=EventType.JOB_ARRIVAL,
-            job=job,
-        )
+        return cls(time, _JOB_ARRIVAL, sequence, EventType.JOB_ARRIVAL, job)
 
     @classmethod
     def copy_finish(
@@ -70,23 +111,14 @@ class Event:
     ) -> "Event":
         """A task copy running to completion on its machine."""
         return cls(
-            time=time,
-            priority=int(EventType.COPY_FINISH),
-            sequence=sequence,
-            event_type=EventType.COPY_FINISH,
-            copy=copy,
-            version=version,
+            time, _COPY_FINISH, sequence, EventType.COPY_FINISH, None, copy,
+            None, version,
         )
 
     @classmethod
     def tick(cls, time: float, sequence: int) -> "Event":
         """A periodic wake-up requested by the scheduler."""
-        return cls(
-            time=time,
-            priority=int(EventType.TICK),
-            sequence=sequence,
-            event_type=EventType.TICK,
-        )
+        return cls(time, _TICK, sequence, EventType.TICK)
 
     @classmethod
     def machine_failure(cls, time: float, sequence: int, machine_id: int) -> "Event":
@@ -131,3 +163,92 @@ class Event:
             event_type=EventType.MACHINE_SLOWDOWN_END,
             machine_id=machine_id,
         )
+
+
+#: Plain-int priorities, bound once (IntEnum -> int conversion per event
+#: creation is measurable on the hot path).
+_COPY_FINISH = int(EventType.COPY_FINISH)
+_JOB_ARRIVAL = int(EventType.JOB_ARRIVAL)
+_TICK = int(EventType.TICK)
+
+
+class EventHeap:
+    """Min-heap of events keyed by ``(time, priority, sequence)``.
+
+    Entries are plain tuples so heap comparisons run at C speed; stale
+    copy-finish entries (killed copies, superseded finish estimates) are
+    dropped lazily at the head -- see the module docstring for why this is
+    an O(log n) decrease-key.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, int, int, Event]] = []
+
+    def __len__(self) -> int:
+        """Number of entries, including not-yet-dropped stale ones."""
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        """True while any entry (possibly stale) remains."""
+        return bool(self._entries)
+
+    def push(self, event: Event) -> None:
+        """Insert ``event``; its ``sequence`` must already be assigned."""
+        heapq.heappush(
+            self._entries, (event.time, event.priority, event.sequence, event)
+        )
+
+    def push_finish(self, copy: TaskCopy, time: float, sequence: int) -> None:
+        """Queue the (only currently valid) finish event of ``copy``.
+
+        Bumping ``copy.finish_version`` invalidates any queued finish entry
+        of the same copy -- this is the decrease-key operation used when a
+        machine's effective rate changes mid-run.  (Event construction and
+        the heap push are inlined: this runs once per launched copy.)
+        """
+        version = copy.finish_version + 1
+        copy.finish_version = version
+        event = Event(
+            time, _COPY_FINISH, sequence, EventType.COPY_FINISH, None, copy,
+            None, version,
+        )
+        heapq.heappush(self._entries, (time, _COPY_FINISH, sequence, event))
+
+    @staticmethod
+    def _is_stale(event: Event) -> bool:
+        """A finish event for a copy that was killed or re-estimated since."""
+        if event.priority != _COPY_FINISH:
+            return False
+        copy = event.copy
+        return (
+            copy.finish_time is not None
+            or copy.killed_at is not None
+            or event.version != copy.finish_version
+        )
+
+    def _drop_stale(self) -> None:
+        """Remove stale entries from the head so the head entry is live."""
+        entries = self._entries
+        while entries and self._is_stale(entries[0][3]):
+            heapq.heappop(entries)
+
+    def pop_next(self) -> Optional[Event]:
+        """Pop and return the earliest live event (``None`` when drained)."""
+        self._drop_stale()
+        if not self._entries:
+            return None
+        return heapq.heappop(self._entries)[3]
+
+    def pop_at(self, time: float) -> Optional[Event]:
+        """Pop the earliest live event if it fires exactly at ``time``.
+
+        One combined drop-stale/peek/pop call for the engine's
+        simultaneous-batch loop.
+        """
+        self._drop_stale()
+        entries = self._entries
+        if entries and entries[0][0] == time:
+            return heapq.heappop(entries)[3]
+        return None

@@ -20,9 +20,24 @@ serial execution for the same seeds (only the wall-clock
 :meth:`SimulationResult.fingerprint`).
 
 Everything a spec carries must be picklable: scheduler *classes* plus
-keyword arguments (:class:`SchedulerSpec`) rather than closures, and either
-a :class:`~repro.workload.trace.Trace` instance or a :class:`TraceSpec`
-naming a module-level factory.  Lambdas work with ``workers=1`` only.
+keyword arguments (:class:`SchedulerSpec`) rather than closures, and a
+:class:`~repro.workload.trace.Trace` instance, a :class:`TraceSpec` naming
+a module-level factory, or a :class:`~repro.workload.stream.StreamSpec`
+recipe for a lazily generated stream.  Lambdas work with ``workers=1``
+only.
+
+Results cache
+-------------
+Because a run is a pure function of its spec, the runner can skip runs it
+has already executed: construct it with ``cache_dir`` (or pass a
+:class:`~repro.simulation.results_store.ResultsStore`) and every executed
+spec is content-addressed by :func:`~repro.simulation.results_store.
+run_spec_fingerprint` and persisted; subsequent :meth:`ExperimentRunner.run`
+calls over the same specs return byte-equal results without touching the
+engine (``last_run_stats`` records how many specs were executed vs served
+from cache -- the zero-runs-on-second-sweep property is asserted in
+``tests/test_results_store.py``).  Specs containing lambdas or other
+unstable components simply bypass the cache and execute normally.
 """
 
 from __future__ import annotations
@@ -47,7 +62,14 @@ import multiprocessing
 from repro.cluster.stragglers import StragglerModel
 from repro.scenarios import ScenarioSpec
 from repro.simulation.metrics import SimulationResult
+from repro.simulation.results_store import (
+    ResultsStore,
+    UncacheableSpecError,
+    canonical_spec_description,
+    run_spec_fingerprint,
+)
 from repro.simulation.scheduler_api import Scheduler
+from repro.workload.stream import StreamSpec, TraceStream
 from repro.workload.trace import Trace
 
 __all__ = [
@@ -89,6 +111,7 @@ class SchedulerSpec:
             )
 
     def build(self) -> Scheduler:
+        """Construct the scheduler from the stored class and kwargs."""
         return self.scheduler_cls(**dict(self.kwargs))
 
     def __call__(self) -> Scheduler:
@@ -111,6 +134,7 @@ class TraceSpec:
     kwargs: Mapping[str, Any] = field(default_factory=dict)
 
     def build(self) -> Trace:
+        """Build the trace by calling the stored factory."""
         trace = self.factory(**dict(self.kwargs))
         if not isinstance(trace, Trace):
             raise TypeError(
@@ -127,7 +151,7 @@ class TraceSpec:
         return f"{name}({items})"
 
 
-TraceSource = Union[Trace, TraceSpec]
+TraceSource = Union[Trace, TraceSpec, StreamSpec]
 
 #: Per-process memo of traces built from :class:`TraceSpec` recipes, so a
 #: process handling many runs of the same sweep builds the trace once.
@@ -137,7 +161,7 @@ _TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
 _TRACE_CACHE_MAX = 8
 
 
-def _resolve_trace(source: TraceSource) -> Trace:
+def _resolve_trace(source: TraceSource) -> Union[Trace, TraceStream]:
     if isinstance(source, Trace):
         return source
     if isinstance(source, TraceSpec):
@@ -151,7 +175,13 @@ def _resolve_trace(source: TraceSource) -> Trace:
         else:
             _TRACE_CACHE.move_to_end(key)
         return trace
-    raise TypeError(f"trace source must be a Trace or TraceSpec, got {source!r}")
+    if isinstance(source, StreamSpec):
+        # Streams are one-shot consumables: build a fresh one per run,
+        # never memoise (a consumed stream cannot be replayed).
+        return source.build()
+    raise TypeError(
+        f"trace source must be a Trace, TraceSpec or StreamSpec, got {source!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -161,8 +191,11 @@ class RunSpec:
     Attributes
     ----------
     trace:
-        A :class:`Trace` (pickled wholesale) or a :class:`TraceSpec`
-        (rebuilt, and memoised, inside the worker).
+        A :class:`Trace` (pickled wholesale), a :class:`TraceSpec`
+        (rebuilt, and memoised, inside the worker), or a
+        :class:`~repro.workload.stream.StreamSpec` (a fresh lazily
+        generated stream is built for every run; pass the *spec*, never a
+        consumed :class:`~repro.workload.stream.TraceStream` instance).
     scheduler:
         A zero-argument factory; use :class:`SchedulerSpec` when the spec
         must cross a process boundary.
@@ -199,6 +232,12 @@ class RunSpec:
         if self.scenario is not None and not isinstance(self.scenario, ScenarioSpec):
             raise TypeError(
                 f"scenario must be a ScenarioSpec, got {self.scenario!r}"
+            )
+        if isinstance(self.trace, TraceStream):
+            raise TypeError(
+                "RunSpec.trace must not be a TraceStream (streams are "
+                "one-shot); pass its StreamSpec so every run builds a fresh "
+                "stream"
             )
 
     def with_seed(self, seed: int) -> "RunSpec":
@@ -244,6 +283,15 @@ class ExperimentRunner:
     chunksize:
         Specs handed to a worker per dispatch; defaults to a heuristic
         that balances scheduling overhead against load balance.
+    cache_dir:
+        Directory of a :class:`~repro.simulation.results_store.ResultsStore`.
+        When set, every executed spec's result is persisted there and
+        subsequent runs of the same spec are served from disk byte-equal,
+        with zero engine runs (see the module docstring).  ``None`` (the
+        default) disables caching.
+    store:
+        An existing :class:`ResultsStore` to use instead of ``cache_dir``
+        (mutually exclusive with it).
     """
 
     def __init__(
@@ -252,6 +300,8 @@ class ExperimentRunner:
         *,
         mp_context: Union[str, Any, None] = None,
         chunksize: Optional[int] = None,
+        cache_dir: Union[str, "os.PathLike[str]", None] = None,
+        store: Optional[ResultsStore] = None,
     ) -> None:
         if workers is None:
             workers = default_workers()
@@ -262,15 +312,25 @@ class ExperimentRunner:
         if chunksize is not None and chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self._chunksize = chunksize
+        if cache_dir is not None and store is not None:
+            raise ValueError("pass either cache_dir or store, not both")
+        self.store = ResultsStore(cache_dir) if cache_dir is not None else store
+        #: Stats of the most recent :meth:`run` call:
+        #: ``executed`` engine runs, ``cache_hits`` served from the store,
+        #: ``uncacheable`` specs that bypassed the cache.
+        self.last_run_stats: Dict[str, int] = {
+            "executed": 0,
+            "cache_hits": 0,
+            "uncacheable": 0,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExperimentRunner(workers={self.workers})"
 
     # -- execution -----------------------------------------------------------------
 
-    def run(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
-        """Execute every spec and return results in spec order."""
-        specs = list(specs)
+    def _execute(self, specs: List[RunSpec]) -> List[SimulationResult]:
+        """Run every spec (serially or on the pool), no cache involved."""
         if not specs:
             return []
         pool_size = min(self.workers, len(specs))
@@ -285,6 +345,52 @@ class ExperimentRunner:
             chunksize = max(1, len(specs) // (pool_size * 4))
         with context.Pool(processes=pool_size) as pool:
             return pool.map(execute_run_spec, specs, chunksize=chunksize)
+
+    def run(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+        """Execute every spec and return results in spec order.
+
+        With a results store configured, specs whose results are already
+        cached are served from disk (byte-equal to a fresh run); only the
+        remaining specs touch the engine, and their results are persisted
+        for the next invocation.
+        """
+        specs = list(specs)
+        stats = {"executed": 0, "cache_hits": 0, "uncacheable": 0}
+        self.last_run_stats = stats
+        if not specs:
+            return []
+        store = self.store
+        if store is None:
+            stats["executed"] = len(specs)
+            return self._execute(specs)
+
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        pending: List[int] = []
+        keys: Dict[int, Optional[str]] = {}
+        for index, spec in enumerate(specs):
+            try:
+                key = run_spec_fingerprint(spec)
+            except UncacheableSpecError:
+                key = None
+                stats["uncacheable"] += 1
+            keys[index] = key
+            cached = store.load(key) if key is not None else None
+            if cached is not None:
+                results[index] = cached
+                stats["cache_hits"] += 1
+            else:
+                pending.append(index)
+
+        executed = self._execute([specs[index] for index in pending])
+        stats["executed"] = len(executed)
+        for index, result in zip(pending, executed):
+            key = keys[index]
+            if key is not None:
+                store.store(
+                    key, canonical_spec_description(specs[index]), result
+                )
+            results[index] = result
+        return results  # type: ignore[return-value]
 
     def run_grouped(
         self, specs: Sequence[RunSpec]

@@ -5,7 +5,12 @@ flowtime and the flowtime CDFs over two ranges (small jobs, Figure 4; big
 jobs, Figure 5).  :class:`SimulationResult` computes all of them, plus the
 bookkeeping quantities the ablation benchmarks use (copies launched, wasted
 clone work, machine utilisation).
-"""
+
+Scale notes: :class:`JobRecord` is a compact ``__slots__`` object (a
+million-job run stores a million of them), and the flowtime/weight arrays
+backing every aggregate are built **once** per batch of records and cached
+-- ``add_record`` invalidates the cache, so metric queries after a run
+never rebuild the arrays (batched metric accumulation)."""
 
 from __future__ import annotations
 
@@ -17,18 +22,45 @@ import numpy as np
 __all__ = ["JobRecord", "SimulationResult"]
 
 
-@dataclass(frozen=True)
 class JobRecord:
-    """Immutable record of one completed job."""
+    """Immutable-by-convention record of one completed job (engine-written)."""
 
-    job_id: int
-    arrival_time: float
-    completion_time: float
-    weight: float
-    num_map_tasks: int
-    num_reduce_tasks: int
-    copies_launched: int
-    map_phase_completion_time: Optional[float] = None
+    __slots__ = (
+        "job_id",
+        "arrival_time",
+        "completion_time",
+        "weight",
+        "num_map_tasks",
+        "num_reduce_tasks",
+        "copies_launched",
+        "map_phase_completion_time",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        arrival_time: float,
+        completion_time: float,
+        weight: float,
+        num_map_tasks: int,
+        num_reduce_tasks: int,
+        copies_launched: int,
+        map_phase_completion_time: Optional[float] = None,
+    ) -> None:
+        self.job_id = job_id
+        self.arrival_time = arrival_time
+        self.completion_time = completion_time
+        self.weight = weight
+        self.num_map_tasks = num_map_tasks
+        self.num_reduce_tasks = num_reduce_tasks
+        self.copies_launched = copies_launched
+        self.map_phase_completion_time = map_phase_completion_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobRecord(job_id={self.job_id}, arrival_time={self.arrival_time}, "
+            f"completion_time={self.completion_time}, weight={self.weight})"
+        )
 
     @property
     def flowtime(self) -> float:
@@ -42,6 +74,7 @@ class JobRecord:
 
     @property
     def num_tasks(self) -> int:
+        """``m_i + r_i`` of the recorded job."""
         return self.num_map_tasks + self.num_reduce_tasks
 
     @property
@@ -86,23 +119,35 @@ class SimulationResult:
     # -- ingestion (engine-only) ----------------------------------------------------
 
     def add_record(self, record: JobRecord) -> None:
-        """Append one completed job."""
+        """Append one completed job (invalidates the cached metric arrays)."""
         self.records.append(record)
+        self.__dict__.pop("_flowtimes_cache", None)
+        self.__dict__.pop("_weights_cache", None)
 
     # -- basic aggregates --------------------------------------------------------------
 
     @property
     def num_jobs(self) -> int:
+        """Number of completed jobs recorded."""
         return len(self.records)
 
     @property
     def flowtimes(self) -> np.ndarray:
-        """Array of job flowtimes in job-completion order."""
-        return np.array([r.flowtime for r in self.records], dtype=float)
+        """Array of job flowtimes in job-completion order (cached)."""
+        cached = self.__dict__.get("_flowtimes_cache")
+        if cached is None or len(cached) != len(self.records):
+            cached = np.array([r.flowtime for r in self.records], dtype=float)
+            self.__dict__["_flowtimes_cache"] = cached
+        return cached
 
     @property
     def weights(self) -> np.ndarray:
-        return np.array([r.weight for r in self.records], dtype=float)
+        """Array of job weights in job-completion order (cached)."""
+        cached = self.__dict__.get("_weights_cache")
+        if cached is None or len(cached) != len(self.records):
+            cached = np.array([r.weight for r in self.records], dtype=float)
+            self.__dict__["_weights_cache"] = cached
+        return cached
 
     @property
     def total_flowtime(self) -> float:
@@ -133,12 +178,14 @@ class SimulationResult:
 
     @property
     def max_flowtime(self) -> float:
+        """Largest job flowtime of the run."""
         if not self.records:
             return 0.0
         return float(self.flowtimes.max())
 
     @property
     def median_flowtime(self) -> float:
+        """Median job flowtime of the run."""
         if not self.records:
             return 0.0
         return float(np.median(self.flowtimes))

@@ -1,0 +1,312 @@
+"""Content-addressed results store: skip simulation runs already computed.
+
+Replication sweeps re-execute the same ``(trace, scheduler, scenario,
+seed)`` cells over and over -- across figure drivers, across CLI
+invocations, across interrupted-and-restarted sweeps.  Every
+:class:`~repro.simulation.experiment_runner.RunSpec` is a pure function of
+its fields (the seeding contract), so its
+:class:`~repro.simulation.metrics.SimulationResult` can be cached on disk
+and replayed instead of recomputed.
+
+Keying
+------
+:func:`run_spec_fingerprint` derives a SHA-256 key from a *canonical
+description* of the spec: every field that can influence the result --
+trace contents or recipe, scheduler class + kwargs, seed, cluster size and
+speed, scenario (including every nested process spec), straggler factory,
+max_time -- rendered with exact float round-tripping (``repr``), bypassing
+any class ``__repr__`` that rounds.  The ``tag`` field is *excluded*: it is
+a grouping label and does not affect execution.  Change any other field --
+even a nested ``ScenarioSpec`` process parameter -- and the key changes;
+keep them identical and a sweep resumes from cache.
+
+Specs that cannot be described stably (lambdas, closures, locally defined
+classes) raise :class:`UncacheableSpecError`; the experiment runner treats
+such specs as cache-bypass and simply executes them.
+
+Integrity
+---------
+A cache entry stores the canonical spec description and the result's
+:meth:`~repro.simulation.metrics.SimulationResult.fingerprint`.  On load
+the result is rebuilt and its fingerprint recomputed; any mismatch (bit
+rot, truncated write, hash collision, format drift) makes the entry a
+*miss* -- corrupted entries are recomputed, never trusted.  A hit is
+therefore byte-equal to the result a fresh run would produce (the
+wall-clock ``runtime_seconds`` of the original run is preserved; it is
+excluded from the fingerprint by design).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.simulation.metrics import JobRecord, SimulationResult
+from repro.workload.distributions import DurationDistribution
+from repro.workload.trace import Trace
+
+__all__ = [
+    "UncacheableSpecError",
+    "canonical_spec_description",
+    "run_spec_fingerprint",
+    "ResultsStore",
+]
+
+#: Bump when the canonical description or the entry format changes
+#: incompatibly; old entries then miss (and are recomputed) instead of
+#: being misinterpreted.
+FORMAT_VERSION = 1
+
+
+class UncacheableSpecError(ValueError):
+    """The spec contains a component with no stable canonical description."""
+
+
+# ------------------------------------------------------------- canonicalisation
+
+
+def _classpath(cls: type) -> str:
+    path = f"{cls.__module__}.{cls.__qualname__}"
+    if "<" in path:
+        raise UncacheableSpecError(
+            f"locally defined class {path!r} has no stable identity; "
+            "define it at module level to make specs cacheable"
+        )
+    return path
+
+
+def _canon(value: Any) -> str:
+    """Render ``value`` as a canonical, collision-averse string.
+
+    Floats go through ``repr`` (exact round-trip); container iteration is
+    order-normalised; objects are rendered as *class path + exact instance
+    state* so a lossy ``__repr__`` (e.g. the distributions' 3-decimal one)
+    can never alias two different specs to one key.
+    """
+    if value is None or value is True or value is False:
+        return repr(value)
+    if isinstance(value, float):
+        return repr(float(value))
+    if isinstance(value, int):
+        return repr(int(value))
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        items = ", ".join(_canon(item) for item in value)
+        return f"[{items}]"
+    if isinstance(value, Mapping):
+        items = ", ".join(
+            f"{_canon(key)}: {_canon(value[key])}" for key in sorted(value)
+        )
+        return f"{{{items}}}"
+    if isinstance(value, type):
+        return f"class:{_classpath(value)}"
+    if dataclasses.is_dataclass(value):
+        fields = ", ".join(
+            f"{f.name}={_canon(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{_classpath(type(value))}({fields})"
+    if isinstance(value, DurationDistribution):
+        state = ", ".join(
+            f"{k}={_canon(v)}" for k, v in sorted(vars(value).items())
+        )
+        return f"{_classpath(type(value))}({state})"
+    if callable(value):
+        qualname = getattr(value, "__qualname__", "")
+        module = getattr(value, "__module__", "")
+        if not qualname or not module or "<" in qualname:
+            raise UncacheableSpecError(
+                f"{value!r} (a lambda, closure or other non-module-level "
+                "callable) has no stable identity; use SchedulerSpec / "
+                "TraceSpec / a module-level function to make the spec "
+                "cacheable"
+            )
+        return f"function:{module}.{qualname}"
+    raise UncacheableSpecError(
+        f"cannot canonically describe {value!r} of type {type(value).__name__}"
+    )
+
+
+#: Digest memo keyed by Trace object: a sweep fingerprints many specs that
+#: share one trace, and Traces are immutable, so canonicalising the job
+#: list once per object (not once per spec) keeps warm-cache lookups cheap.
+_TRACE_DIGEST_MEMO: "weakref.WeakKeyDictionary[Trace, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _trace_digest(trace: Trace) -> str:
+    """Content digest of a materialised trace (one line per job spec)."""
+    cached = _TRACE_DIGEST_MEMO.get(trace)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for spec in trace:
+        digest.update(_canon(spec).encode("utf-8"))
+        digest.update(b"\n")
+    value = digest.hexdigest()
+    _TRACE_DIGEST_MEMO[trace] = value
+    return value
+
+
+def canonical_spec_description(spec: "RunSpec") -> str:  # noqa: F821
+    """The canonical, key-defining description of a run spec.
+
+    Every result-influencing field participates; ``tag`` (a grouping
+    label) does not.  Raises :class:`UncacheableSpecError` when any
+    component lacks a stable description.
+    """
+    trace = spec.trace
+    if isinstance(trace, Trace):
+        trace_part = f"trace-content:{_trace_digest(trace)}"
+    else:
+        # TraceSpec / StreamSpec: dataclasses, canonicalised recursively
+        # (factory identity + kwargs + declared job count).
+        trace_part = _canon(trace)
+    parts = [
+        f"format={FORMAT_VERSION}",
+        f"trace={trace_part}",
+        f"scheduler={_canon(spec.scheduler)}",
+        f"num_machines={_canon(spec.num_machines)}",
+        f"seed={_canon(spec.seed)}",
+        f"machine_speed={_canon(spec.machine_speed)}",
+        f"straggler_factory={_canon(spec.straggler_factory)}",
+        f"scenario={_canon(spec.scenario)}",
+        f"max_time={_canon(spec.max_time)}",
+    ]
+    return "\n".join(parts)
+
+
+def run_spec_fingerprint(spec: "RunSpec") -> str:  # noqa: F821
+    """SHA-256 cache key of ``spec`` (equal keys <=> equal canonical specs)."""
+    description = canonical_spec_description(spec)
+    return hashlib.sha256(description.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------- serialisation
+
+
+def _result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    """JSON-serialisable dump of a result (canonical dict + wall clock)."""
+    payload = result.canonical_dict()
+    payload["runtime_seconds"] = result.runtime_seconds
+    return payload
+
+
+def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`_result_to_payload`."""
+    result = SimulationResult(
+        scheduler_name=payload["scheduler_name"],
+        num_machines=payload["num_machines"],
+        total_copies=payload["total_copies"],
+        total_tasks=payload["total_tasks"],
+        wasted_work=payload["wasted_work"],
+        useful_work=payload["useful_work"],
+        makespan=payload["makespan"],
+        over_requests=payload["over_requests"],
+        machine_failures=payload["machine_failures"],
+        copies_killed_by_failure=payload["copies_killed_by_failure"],
+        straggler_onsets=payload["straggler_onsets"],
+        runtime_seconds=payload["runtime_seconds"],
+        seed=payload["seed"],
+    )
+    for row in payload["records"]:
+        result.add_record(JobRecord(*row))
+    return result
+
+
+# --------------------------------------------------------------------- the store
+
+
+class ResultsStore:
+    """Disk-backed, content-addressed store of simulation results.
+
+    Entries live under ``cache_dir/<key[:2]>/<key>.json`` (sharded so a
+    million-cell sweep does not produce a million-entry directory).  Writes
+    are atomic (temp file + rename), so a killed sweep never leaves a
+    half-written entry that a resume would trust -- and even if it did,
+    the load-time fingerprint check would reject it.
+    """
+
+    def __init__(self, cache_dir: Union[str, os.PathLike]) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Cache hits served since this store was created.
+        self.hits = 0
+        #: Lookups that found no (valid) entry.
+        self.misses = 0
+        #: Entries rejected by the integrity check and treated as misses.
+        self.corrupt = 0
+        #: Entries written.
+        self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultsStore({str(self.cache_dir)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem location of the entry with cache key ``key``."""
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """Return the stored result for ``key``, or ``None`` on miss.
+
+        Any unreadable, unparsable, format-mismatched or
+        fingerprint-mismatched entry counts as a miss (and as ``corrupt``
+        when the file existed); the caller recomputes and overwrites it.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            if entry["format"] != FORMAT_VERSION:
+                raise ValueError(f"format {entry['format']} != {FORMAT_VERSION}")
+            result = _result_from_payload(entry["result"])
+            if result.fingerprint() != entry["fingerprint"]:
+                raise ValueError("stored fingerprint does not match content")
+        except (ValueError, KeyError, TypeError, IndexError):
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, description: str, result: SimulationResult) -> Path:
+        """Atomically persist ``result`` under ``key`` and return its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": FORMAT_VERSION,
+            "spec": description,
+            "fingerprint": result.fingerprint(),
+            "result": _result_to_payload(result),
+        }
+        payload = json.dumps(entry, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path

@@ -69,6 +69,7 @@ class ReplicatedResult:
 
     @property
     def num_replications(self) -> int:
+        """Number of runs aggregated."""
         return len(self.results)
 
     def _metric(self, name: str) -> np.ndarray:
@@ -91,14 +92,17 @@ class ReplicatedResult:
 
     @property
     def weighted_mean_flowtime_std(self) -> float:
+        """Standard deviation across replications of the weighted mean."""
         return float(self._metric("weighted_mean_flowtime").std(ddof=0))
 
     @property
     def mean_makespan(self) -> float:
+        """Average makespan across replications."""
         return float(self._metric("makespan").mean())
 
     @property
     def mean_cloning_ratio(self) -> float:
+        """Average copies-per-task ratio across replications."""
         return float(self._metric("cloning_ratio").mean())
 
     def fraction_completed_within(self, limit: float) -> float:
@@ -112,6 +116,7 @@ class ReplicatedResult:
         return np.mean(np.stack(curves, axis=0), axis=0)
 
     def summary(self) -> dict:
+        """Flat dictionary of the headline replication metrics."""
         return {
             "scheduler": self.scheduler_name,
             "replications": self.num_replications,

@@ -16,7 +16,6 @@ assumption that only the first and second moments are known a priori.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
 
 from repro.workload.job import Job, Phase, Task, TaskCopy
@@ -27,16 +26,19 @@ if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
 __all__ = ["LaunchRequest", "SchedulerView", "Scheduler"]
 
 
-@dataclass(frozen=True)
 class LaunchRequest:
     """A scheduler's request to launch ``num_copies`` copies of ``task`` now."""
 
-    task: Task
-    num_copies: int = 1
+    __slots__ = ("task", "num_copies")
 
-    def __post_init__(self) -> None:
-        if self.num_copies <= 0:
-            raise ValueError(f"num_copies must be positive, got {self.num_copies}")
+    def __init__(self, task: Task, num_copies: int = 1) -> None:
+        if num_copies <= 0:
+            raise ValueError(f"num_copies must be positive, got {num_copies}")
+        self.task = task
+        self.num_copies = num_copies
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LaunchRequest(task={self.task.task_id!r}, num_copies={self.num_copies})"
 
 
 class SchedulerView:
@@ -84,6 +86,7 @@ class SchedulerView:
 
     @property
     def num_alive_jobs(self) -> int:
+        """Number of alive jobs (``len(alive_jobs)``)."""
         return len(self._engine.alive_jobs())
 
     # -- running copies (for progress-monitoring schedulers) ------------------------

@@ -13,6 +13,9 @@ This subpackage provides everything the schedulers consume as *input*:
   the Google cluster-usage trace statistics published in the paper.
 * :mod:`repro.workload.generators` -- additional synthetic workloads used by
   the tests, examples and ablation benchmarks.
+* :mod:`repro.workload.stream` -- the streaming workload layer: picklable
+  :class:`StreamSpec` recipes and lazily generated, bounded-memory
+  :class:`TraceStream` sources for million-job experiments.
 """
 
 from repro.workload.distributions import (
@@ -43,6 +46,13 @@ from repro.workload.generators import (
     poisson_trace,
     uniform_trace,
 )
+from repro.workload.stream import (
+    StreamSpec,
+    TraceStream,
+    stream_heavy_tail_jobs,
+    stream_poisson_jobs,
+    stream_uniform_jobs,
+)
 
 __all__ = [
     "BoundedPareto",
@@ -69,4 +79,9 @@ __all__ = [
     "bulk_arrival_trace",
     "poisson_trace",
     "uniform_trace",
+    "StreamSpec",
+    "TraceStream",
+    "stream_heavy_tail_jobs",
+    "stream_poisson_jobs",
+    "stream_uniform_jobs",
 ]

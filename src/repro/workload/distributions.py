@@ -68,6 +68,16 @@ class DurationDistribution(ABC):
         """Draw a single workload as a Python float."""
         return float(self.sample(rng, 1)[0])
 
+    def sample_list(self, rng: np.random.Generator, size: int) -> list:
+        """Draw ``size`` workloads as a plain Python list.
+
+        Engine hot-path helper: semantically ``sample(...).tolist()``.
+        Subclasses that consume no randomness (:class:`Deterministic`) may
+        override it to skip the numpy round-trip entirely -- permitted
+        exactly because no RNG draw is saved or reordered by doing so.
+        """
+        return self.sample(rng, size).tolist()
+
     @property
     def variance(self) -> float:
         """Second central moment."""
@@ -104,13 +114,16 @@ class _Scaled(DurationDistribution):
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._base.mean * self._factor
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._base.std * self._factor
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         return self._base.sample(rng, size) * self._factor
 
 
@@ -128,14 +141,21 @@ class Deterministic(DurationDistribution):
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._value
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return 0.0
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         return np.full(size, self._value)
+
+    def sample_list(self, rng: np.random.Generator, size: int) -> list:
+        """Constant workloads without the numpy round-trip (no RNG use)."""
+        return [self._value] * size
 
 
 class Uniform(DurationDistribution):
@@ -151,21 +171,26 @@ class Uniform(DurationDistribution):
 
     @property
     def low(self) -> float:
+        """Lower bound of the support."""
         return self._low
 
     @property
     def high(self) -> float:
+        """Upper bound of the support."""
         return self._high
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return (self._low + self._high) / 2.0
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return (self._high - self._low) / math.sqrt(12.0)
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         return rng.uniform(self._low, self._high, size)
 
 
@@ -179,13 +204,16 @@ class Exponential(DurationDistribution):
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._mean
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._mean
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         samples = rng.exponential(self._mean, size)
         # Guard against the measure-zero event of a zero draw.
         return np.maximum(samples, np.finfo(float).tiny)
@@ -210,21 +238,26 @@ class ShiftedExponential(DurationDistribution):
 
     @property
     def shift(self) -> float:
+        """Deterministic minimum workload (the shift)."""
         return self._shift
 
     @property
     def scale(self) -> float:
+        """Mean of the exponential part."""
         return self._scale
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._shift + self._scale
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._scale
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         samples = self._shift + rng.exponential(self._scale, size)
         return np.maximum(samples, np.finfo(float).tiny)
 
@@ -255,14 +288,17 @@ class BoundedPareto(DurationDistribution):
 
     @property
     def minimum(self) -> float:
+        """Lower bound of the support."""
         return self._low
 
     @property
     def maximum(self) -> float:
+        """Upper bound of the support."""
         return self._high
 
     @property
     def alpha(self) -> float:
+        """Pareto tail exponent."""
         return self._alpha
 
     def _raw_moment(self, k: int) -> float:
@@ -284,10 +320,12 @@ class BoundedPareto(DurationDistribution):
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._mean
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._std
 
     def quantile(self, u) -> np.ndarray:
@@ -302,6 +340,7 @@ class BoundedPareto(DurationDistribution):
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
         # Inverse-CDF sampling of the bounded Pareto.
+        """Draw ``size`` independent workloads (see base class)."""
         return self.quantile(rng.uniform(0.0, 1.0, size))
 
     @classmethod
@@ -347,10 +386,12 @@ class LogNormal(DurationDistribution):
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._mean
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._std
 
     @property
@@ -364,6 +405,7 @@ class LogNormal(DurationDistribution):
         return self._sigma
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         if self._sigma == 0.0:
             return np.full(size, self._mean)
         return rng.lognormal(self._mu, self._sigma, size)
@@ -392,13 +434,16 @@ class TruncatedNormal(DurationDistribution):
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._mean
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._std
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         if self._std == 0.0:
             return np.full(size, self._mean)
         samples = rng.normal(self._mean, self._std, size)
@@ -425,21 +470,26 @@ class Floored(DurationDistribution):
 
     @property
     def base(self) -> DurationDistribution:
+        """The wrapped distribution."""
         return self._base
 
     @property
     def floor(self) -> float:
+        """Minimum workload any sample is clipped to."""
         return self._floor
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return max(self._base.mean, self._floor)
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._base.std
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         return np.maximum(self._base.sample(rng, size), self._floor)
 
 
@@ -470,17 +520,21 @@ class Empirical(DurationDistribution):
 
     @property
     def n_samples(self) -> int:
+        """Number of empirical samples backing the distribution."""
         return int(self._values.size)
 
     @property
     def mean(self) -> float:
+        """First moment ``E`` of the distribution."""
         return self._mean
 
     @property
     def std(self) -> float:
+        """Standard deviation ``sigma`` of the distribution."""
         return self._std
 
     def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        """Draw ``size`` independent workloads (see base class)."""
         return rng.choice(self._values, size=size, replace=True)
 
     @classmethod

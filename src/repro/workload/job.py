@@ -18,12 +18,33 @@ The model mirrors Section III of the paper:
 ``JobSpec`` is the immutable description found in a trace.  ``Job``,
 ``Task`` and ``TaskCopy`` are the mutable runtime objects owned by the
 simulation engine.
+
+Performance invariants (the engine hot path depends on these)
+-------------------------------------------------------------
+``Job``, ``Task`` and ``TaskCopy`` are ``__slots__`` classes, and the
+scheduler-facing counters -- unscheduled tasks per phase ``m_i(l)`` /
+``r_i(l)``, running copies ``sigma_i(l)``, incomplete tasks per phase --
+are maintained *incrementally* on every copy/task state transition instead
+of being recomputed by scanning task lists.  A task is counted
+"unscheduled" exactly while it is not completed and has no active copy;
+the transitions that preserve this invariant are:
+
+* :meth:`Task.add_copy`    -- ``0 -> 1`` active copies: leave unscheduled;
+* copy finish/kill         -- ``1 -> 0`` active copies on an incomplete
+  task: re-enter unscheduled (this is how a failure-killed copy's task
+  becomes schedulable again, exactly once);
+* :meth:`Task.complete`    -- an unscheduled-counted task leaving via
+  completion is removed from the count.
+
+Consequently ``Job.remaining_effective_workload`` (Equation (4)) and every
+priority computation built on it are O(1) per job, which is what makes the
+per-event scheduler consultations affordable at million-job scale.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.workload.distributions import DurationDistribution
@@ -125,36 +146,74 @@ class JobSpec:
         )
 
 
-@dataclass
 class TaskCopy:
-    """One physical copy (the original or a clone) of a task on a machine."""
+    """One physical copy (the original or a clone) of a task on a machine.
 
-    copy_id: int
-    task: "Task"
-    machine_id: int
-    launch_time: float
-    workload: float
-    #: Time at which the copy actually starts consuming CPU.  Equals
-    #: ``launch_time`` for map copies; for reduce copies it is
-    #: ``max(launch_time, map-phase completion)`` and stays ``None`` while
-    #: the copy is blocked behind unfinished map tasks.
-    start_time: Optional[float] = None
-    finish_time: Optional[float] = None
-    killed_at: Optional[float] = None
-    #: Raw work units of this copy (post straggler inflation, before the
-    #: hosting machine's speed is applied).  Engine-managed; lets dynamic
-    #: scenarios recompute the wall-clock ``workload`` when the machine's
-    #: effective speed changes.
-    work: Optional[float] = None
-    #: Version of the copy's currently valid finish event (engine-managed).
-    #: A queued finish event with a smaller version is stale.
-    finish_version: int = 0
+    Attributes
+    ----------
+    start_time:
+        Time at which the copy actually starts consuming CPU.  Equals
+        ``launch_time`` for map copies; for reduce copies it is
+        ``max(launch_time, map-phase completion)`` and stays ``None`` while
+        the copy is blocked behind unfinished map tasks.
+    work:
+        Raw work units of this copy (post straggler inflation, before the
+        hosting machine's speed is applied).  Engine-managed; lets dynamic
+        scenarios recompute the wall-clock ``workload`` when the machine's
+        effective speed changes.
+    finish_version:
+        Version of the copy's currently valid finish event
+        (engine-managed).  A queued finish event with a smaller version is
+        stale.
+    """
 
-    def __post_init__(self) -> None:
-        if self.workload <= 0:
-            raise ValueError(f"copy workload must be positive, got {self.workload}")
-        if self.launch_time < 0:
-            raise ValueError(f"launch_time must be >= 0, got {self.launch_time}")
+    __slots__ = (
+        "copy_id",
+        "task",
+        "machine_id",
+        "launch_time",
+        "workload",
+        "start_time",
+        "finish_time",
+        "killed_at",
+        "work",
+        "finish_version",
+    )
+
+    def __init__(
+        self,
+        copy_id: int,
+        task: "Task",
+        machine_id: int,
+        launch_time: float,
+        workload: float,
+        start_time: Optional[float] = None,
+        finish_time: Optional[float] = None,
+        killed_at: Optional[float] = None,
+        work: Optional[float] = None,
+        finish_version: int = 0,
+    ) -> None:
+        if workload <= 0:
+            raise ValueError(f"copy workload must be positive, got {workload}")
+        if launch_time < 0:
+            raise ValueError(f"launch_time must be >= 0, got {launch_time}")
+        self.copy_id = copy_id
+        self.task = task
+        self.machine_id = machine_id
+        self.launch_time = launch_time
+        self.workload = workload
+        self.start_time = start_time
+        self.finish_time = finish_time
+        self.killed_at = killed_at
+        self.work = work
+        self.finish_version = finish_version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskCopy(copy_id={self.copy_id}, task={self.task.task_id!r}, "
+            f"machine_id={self.machine_id}, launch_time={self.launch_time}, "
+            f"workload={self.workload})"
+        )
 
     @property
     def is_finished(self) -> bool:
@@ -163,6 +222,7 @@ class TaskCopy:
 
     @property
     def is_killed(self) -> bool:
+        """True once the copy has been killed (clone lost the race, etc.)."""
         return self.killed_at is not None
 
     @property
@@ -194,12 +254,14 @@ class TaskCopy:
         if self.start_time is None:
             raise ValueError(f"copy {self.copy_id} finished without starting")
         self.finish_time = time
+        self.task._copy_deactivated()
 
     def kill(self, time: float) -> None:
         """Kill the copy (its sibling finished first, or the scheduler preempted it)."""
         if not self.is_active:
             raise ValueError(f"cannot kill inactive copy {self.copy_id}")
         self.killed_at = time
+        self.task._copy_deactivated()
 
     @property
     def expected_finish_time(self) -> Optional[float]:
@@ -228,19 +290,36 @@ class TaskCopy:
         return self.workload - self.elapsed(time)
 
 
-@dataclass
 class Task:
     """One logical map or reduce task ``delta_i^{c,j}``.
 
     A task may have several :class:`TaskCopy` instances running at once;
-    it completes when the first of them completes.
+    it completes when the first of them completes.  The active-copy count
+    is maintained incrementally (see the module docstring) so that
+    ``is_scheduled`` / ``num_active_copies`` are O(1).
     """
 
-    job: "Job"
-    phase: Phase
-    index: int
-    copies: List[TaskCopy] = field(default_factory=list)
-    completion_time: Optional[float] = None
+    __slots__ = ("job", "phase", "index", "copies", "completion_time", "_num_active")
+
+    def __init__(
+        self,
+        job: "Job",
+        phase: Phase,
+        index: int,
+        copies: Optional[List[TaskCopy]] = None,
+        completion_time: Optional[float] = None,
+    ) -> None:
+        self.job = job
+        self.phase = phase
+        self.index = index
+        self.copies: List[TaskCopy] = [] if copies is None else copies
+        self.completion_time = completion_time
+        self._num_active = (
+            sum(1 for copy in self.copies if copy.is_active) if self.copies else 0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.task_id!r}, copies={len(self.copies)})"
 
     @property
     def task_id(self) -> str:
@@ -249,23 +328,24 @@ class Task:
 
     @property
     def status(self) -> TaskStatus:
+        """The task's coarse lifecycle state (pending/running/completed)."""
         if self.completion_time is not None:
             return TaskStatus.COMPLETED
-        if any(copy.is_active for copy in self.copies):
+        if self._num_active > 0:
             return TaskStatus.RUNNING
-        if self.copies:
-            # All copies were killed (e.g. preempted); the task is pending again.
-            return TaskStatus.PENDING
+        # Either no copy was ever launched, or all copies were killed
+        # (e.g. preempted); the task is pending again.
         return TaskStatus.PENDING
 
     @property
     def is_completed(self) -> bool:
+        """True once the earliest copy has finished."""
         return self.completion_time is not None
 
     @property
     def is_scheduled(self) -> bool:
-        """True if at least one copy currently occupies a machine."""
-        return any(copy.is_active for copy in self.copies)
+        """True if at least one copy currently occupies a machine (O(1))."""
+        return self._num_active > 0
 
     @property
     def active_copies(self) -> List[TaskCopy]:
@@ -274,7 +354,8 @@ class Task:
 
     @property
     def num_active_copies(self) -> int:
-        return sum(1 for copy in self.copies if copy.is_active)
+        """Number of copies currently occupying machines (O(1))."""
+        return self._num_active
 
     @property
     def duration_distribution(self) -> DurationDistribution:
@@ -283,9 +364,26 @@ class Task:
 
     def add_copy(self, copy: TaskCopy) -> None:
         """Attach a newly launched copy (engine-only)."""
-        if self.is_completed:
+        if self.completion_time is not None:
             raise ValueError(f"cannot add a copy to completed task {self.task_id}")
         self.copies.append(copy)
+        job = self.job
+        if self._num_active == 0:
+            # PENDING -> RUNNING: the task leaves the unscheduled set.
+            job._unscheduled_delta(self.phase, -1)
+        self._num_active += 1
+        job._active_copies += 1
+        job._copies_launched += 1
+
+    def _copy_deactivated(self) -> None:
+        """Bookkeeping hook called by :meth:`TaskCopy.finish` / ``kill``."""
+        self._num_active -= 1
+        job = self.job
+        job._active_copies -= 1
+        if self._num_active == 0 and self.completion_time is None:
+            # All copies gone without completion (kill/preemption/failure):
+            # the task reverts to unscheduled and may be re-dispatched.
+            job._unscheduled_delta(self.phase, 1)
 
     def complete(self, time: float) -> List[TaskCopy]:
         """Mark the task completed at ``time`` and kill surviving clones.
@@ -293,14 +391,19 @@ class Task:
         Returns the copies that were killed so the engine can free their
         machines.
         """
-        if self.is_completed:
+        if self.completion_time is not None:
             raise ValueError(f"task {self.task_id} already completed")
         self.completion_time = time
+        if self._num_active == 0:
+            # The winning copy already deactivated (its finish re-entered the
+            # task into the unscheduled count); completion removes it again.
+            self.job._unscheduled_delta(self.phase, -1)
         killed: List[TaskCopy] = []
         for copy in self.copies:
             if copy.is_active:
                 copy.kill(time)
                 killed.append(copy)
+        self.job._task_completed(self.phase)
         return killed
 
     def first_launch_time(self) -> Optional[float]:
@@ -310,15 +413,68 @@ class Task:
         return min(copy.launch_time for copy in self.copies)
 
 
-@dataclass
 class Job:
-    """Runtime state of one job, owning its map and reduce tasks."""
+    """Runtime state of one job, owning its map and reduce tasks.
 
-    spec: JobSpec
-    map_tasks: List[Task] = field(default_factory=list)
-    reduce_tasks: List[Task] = field(default_factory=list)
-    map_phase_completion_time: Optional[float] = None
-    completion_time: Optional[float] = None
+    All scheduler-facing counters (``m_i(l)``, ``r_i(l)``, ``sigma_i(l)``,
+    incomplete tasks per phase) are maintained incrementally by the task /
+    copy state transitions, making every priority and allocation query O(1)
+    per job (see the module docstring for the invariant).
+    """
+
+    __slots__ = (
+        "spec",
+        "map_tasks",
+        "reduce_tasks",
+        "map_phase_completion_time",
+        "completion_time",
+        "_unscheduled_map",
+        "_unscheduled_reduce",
+        "_incomplete_map",
+        "_incomplete_reduce",
+        "_active_copies",
+        "_copies_launched",
+    )
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        map_tasks: Optional[List[Task]] = None,
+        reduce_tasks: Optional[List[Task]] = None,
+        map_phase_completion_time: Optional[float] = None,
+        completion_time: Optional[float] = None,
+    ) -> None:
+        self.spec = spec
+        self.map_tasks: List[Task] = [] if map_tasks is None else map_tasks
+        self.reduce_tasks: List[Task] = [] if reduce_tasks is None else reduce_tasks
+        self.map_phase_completion_time = map_phase_completion_time
+        self.completion_time = completion_time
+        self._recount()
+
+    def _recount(self) -> None:
+        """(Re)derive every incremental counter from the task lists."""
+        self._unscheduled_map = 0
+        self._unscheduled_reduce = 0
+        self._incomplete_map = 0
+        self._incomplete_reduce = 0
+        self._active_copies = 0
+        self._copies_launched = 0
+        if not self.map_tasks and not self.reduce_tasks:
+            return
+        for task in self.map_tasks:
+            if task.completion_time is None:
+                self._incomplete_map += 1
+                if task._num_active == 0:
+                    self._unscheduled_map += 1
+            self._active_copies += task._num_active
+            self._copies_launched += len(task.copies)
+        for task in self.reduce_tasks:
+            if task.completion_time is None:
+                self._incomplete_reduce += 1
+                if task._num_active == 0:
+                    self._unscheduled_reduce += 1
+            self._active_copies += task._num_active
+            self._copies_launched += len(task.copies)
 
     @classmethod
     def from_spec(cls, spec: JobSpec) -> "Job":
@@ -332,6 +488,12 @@ class Job:
             Task(job=job, phase=Phase.REDUCE, index=j)
             for j in range(spec.num_reduce_tasks)
         ]
+        # Fresh tasks are pending with no copies: set the counters directly
+        # (the generic _recount scan is per-task work we can skip here).
+        job._unscheduled_map = job._incomplete_map = spec.num_map_tasks
+        job._unscheduled_reduce = job._incomplete_reduce = spec.num_reduce_tasks
+        job._active_copies = 0
+        job._copies_launched = 0
         if spec.num_map_tasks == 0:
             # A job with no map tasks has a trivially completed map phase.
             job.map_phase_completion_time = spec.arrival_time
@@ -341,14 +503,17 @@ class Job:
 
     @property
     def job_id(self) -> int:
+        """Unique identifier of the job within its trace."""
         return self.spec.job_id
 
     @property
     def arrival_time(self) -> float:
+        """``a_i`` -- the time the job entered the cluster."""
         return self.spec.arrival_time
 
     @property
     def weight(self) -> float:
+        """``w_i`` -- the job's weight in the flowtime objective."""
         return self.spec.weight
 
     def tasks(self, phase: Phase) -> List[Task]:
@@ -371,6 +536,7 @@ class Job:
 
     @property
     def is_complete(self) -> bool:
+        """True once every task of the job has completed."""
         return self.completion_time is not None
 
     def notify_task_completion(self, task: Task, time: float) -> bool:
@@ -384,19 +550,33 @@ class Job:
         if self.is_complete:
             raise ValueError(f"job {self.job_id} already complete")
         if task.phase is Phase.MAP:
-            if not self.map_phase_complete and all(
-                t.is_completed for t in self.map_tasks
-            ):
+            if not self.map_phase_complete and self._incomplete_map == 0:
                 self.map_phase_completion_time = time
                 if not self.reduce_tasks:
                     self.completion_time = time
                     return True
             return self.is_complete
         # Reduce task: the job finishes when every reduce task has finished.
-        if all(t.is_completed for t in self.reduce_tasks) and self.map_phase_complete:
+        if self._incomplete_reduce == 0 and self.map_phase_complete:
             self.completion_time = time
             return True
         return False
+
+    # -- counter bookkeeping (task/copy transition hooks) ----------------------
+
+    def _unscheduled_delta(self, phase: Phase, delta: int) -> None:
+        """Adjust the unscheduled-task count of ``phase`` (transition hook)."""
+        if phase is Phase.MAP:
+            self._unscheduled_map += delta
+        else:
+            self._unscheduled_reduce += delta
+
+    def _task_completed(self, phase: Phase) -> None:
+        """Record one task of ``phase`` completing (transition hook)."""
+        if phase is Phase.MAP:
+            self._incomplete_map -= 1
+        else:
+            self._incomplete_reduce -= 1
 
     # -- scheduler-facing counters -------------------------------------------
 
@@ -405,37 +585,43 @@ class Job:
         return [
             task
             for task in self.tasks(phase)
-            if not task.is_completed and not task.is_scheduled
+            if task.completion_time is None and task._num_active == 0
         ]
 
     @property
     def num_unscheduled_map_tasks(self) -> int:
-        """``m_i(l)`` in the paper's online-algorithm notation."""
-        return len(self.unscheduled_tasks(Phase.MAP))
+        """``m_i(l)`` in the paper's online-algorithm notation (O(1))."""
+        return self._unscheduled_map
 
     @property
     def num_unscheduled_reduce_tasks(self) -> int:
-        """``r_i(l)`` in the paper's online-algorithm notation."""
-        return len(self.unscheduled_tasks(Phase.REDUCE))
+        """``r_i(l)`` in the paper's online-algorithm notation (O(1))."""
+        return self._unscheduled_reduce
+
+    def num_incomplete_tasks(self, phase: Phase) -> int:
+        """Tasks of ``phase`` not yet completed (O(1))."""
+        if phase is Phase.MAP:
+            return self._incomplete_map
+        return self._incomplete_reduce
 
     @property
     def num_remaining_tasks(self) -> int:
-        """Tasks (either phase) not yet completed."""
-        return sum(1 for task in self.all_tasks() if not task.is_completed)
+        """Tasks (either phase) not yet completed (O(1))."""
+        return self._incomplete_map + self._incomplete_reduce
 
     @property
     def num_running_copies(self) -> int:
-        """``sigma_i(l)``: machines currently occupied by this job's copies."""
-        return sum(task.num_active_copies for task in self.all_tasks())
+        """``sigma_i(l)``: machines currently occupied by this job's copies (O(1))."""
+        return self._active_copies
 
     def remaining_effective_workload(self, r: float) -> float:
         """``U_i(l)`` of Equation (4), based on *unscheduled* task counts."""
         if r < 0:
             raise ValueError(f"r must be non-negative, got {r}")
         spec = self.spec
-        return self.num_unscheduled_map_tasks * (
+        return self._unscheduled_map * (
             spec.map_duration.mean + r * spec.map_duration.std
-        ) + self.num_unscheduled_reduce_tasks * (
+        ) + self._unscheduled_reduce * (
             spec.reduce_duration.mean + r * spec.reduce_duration.std
         )
 
@@ -457,7 +643,7 @@ class Job:
 
     def total_copies_launched(self) -> int:
         """Number of copies (originals plus clones) launched for this job."""
-        return sum(len(task.copies) for task in self.all_tasks())
+        return self._copies_launched
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

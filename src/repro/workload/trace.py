@@ -86,18 +86,22 @@ class Trace:
 
     @property
     def num_jobs(self) -> int:
+        """Number of jobs in the trace."""
         return len(self._jobs)
 
     @property
     def total_tasks(self) -> int:
+        """Total logical tasks across all jobs."""
         return sum(spec.total_tasks for spec in self._jobs)
 
     @property
     def first_arrival(self) -> float:
+        """Arrival time of the earliest job."""
         return self._jobs[0].arrival_time
 
     @property
     def last_arrival(self) -> float:
+        """Arrival time of the latest job."""
         return self._jobs[-1].arrival_time
 
     @property

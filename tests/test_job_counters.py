@@ -1,0 +1,117 @@
+"""Consistency tests for the O(1) incremental job/task counters.
+
+The hot-path overhaul replaced every scan-based scheduler query
+(``num_unscheduled_*``, ``num_running_copies``, ``is_scheduled``,
+``num_remaining_tasks``) with counters maintained at copy/task state
+transitions.  These tests assert, at every scheduler decision point of
+full runs -- including clone kills, blocked reduce copies and
+failure-driven re-dispatch -- that the counters equal what a fresh scan
+of the task lists reports.
+"""
+
+from __future__ import annotations
+
+from repro.core.srptms_c import SRPTMSCScheduler
+from repro.scenarios import MachineFailures, ScenarioSpec
+from repro.schedulers.fair import FairScheduler
+from repro.simulation.runner import run_simulation
+from repro.workload.generators import poisson_trace
+from repro.workload.job import Job, Phase
+
+
+def scanned_counters(job: Job) -> dict:
+    """Recompute every incremental counter by scanning the task lists."""
+    return {
+        "unscheduled_map": sum(
+            1 for t in job.map_tasks
+            if not t.is_completed and not any(c.is_active for c in t.copies)
+        ),
+        "unscheduled_reduce": sum(
+            1 for t in job.reduce_tasks
+            if not t.is_completed and not any(c.is_active for c in t.copies)
+        ),
+        "incomplete_map": sum(1 for t in job.map_tasks if not t.is_completed),
+        "incomplete_reduce": sum(
+            1 for t in job.reduce_tasks if not t.is_completed
+        ),
+        "active_copies": sum(
+            sum(1 for c in t.copies if c.is_active) for t in job.all_tasks()
+        ),
+        "copies_launched": sum(len(t.copies) for t in job.all_tasks()),
+    }
+
+
+def counter_values(job: Job) -> dict:
+    """The incrementally maintained counters, via the public API."""
+    return {
+        "unscheduled_map": job.num_unscheduled_map_tasks,
+        "unscheduled_reduce": job.num_unscheduled_reduce_tasks,
+        "incomplete_map": job.num_incomplete_tasks(Phase.MAP),
+        "incomplete_reduce": job.num_incomplete_tasks(Phase.REDUCE),
+        "active_copies": job.num_running_copies,
+        "copies_launched": job.total_copies_launched(),
+    }
+
+
+class CheckingScheduler(SRPTMSCScheduler):
+    """SRPTMS+C that cross-checks every alive job's counters per decision."""
+
+    checked = 0
+
+    def schedule(self, view):
+        for job in view.alive_jobs:
+            assert counter_values(job) == scanned_counters(job), (
+                f"counter drift on job {job.job_id} at t={view.time}"
+            )
+            type(self).checked += 1
+        return super().schedule(view)
+
+
+class CheckingFair(FairScheduler):
+    """Fair scheduler variant of the cross-check (single-copy path)."""
+
+    checked = 0
+
+    def schedule(self, view):
+        for job in view.alive_jobs:
+            assert counter_values(job) == scanned_counters(job)
+            type(self).checked += 1
+        return super().schedule(view)
+
+
+def test_counters_match_scans_throughout_a_cloning_run():
+    CheckingScheduler.checked = 0
+    trace = poisson_trace(40, 0.8, seed=11)
+    result = run_simulation(
+        trace, CheckingScheduler(epsilon=0.6, r=3.0), 24, seed=4
+    )
+    assert result.num_jobs == 40
+    assert CheckingScheduler.checked > 100
+
+
+def test_counters_match_scans_under_machine_failures():
+    """Failure kills revert tasks to unscheduled -- the trickiest transition."""
+    CheckingFair.checked = 0
+    trace = poisson_trace(25, 0.5, seed=2)
+    scenario = ScenarioSpec(
+        failures=MachineFailures(rate=2e-3, mean_repair=20.0)
+    )
+    result = run_simulation(trace, CheckingFair(), 12, seed=6, scenario=scenario)
+    assert result.num_jobs == 25
+    assert result.machine_failures > 0
+    assert CheckingFair.checked > 50
+
+
+def test_recount_is_idempotent_after_a_run():
+    """_recount() from scratch reproduces the incrementally maintained state."""
+    from repro.simulation.engine import SimulationEngine
+
+    trace = poisson_trace(30, 0.8, seed=7)
+    engine = SimulationEngine(
+        trace, SRPTMSCScheduler(epsilon=0.6, r=3.0), 16, seed=3
+    )
+    engine.run()
+    for job in engine._jobs:
+        before = counter_values(job)
+        job._recount()
+        assert counter_values(job) == before == scanned_counters(job)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Offline link checker for the repository's markdown documentation.
+
+Scans every markdown file given on the command line for inline links and
+images (``[text](target)`` / ``![alt](target)``) and verifies that each
+*local* target exists relative to the linking file (anchors and
+``http(s)``/``mailto`` targets are skipped -- CI has no network).  Exits
+non-zero listing every broken link.
+
+Usage::
+
+    python tools/check_links.py README.md ROADMAP.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown link/image: [text](target) -- target captured lazily so
+#: titles ("target \"title\"") and anchors can be stripped afterwards.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point outside the repository and are not checked offline.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(path: Path) -> list:
+    """Return ``(line_number, target)`` pairs of broken local links."""
+    broken = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            local = target.split("#", 1)[0]
+            if not local:
+                continue
+            resolved = (path.parent / local).resolve()
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv: list) -> int:
+    """Check every file in ``argv``; print breakages and return the count."""
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for line_number, target in check_file(path):
+            print(f"{name}:{line_number}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s)", file=sys.stderr)
+    else:
+        print("all local links resolve")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
