@@ -16,7 +16,7 @@ from repro.analysis.comparison import ComparisonTable
 from repro.cluster.stragglers import SlowMachines
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments import ExperimentConfig, run_scheduler_comparison
-from repro.simulation.runner import run_replications
+from repro.simulation import run_replications
 
 from .conftest import save_report
 

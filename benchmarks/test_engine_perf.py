@@ -31,7 +31,7 @@ from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments import ExperimentConfig
 from repro.schedulers.fifo import FIFOScheduler
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.runner import run_simulation
+from repro.simulation import run_simulation
 from repro.workload.stream import StreamSpec, stream_uniform_jobs
 
 from .conftest import save_report_json

@@ -17,7 +17,12 @@ The package is organised as:
 * :mod:`repro.schedulers` -- baseline policies (Mantri, SCA, LATE, FIFO,
   Fair, plain SRPT);
 * :mod:`repro.analysis` -- CDFs, comparison tables, theory checks;
-* :mod:`repro.experiments` -- one ``run_*`` function per paper table/figure.
+* :mod:`repro.study` -- declarative sweeps: a :class:`~repro.study.Study`
+  is a cartesian product of axes (schedulers x scenarios x workloads x
+  seeds x scalar sweeps) compiled to run specs, returning a tidy
+  :class:`~repro.study.ResultSet`; spec files via ``repro-mapreduce sweep``;
+* :mod:`repro.experiments` -- one ``run_*`` function per paper
+  table/figure, each a thin wrapper over a study preset.
 
 Quickstart::
 
@@ -47,6 +52,7 @@ from repro.simulation import (
     run_replications,
     run_simulation,
 )
+from repro.study import ResultSet, Study, load_study
 from repro.workload import GoogleTraceConfig, GoogleTraceGenerator, Trace
 
 __version__ = "1.0.0"
@@ -69,4 +75,7 @@ __all__ = [
     "Trace",
     "GoogleTraceGenerator",
     "GoogleTraceConfig",
+    "Study",
+    "ResultSet",
+    "load_study",
 ]

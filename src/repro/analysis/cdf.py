@@ -15,7 +15,7 @@ from typing import Dict, Iterable, List, Sequence, Union
 import numpy as np
 
 from repro.simulation.metrics import SimulationResult
-from repro.simulation.runner import ReplicatedResult
+from repro.simulation.experiment_runner import ReplicatedResult
 
 __all__ = [
     "SMALL_JOB_GRID",
@@ -52,16 +52,15 @@ def render_cdf_table(
     curves: Dict[str, Iterable[float]], points: Sequence[float], title: str = ""
 ) -> str:
     """Text rendering of CDF curves: one row per grid point, one column per policy."""
-    names = list(curves.keys())
-    lines: List[str] = []
-    if title:
-        lines.append(title)
-    header = f"{'flowtime (s)':>14}  " + "  ".join(f"{name:>12}" for name in names)
-    lines.append(header)
-    columns = {name: list(values) for name, values in curves.items()}
-    for index, point in enumerate(points):
-        row = f"{point:>14.0f}  " + "  ".join(
-            f"{columns[name][index]:>12.3f}" for name in names
-        )
-        lines.append(row)
-    return "\n".join(lines)
+    from repro.experiments.report import render_columns
+
+    return render_columns(
+        "flowtime (s)",
+        list(points),
+        {name: list(values) for name, values in curves.items()},
+        title=title,
+        precision=3,
+        column_width=12,
+        x_width=14,
+        x_format=lambda point: f"{point:.0f}",
+    )

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 from repro.simulation.metrics import SimulationResult
-from repro.simulation.runner import ReplicatedResult
+from repro.simulation.experiment_runner import ReplicatedResult
 
 __all__ = ["ComparisonTable", "percentage_improvement"]
 

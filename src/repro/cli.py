@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface: regenerate any paper table/figure, or run a sweep.
 
 Examples::
 
@@ -12,17 +12,30 @@ Examples::
     repro-mapreduce figure6 --failure-rate 0.001 --repair-time 50
     repro-mapreduce scenario-sweep --scale 0.01 --workers 0
     repro-mapreduce figure6 --cache-dir ~/.cache/repro-mapreduce
+    repro-mapreduce sweep --spec study.toml --csv results.csv
 
-Each subcommand prints the plain-text report of the corresponding
-experiment; ``--scale`` shrinks the trace and the cluster together so the
-offered load stays at the paper's level.  ``--scenario`` (and the
-fine-grained ``--speed-spread``/``--failure-rate``/``--slowdown-*`` flags)
-run any *figure* experiment under a non-ideal cluster environment; the
-non-simulating experiments reject scenario flags instead of silently
-ignoring them.  See :mod:`repro.scenarios`.  ``--cache-dir`` enables the
-results cache (:mod:`repro.simulation.results_store`): re-invocations and
-interrupted sweeps reuse already-computed cells byte-for-byte instead of
+Each experiment subcommand prints the plain-text report of the
+corresponding experiment; ``--scale`` shrinks the trace and the cluster
+together so the offered load stays at the paper's level.  ``--scenario``
+(and the fine-grained ``--speed-spread``/``--failure-rate``/
+``--slowdown-*`` flags) run any *figure* experiment under a non-ideal
+cluster environment; the non-simulating experiments reject scenario flags
+instead of silently ignoring them.  See :mod:`repro.scenarios`.
+``--cache-dir`` enables the results cache
+(:mod:`repro.simulation.results_store`): re-invocations and interrupted
+sweeps reuse already-computed cells byte-for-byte instead of
 re-simulating; ``--no-cache`` bypasses it.
+
+The ``sweep`` subcommand needs no driver code at all: ``--spec`` names a
+TOML/JSON study file (:mod:`repro.study.specfile`) declaring the axes
+product to run; the tidy report prints to stdout and ``--csv``/``--json``
+export the per-run records.  Only ``--workers`` and the cache flags apply
+to ``sweep`` -- everything else lives in the spec file.
+
+Worker counts (one mapping, everywhere): ``--workers 1`` runs serially
+(the default), ``--workers N`` uses ``N`` worker processes, and
+``--workers 0`` -- like ``workers=None`` in the library -- uses every
+usable CPU.  Results are bit-identical for any value.
 """
 
 from __future__ import annotations
@@ -45,6 +58,7 @@ from repro.experiments import (
     run_scheduler_comparison,
     run_table2,
 )
+from repro.experiments.report import render_resultset
 from repro.scenarios import (
     DEFAULT_MEAN_REPAIR,
     DEFAULT_SLOWDOWN_DURATION,
@@ -55,6 +69,7 @@ from repro.scenarios import (
     UniformSpeeds,
     scenario_preset,
 )
+from repro.simulation.experiment_runner import normalize_workers
 
 __all__ = ["main", "build_parser"]
 
@@ -81,9 +96,10 @@ def build_parser() -> argparse.ArgumentParser:
             "figure6",
             "offline-bound",
             "scenario-sweep",
+            "sweep",
             "all",
         ],
-        help="which table/figure to regenerate",
+        help="which table/figure to regenerate, or 'sweep' for a spec-file study",
     )
     parser.add_argument(
         "--scale",
@@ -121,9 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help=(
-            "worker processes for replicated sweeps: 1 runs serially, 0 uses "
-            "every CPU; results are identical for any value (default 1)"
+            "worker processes for replicated sweeps: 1 runs serially "
+            "(default), N uses N processes, 0 uses every usable CPU (the "
+            "library spelling is workers=None); results are bit-identical "
+            "for any value"
         ),
+    )
+    sweep = parser.add_argument_group(
+        "sweep",
+        "spec-file studies (repro.study): 'sweep --spec FILE' compiles a "
+        "declarative TOML/JSON axes product into run specs and prints the "
+        "tidy per-cell report; only --workers and the cache flags apply, "
+        "the spec file defines everything else",
+    )
+    sweep.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="study spec file (.toml or .json) for the 'sweep' subcommand",
+    )
+    sweep.add_argument(
+        "--csv",
+        default=None,
+        metavar="FILE",
+        help="also export the sweep's per-run records as CSV",
+    )
+    sweep.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        metavar="FILE",
+        help="also export the sweep's per-run records as JSON",
     )
     cache = parser.add_argument_group(
         "results cache",
@@ -318,9 +362,12 @@ def _compose_scenario(args: argparse.Namespace) -> Optional[ScenarioSpec]:
 
 
 def _workers_from_args(args: argparse.Namespace) -> Optional[int]:
-    if args.workers < 0:
-        raise SystemExit(f"--workers must be >= 0, got {args.workers}")
-    return None if args.workers == 0 else args.workers
+    try:
+        # One shared mapping (repro.simulation.experiment_runner):
+        # 0 and None mean all usable CPUs, N >= 1 means exactly N.
+        return normalize_workers(args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"--workers: {exc}") from None
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -330,7 +377,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
             f"scenario flags do not apply to {args.experiment!r}: table2 is "
             "pure trace statistics, offline-bound validates the "
             "homogeneous-cluster bounds, scenario-sweep defines its own "
-            "scenario axes (only --repair-time applies), and 'all' mixes "
+            "scenario axes (only --repair-time applies), 'sweep' takes its "
+            "scenarios from the spec file, and 'all' mixes "
             "both kinds -- run the figure commands individually instead"
         )
     return ExperimentConfig(
@@ -343,6 +391,49 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         scenario=scenario,
         cache_dir=None if args.no_cache else args.cache_dir,
     )
+
+
+#: Figure flags that have no effect on 'sweep' (the spec file rules).
+_FIGURE_ONLY_FLAGS = ("scale", "seeds", "epsilon", "r", "machines")
+
+
+def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Execute a spec-file study: load, run, print, export."""
+    from repro.study import StudySpecError, load_study
+
+    if args.spec is None:
+        raise SystemExit("'sweep' needs --spec FILE (a .toml or .json study spec)")
+    for flag in _FIGURE_ONLY_FLAGS:
+        if getattr(args, flag) != parser.get_default(flag):
+            raise SystemExit(
+                f"--{flag} does not apply to 'sweep': the spec file defines "
+                "the study; only --workers and the cache flags apply"
+            )
+    if _scenario_from_args(args) is not None:
+        raise SystemExit(
+            "scenario flags do not apply to 'sweep': declare scenarios in "
+            "the spec file's scenarios axis"
+        )
+    try:
+        study = load_study(args.spec)
+    except StudySpecError as exc:
+        raise SystemExit(f"invalid study spec: {exc}") from None
+    results = study.run(
+        workers=_workers_from_args(args),
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    if args.csv:
+        results.to_csv(args.csv)
+    if args.json_out:
+        results.to_json(args.json_out)
+    seeds = len(study.seeds)
+    cells = study.num_points() // seeds if seeds else 0
+    title = (
+        f"Study {study.name!r} -- {len(results)} runs "
+        f"({cells} cells x {seeds} seeds), mean over seeds"
+    )
+    print(render_resultset(results, title=title))
+    return 0
 
 
 def _run_one(
@@ -376,6 +467,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-mapreduce`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    for flag, value in (("--spec", args.spec), ("--csv", args.csv), ("--json", args.json_out)):
+        if value is not None and args.experiment != "sweep":
+            raise SystemExit(f"{flag} only applies to the 'sweep' subcommand")
+    if args.experiment == "sweep":
+        return _run_sweep(args, parser)
     config = _config_from_args(args)
 
     if args.experiment == "all":

@@ -20,8 +20,7 @@ from repro.schedulers import (
     SCAScheduler,
     SRPTScheduler,
 )
-from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
-from repro.simulation.runner import ReplicatedResult
+from repro.simulation.experiment_runner import ReplicatedResult, SchedulerSpec
 from repro.simulation.scheduler_api import Scheduler
 from repro.workload.trace import Trace
 
@@ -76,25 +75,13 @@ def run_scheduler_comparison(
         Also run the additional reference policies (LATE, SRPT, Fair, FIFO).
     schedulers:
         Optional subset of policy names to run.
+
+    A thin wrapper over the ``scheduler-comparison``
+    :class:`~repro.study.core.Study` (:mod:`repro.study.presets`), whose
+    scheduler axis carries the compared policies.
     """
-    config = config if config is not None else ExperimentConfig.default_bench()
-    trace_source = trace if trace is not None else config.trace_source()
-    factories = scheduler_factories(config, include_extra=include_extra)
-    if schedulers is not None:
-        unknown = set(schedulers) - set(factories)
-        if unknown:
-            raise ValueError(f"unknown scheduler names: {sorted(unknown)}")
-        factories = {name: factories[name] for name in schedulers}
-    specs = sweep_specs(
-        trace_source,
-        [(name, factory, config.machines) for name, factory in factories.items()],
-        config.seeds,
-        scenario=config.scenario,
+    from repro.study.presets import compute_comparison
+
+    return compute_comparison(
+        config, trace=trace, include_extra=include_extra, schedulers=schedulers
     )
-    grouped = config.make_runner().run_grouped(specs)
-    return {
-        name: ReplicatedResult(
-            scheduler_name=runs[0].scheduler_name, results=runs
-        )
-        for name, runs in grouped.items()
-    }

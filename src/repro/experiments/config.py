@@ -15,7 +15,11 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.scenarios import ScenarioSpec
-from repro.simulation.experiment_runner import ExperimentRunner, TraceSpec
+from repro.simulation.experiment_runner import (
+    ExperimentRunner,
+    TraceSpec,
+    normalize_workers,
+)
 from repro.workload.google_trace import (
     GoogleTraceConfig,
     GoogleTraceGenerator,
@@ -55,8 +59,11 @@ class ExperimentConfig:
         Within-job coefficient of variation of task durations.
     workers:
         Worker processes for replicated sweeps: ``1`` runs serially,
-        ``None`` uses every usable CPU.  Results are bit-identical either
-        way (see :mod:`repro.simulation.experiment_runner`).
+        ``None`` and ``0`` (the CLI spelling) both use every usable CPU --
+        the value is normalised through
+        :func:`repro.simulation.experiment_runner.normalize_workers` at
+        construction.  Results are bit-identical either way (see
+        :mod:`repro.simulation.experiment_runner`).
     scenario:
         Cluster environment every run of the experiment executes under
         (heterogeneous speeds, dynamic stragglers, failures); ``None`` is
@@ -94,8 +101,7 @@ class ExperimentConfig:
             raise ValueError(f"epsilon must lie in (0, 1], got {self.epsilon}")
         if self.r < 0:
             raise ValueError(f"r must be non-negative, got {self.r}")
-        if self.workers is not None and self.workers < 1:
-            raise ValueError(f"workers must be >= 1 or None, got {self.workers}")
+        object.__setattr__(self, "workers", normalize_workers(self.workers))
 
     # -- presets ------------------------------------------------------------------
 

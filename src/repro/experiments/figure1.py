@@ -10,13 +10,10 @@ too thinly across all alive jobs (too fair-share-like).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_sweep_table
-from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
-from repro.simulation.runner import ReplicatedResult
 
 __all__ = ["Figure1Result", "run_figure1", "DEFAULT_EPSILONS"]
 
@@ -73,36 +70,15 @@ def run_figure1(
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     r: float = 0.0,
 ) -> Figure1Result:
-    """Sweep epsilon for SRPTMS+C and collect both flowtime averages."""
+    """Sweep epsilon for SRPTMS+C and collect both flowtime averages.
+
+    A thin wrapper over the ``figure1`` :class:`~repro.study.core.Study`
+    preset (:mod:`repro.study.presets`), which compiles the epsilon axis
+    into run specs and executes them under the config's runner settings.
+    """
+    from repro.study.presets import compute_figure1
+
     config = config if config is not None else ExperimentConfig.default_bench()
     if not epsilons:
         raise ValueError("epsilons must not be empty")
-    specs = sweep_specs(
-        config.trace_source(),
-        [
-            (
-                epsilon,
-                SchedulerSpec(SRPTMSCScheduler, {"epsilon": epsilon, "r": r}),
-                config.machines,
-            )
-            for epsilon in epsilons
-        ],
-        config.seeds,
-        scenario=config.scenario,
-    )
-    grouped = config.make_runner().run_grouped(specs)
-    means: List[float] = []
-    weighted: List[float] = []
-    for epsilon in epsilons:
-        replicated = ReplicatedResult(
-            scheduler_name=grouped[epsilon][0].scheduler_name,
-            results=grouped[epsilon],
-        )
-        means.append(replicated.mean_flowtime)
-        weighted.append(replicated.weighted_mean_flowtime)
-    return Figure1Result(
-        epsilons=tuple(epsilons),
-        mean_flowtimes=tuple(means),
-        weighted_mean_flowtimes=tuple(weighted),
-        r=r,
-    )
+    return compute_figure1(config, epsilons=epsilons, r=r)

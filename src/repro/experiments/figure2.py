@@ -10,13 +10,10 @@ r = 3 and the weighted average around r = 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_sweep_table
-from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
-from repro.simulation.runner import ReplicatedResult
 
 __all__ = ["Figure2Result", "run_figure2", "DEFAULT_R_VALUES"]
 
@@ -82,35 +79,14 @@ def run_figure2(
     r_values: Sequence[float] = DEFAULT_R_VALUES,
     epsilon: float = 0.6,
 ) -> Figure2Result:
-    """Sweep r for SRPTMS+C and collect both flowtime averages."""
+    """Sweep r for SRPTMS+C and collect both flowtime averages.
+
+    A thin wrapper over the ``figure2`` :class:`~repro.study.core.Study`
+    preset (:mod:`repro.study.presets`).
+    """
+    from repro.study.presets import compute_figure2
+
     config = config if config is not None else ExperimentConfig.default_bench()
     if not r_values:
         raise ValueError("r_values must not be empty")
-    specs = sweep_specs(
-        config.trace_source(),
-        [
-            (
-                r,
-                SchedulerSpec(SRPTMSCScheduler, {"epsilon": epsilon, "r": r}),
-                config.machines,
-            )
-            for r in r_values
-        ],
-        config.seeds,
-        scenario=config.scenario,
-    )
-    grouped = config.make_runner().run_grouped(specs)
-    means: List[float] = []
-    weighted: List[float] = []
-    for r in r_values:
-        replicated = ReplicatedResult(
-            scheduler_name=grouped[r][0].scheduler_name, results=grouped[r]
-        )
-        means.append(replicated.mean_flowtime)
-        weighted.append(replicated.weighted_mean_flowtime)
-    return Figure2Result(
-        r_values=tuple(r_values),
-        mean_flowtimes=tuple(means),
-        weighted_mean_flowtimes=tuple(weighted),
-        epsilon=epsilon,
-    )
+    return compute_figure2(config, r_values=r_values, epsilon=epsilon)

@@ -10,13 +10,10 @@ the full cluster so the experiment works at any scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from repro.core.srptms_c import SRPTMSCScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_sweep_table
-from repro.simulation.experiment_runner import SchedulerSpec, sweep_specs
-from repro.simulation.runner import ReplicatedResult
 
 __all__ = ["Figure3Result", "run_figure3", "DEFAULT_MACHINE_FRACTIONS"]
 
@@ -75,39 +72,17 @@ def run_figure3(
     config: Optional[ExperimentConfig] = None,
     machine_fractions: Sequence[float] = DEFAULT_MACHINE_FRACTIONS,
 ) -> Figure3Result:
-    """Sweep the cluster size for SRPTMS+C and collect both flowtime averages."""
+    """Sweep the cluster size for SRPTMS+C and collect both flowtime averages.
+
+    A thin wrapper over the ``figure3`` :class:`~repro.study.core.Study`
+    preset (:mod:`repro.study.presets`), whose ``machine_fraction`` axis
+    scales the study's base cluster per point.
+    """
+    from repro.study.presets import compute_figure3
+
     config = config if config is not None else ExperimentConfig.default_bench()
     if not machine_fractions:
         raise ValueError("machine_fractions must not be empty")
     if any(fraction <= 0 for fraction in machine_fractions):
         raise ValueError("machine fractions must be positive")
-    full_cluster = config.machines
-    counts: List[int] = [
-        max(1, int(round(full_cluster * fraction))) for fraction in machine_fractions
-    ]
-    scheduler = SchedulerSpec(
-        SRPTMSCScheduler, {"epsilon": config.epsilon, "r": config.r}
-    )
-    # Tag by sweep index: different fractions may round to the same count.
-    specs = sweep_specs(
-        config.trace_source(),
-        [(index, scheduler, machines) for index, machines in enumerate(counts)],
-        config.seeds,
-        scenario=config.scenario,
-    )
-    grouped = config.make_runner().run_grouped(specs)
-    means: List[float] = []
-    weighted: List[float] = []
-    for index in range(len(counts)):
-        replicated = ReplicatedResult(
-            scheduler_name=grouped[index][0].scheduler_name, results=grouped[index]
-        )
-        means.append(replicated.mean_flowtime)
-        weighted.append(replicated.weighted_mean_flowtime)
-    return Figure3Result(
-        machine_counts=tuple(counts),
-        mean_flowtimes=tuple(means),
-        weighted_mean_flowtimes=tuple(weighted),
-        epsilon=config.epsilon,
-        r=config.r,
-    )
+    return compute_figure3(config, machine_fractions=machine_fractions)

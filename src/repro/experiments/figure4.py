@@ -17,7 +17,7 @@ import numpy as np
 from repro.analysis.cdf import SMALL_JOB_GRID, cdf_comparison, render_cdf_table
 from repro.experiments.baselines import run_scheduler_comparison
 from repro.experiments.config import ExperimentConfig
-from repro.simulation.runner import ReplicatedResult
+from repro.simulation.experiment_runner import ReplicatedResult
 
 __all__ = ["Figure4Result", "run_figure4"]
 

@@ -15,7 +15,7 @@ import numpy as np
 from repro.analysis.cdf import BIG_JOB_GRID, cdf_comparison, render_cdf_table
 from repro.experiments.baselines import run_scheduler_comparison
 from repro.experiments.config import ExperimentConfig
-from repro.simulation.runner import ReplicatedResult
+from repro.simulation.experiment_runner import ReplicatedResult
 
 __all__ = ["Figure5Result", "run_figure5"]
 

@@ -13,7 +13,7 @@ from typing import Dict, Optional
 from repro.analysis.comparison import ComparisonTable
 from repro.experiments.baselines import run_scheduler_comparison
 from repro.experiments.config import ExperimentConfig
-from repro.simulation.runner import ReplicatedResult
+from repro.simulation.experiment_runner import ReplicatedResult
 
 __all__ = ["Figure6Result", "run_figure6"]
 

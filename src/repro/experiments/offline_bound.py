@@ -17,11 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.analysis.theory import OfflineBoundReport, offline_bound_check
-from repro.core.offline import OfflineSRPTScheduler
+from repro.analysis.theory import OfflineBoundReport
 from repro.experiments.config import ExperimentConfig
-from repro.simulation.runner import run_simulation
-from repro.workload.generators import bulk_arrival_trace
 
 __all__ = ["OfflineBoundResult", "run_offline_bound"]
 
@@ -62,37 +59,22 @@ def run_offline_bound(
     r: float = 3.0,
     weights: Optional[Sequence[float]] = None,
 ) -> OfflineBoundResult:
-    """Run Algorithm 1 on deterministic and noisy bulk arrivals and check bounds."""
+    """Run Algorithm 1 on deterministic and noisy bulk arrivals and check bounds.
+
+    A thin wrapper over the ``offline-bound``
+    :class:`~repro.study.core.Study` preset (:mod:`repro.study.presets`),
+    whose workload axis carries the deterministic and noisy bulk-arrival
+    instances and whose ``r`` axis carries the two bound regimes.
+    """
+    from repro.study.presets import compute_offline_bound
+
     config = config if config is not None else ExperimentConfig.default_bench()
-    seed = config.seeds[0]
-
-    deterministic_trace = bulk_arrival_trace(
-        job_sizes, mean_duration=mean_duration, cv=0.0, weights=weights
-    )
-    deterministic_result = run_simulation(
-        deterministic_trace,
-        OfflineSRPTScheduler(r=0.0, seed=seed),
-        num_machines,
-        seed=seed,
-    )
-    deterministic_report = offline_bound_check(
-        deterministic_result, deterministic_trace, num_machines, r=0.0
-    )
-
-    noisy_trace = bulk_arrival_trace(
-        job_sizes, mean_duration=mean_duration, cv=noisy_cv, weights=weights
-    )
-    noisy_result = run_simulation(
-        noisy_trace,
-        OfflineSRPTScheduler(r=r, seed=seed),
-        num_machines,
-        seed=seed,
-    )
-    noisy_report = offline_bound_check(noisy_result, noisy_trace, num_machines, r=r)
-
-    return OfflineBoundResult(
-        deterministic=deterministic_report,
-        noisy=noisy_report,
-        r=r,
+    return compute_offline_bound(
+        config,
+        job_sizes=job_sizes,
         num_machines=num_machines,
+        mean_duration=mean_duration,
+        noisy_cv=noisy_cv,
+        r=r,
+        weights=weights,
     )

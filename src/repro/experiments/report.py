@@ -1,10 +1,71 @@
-"""Plain-text rendering helpers shared by the experiment reports."""
+"""Plain-text rendering: one generic column renderer for every report.
+
+All tabular experiment output -- the figure sweep tables, the CDF tables
+(:mod:`repro.analysis.cdf`), the scenario sweep and the generic
+``repro-mapreduce sweep`` report -- renders through :func:`render_columns`:
+one row per x value, one right-aligned numeric column per series.  The
+thin wrappers (:func:`render_sweep_table`, the CDF table) just pick widths
+and formats; :func:`render_resultset` renders a whole tidy
+:class:`~repro.study.resultset.ResultSet` (coordinates as leading columns,
+seed axis collapsed to statistics), which is what spec-file sweeps print.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["render_sweep_table", "render_key_values"]
+__all__ = [
+    "render_columns",
+    "render_sweep_table",
+    "render_key_values",
+    "render_resultset",
+]
+
+
+def _default_x_format(value) -> str:
+    return f"{value:g}" if isinstance(value, (int, float)) else str(value)
+
+
+def render_columns(
+    x_label: str,
+    x_values: Sequence,
+    series: Dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    precision: int = 1,
+    column_width: int = 24,
+    x_width: Optional[int] = None,
+    x_format: Optional[Callable[[object], str]] = None,
+) -> str:
+    """The generic column table: one row per x value, one column per series.
+
+    Every report table in the repository is an instance of this shape;
+    the wrappers below only choose widths and x formatting.
+    """
+    names = list(series.keys())
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    if x_width is None:
+        x_width = max(12, len(x_label) + 2)
+    if x_format is None:
+        x_format = _default_x_format
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{x_label:>{x_width}}  " + "  ".join(
+        f"{name:>{column_width}}" for name in names
+    )
+    lines.append(header)
+    for index, x in enumerate(x_values):
+        row = f"{x_format(x):>{x_width}}  " + "  ".join(
+            f"{series[name][index]:>{column_width}.{precision}f}" for name in names
+        )
+        lines.append(row)
+    return "\n".join(lines)
 
 
 def render_sweep_table(
@@ -19,26 +80,9 @@ def render_sweep_table(
     One row per ``x_values`` entry, one column per series (e.g. unweighted
     and weighted mean flowtime), mirroring the data behind a line plot.
     """
-    names = list(series.keys())
-    for name in names:
-        if len(series[name]) != len(x_values):
-            raise ValueError(
-                f"series {name!r} has {len(series[name])} points, "
-                f"expected {len(x_values)}"
-            )
-    lines: List[str] = []
-    if title:
-        lines.append(title)
-    width = max(12, len(x_label) + 2)
-    header = f"{x_label:>{width}}  " + "  ".join(f"{name:>24}" for name in names)
-    lines.append(header)
-    for index, x in enumerate(x_values):
-        x_text = f"{x:g}" if isinstance(x, (int, float)) else str(x)
-        row = f"{x_text:>{width}}  " + "  ".join(
-            f"{series[name][index]:>24.{precision}f}" for name in names
-        )
-        lines.append(row)
-    return "\n".join(lines)
+    return render_columns(
+        x_label, x_values, series, title=title, precision=precision
+    )
 
 
 def render_key_values(pairs: Dict[str, object], title: str = "") -> str:
@@ -51,4 +95,53 @@ def render_key_values(pairs: Dict[str, object], title: str = "") -> str:
     width = max(len(str(key)) for key in pairs)
     for key, value in pairs.items():
         lines.append(f"{str(key):<{width}}  {value}")
+    return "\n".join(lines)
+
+
+def render_resultset(
+    results,
+    *,
+    title: str = "",
+    metrics: Sequence = ("mean_flowtime", "weighted_mean_flowtime"),
+    over: str = "seed",
+    stats: Sequence[str] = ("mean",),
+    precision: int = 1,
+) -> str:
+    """Render a tidy :class:`~repro.study.resultset.ResultSet` as a table.
+
+    The ``over`` axis (seeds, by default) is collapsed into the requested
+    statistics via :meth:`~repro.study.resultset.ResultSet.aggregate`; the
+    remaining axes become leading, left-aligned coordinate columns, one
+    row per cell of the product.
+    """
+    if not len(results):
+        return title or "(empty result set)"
+    rows = results.aggregate(metrics, over=over, stats=stats)
+    coord_columns = [axis for axis in results.axis_names if axis != over]
+    value_columns = [column for column in rows[0] if column not in coord_columns]
+    rendered: Dict[str, List[str]] = {}
+    for column in coord_columns:
+        rendered[column] = [_default_x_format(row[column]) for row in rows]
+    for column in value_columns:
+        rendered[column] = [f"{row[column]:.{precision}f}" for row in rows]
+    widths = {
+        column: max(len(column), *(len(text) for text in rendered[column]))
+        for column in rendered
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_cells = [f"{column:<{widths[column]}}" for column in coord_columns]
+    header_cells += [f"{column:>{widths[column]}}" for column in value_columns]
+    lines.append("  ".join(header_cells).rstrip())
+    for index in range(len(rows)):
+        cells = [
+            f"{rendered[column][index]:<{widths[column]}}"
+            for column in coord_columns
+        ]
+        cells += [
+            f"{rendered[column][index]:>{widths[column]}}"
+            for column in value_columns
+        ]
+        lines.append("  ".join(cells).rstrip())
     return "\n".join(lines)

@@ -22,25 +22,11 @@ reactive speculation precisely when machines misbehave.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_sweep_table
-from repro.scenarios import (
-    DEFAULT_MEAN_REPAIR,
-    MachineFailures,
-    ScenarioSpec,
-    UniformSpeeds,
-)
-from repro.schedulers import (
-    FairScheduler,
-    LATEScheduler,
-    MantriScheduler,
-    SCAScheduler,
-)
-from repro.simulation.experiment_runner import RunSpec, SchedulerSpec
-from repro.simulation.runner import ReplicatedResult
-from repro.simulation.scheduler_api import Scheduler
+from repro.scenarios import DEFAULT_MEAN_REPAIR
 
 __all__ = [
     "ScenarioSweepResult",
@@ -62,31 +48,6 @@ DEFAULT_FAILURE_RATES: Tuple[float, ...] = (0.0, 2e-5, 1e-4, 3e-4)
 
 #: The cloning policy under study.
 _CLONING = "SCA"
-
-
-def _sweep_factories() -> Dict[str, Callable[[], Scheduler]]:
-    """SCA plus the baselines whose gap the sweep measures, in report order."""
-    return {
-        _CLONING: SchedulerSpec(SCAScheduler),
-        "LATE": SchedulerSpec(LATEScheduler),
-        "Mantri": SchedulerSpec(MantriScheduler),
-        "Fair": SchedulerSpec(FairScheduler),
-    }
-
-
-def _heterogeneity_scenario(spread: float) -> Optional[ScenarioSpec]:
-    if spread == 0.0:
-        return None
-    return ScenarioSpec(
-        speeds=UniformSpeeds(1.0 - spread, 1.0 + spread),
-        normalize_mean_speed=True,
-    )
-
-
-def _failure_scenario(rate: float, mean_repair: float) -> Optional[ScenarioSpec]:
-    if rate == 0.0:
-        return None
-    return ScenarioSpec(failures=MachineFailures(rate=rate, mean_repair=mean_repair))
 
 
 @dataclass(frozen=True)
@@ -165,11 +126,16 @@ def run_scenario_sweep(
 ) -> ScenarioSweepResult:
     """Run both adversity axes and collect per-scheduler mean flowtimes.
 
-    Every (axis point, scheduler, seed) combination is one
-    :class:`RunSpec`; the whole sweep goes through a single
-    :meth:`ExperimentRunner.run_grouped` call, so ``config.workers`` fans
-    it out over a process pool with bit-identical results.
+    A thin wrapper over the ``scenario-sweep``
+    :class:`~repro.study.core.Study` preset (:mod:`repro.study.presets`):
+    the two adversity axes fold into one scenario axis (sharing their zero
+    point, the homogeneous ``base`` cluster, so those simulations run once,
+    not once per axis), and the whole product goes through a single
+    :meth:`~repro.study.core.Study.run` call, so ``config.workers`` fans it
+    out over a process pool with bit-identical results.
     """
+    from repro.study.presets import compute_scenario_sweep
+
     config = config if config is not None else ExperimentConfig.default_bench()
     if not speed_spreads or not failure_rates:
         raise ValueError("both sweep axes need at least one point")
@@ -177,64 +143,9 @@ def run_scenario_sweep(
         raise ValueError(f"speed spreads must lie in [0, 1), got {speed_spreads}")
     if any(rate < 0.0 for rate in failure_rates):
         raise ValueError(f"failure rates must be >= 0, got {failure_rates}")
-
-    factories = _sweep_factories()
-    trace_source = config.trace_source()
-
-    def _tag(axis: str, value: float, name: str):
-        # Both axes share their zero point (the homogeneous cluster): tag it
-        # once so those simulations run once, not once per axis.
-        return ("base", name) if value == 0.0 else (axis, value, name)
-
-    specs: List[RunSpec] = []
-    seen_tags = set()
-    for axis, values, make_scenario in (
-        ("hetero", speed_spreads, _heterogeneity_scenario),
-        ("failure", failure_rates, lambda rate: _failure_scenario(rate, mean_repair)),
-    ):
-        for value in values:
-            scenario = make_scenario(value)
-            for name, factory in factories.items():
-                tag = _tag(axis, value, name)
-                if tag in seen_tags:
-                    continue
-                seen_tags.add(tag)
-                for seed in config.seeds:
-                    specs.append(
-                        RunSpec(
-                            trace=trace_source,
-                            scheduler=factory,
-                            num_machines=config.machines,
-                            seed=seed,
-                            scenario=scenario,
-                            tag=tag,
-                        )
-                    )
-
-    grouped = config.make_runner().run_grouped(specs)
-
-    def _mean_flowtime(tag) -> float:
-        return ReplicatedResult(
-            scheduler_name=grouped[tag][0].scheduler_name, results=grouped[tag]
-        ).mean_flowtime
-
-    hetero = {
-        name: tuple(
-            _mean_flowtime(_tag("hetero", spread, name)) for spread in speed_spreads
-        )
-        for name in factories
-    }
-    failures = {
-        name: tuple(
-            _mean_flowtime(_tag("failure", rate, name)) for rate in failure_rates
-        )
-        for name in factories
-    }
-    return ScenarioSweepResult(
-        speed_spreads=tuple(speed_spreads),
-        failure_rates=tuple(failure_rates),
-        schedulers=tuple(factories),
-        hetero_flowtimes=hetero,
-        failure_flowtimes=failures,
+    return compute_scenario_sweep(
+        config,
+        speed_spreads=speed_spreads,
+        failure_rates=failure_rates,
         mean_repair=mean_repair,
     )

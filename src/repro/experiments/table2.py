@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import render_key_values
@@ -60,9 +59,13 @@ class Table2Result:
 
 
 def run_table2(config: Optional[ExperimentConfig] = None) -> Table2Result:
-    """Generate the trace and compute its Table II statistics."""
+    """Generate the trace and compute its Table II statistics.
+
+    A thin wrapper over the ``table2`` :class:`~repro.study.core.Study`
+    preset (:mod:`repro.study.presets`) -- a zero-run study whose workload
+    axis *is* the result.
+    """
+    from repro.study.presets import compute_table2
+
     config = config if config is not None else ExperimentConfig.default_bench()
-    trace = config.make_trace()
-    rng = np.random.default_rng(config.trace_seed)
-    statistics = trace.statistics(rng=rng)
-    return Table2Result(statistics=statistics, scale=config.scale)
+    return compute_table2(config)

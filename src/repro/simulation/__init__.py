@@ -16,10 +16,14 @@ from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.events import Event, EventType
 from repro.simulation.experiment_runner import (
     ExperimentRunner,
+    ReplicatedResult,
     RunSpec,
     SchedulerSpec,
     TraceSpec,
     default_workers,
+    normalize_workers,
+    run_replications,
+    run_simulation,
     sweep_specs,
 )
 from repro.simulation.metrics import JobRecord, SimulationResult
@@ -27,11 +31,6 @@ from repro.simulation.results_store import (
     ResultsStore,
     UncacheableSpecError,
     run_spec_fingerprint,
-)
-from repro.simulation.runner import (
-    ReplicatedResult,
-    run_replications,
-    run_simulation,
 )
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
 
@@ -53,6 +52,7 @@ __all__ = [
     "SchedulerSpec",
     "TraceSpec",
     "default_workers",
+    "normalize_workers",
     "sweep_specs",
     "ResultsStore",
     "UncacheableSpecError",

@@ -1,4 +1,11 @@
-"""Parallel experiment runner: fan replicated sweeps out across processes.
+"""The execution path: single runs, replications, and parallel sweeps.
+
+This module is the *one* place simulations are executed from.
+:func:`run_simulation` performs a single engine run;
+:class:`ReplicatedResult` aggregates several runs of one configuration;
+:class:`ExperimentRunner` executes whole batches of runs.  (The historical
+``repro.simulation.runner`` module is a thin deprecation shim over these
+names.)
 
 The paper's evaluation protocol (Section VI) repeats every simulation ten
 times per configuration and sweeps epsilon, r and the cluster size --
@@ -43,11 +50,13 @@ unstable components simply bypass the cache and execute normally.
 from __future__ import annotations
 
 import os
+import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
     Any,
     Callable,
+    Dict,
     Hashable,
     List,
     Mapping,
@@ -59,8 +68,11 @@ from typing import (
 
 import multiprocessing
 
+import numpy as np
+
 from repro.cluster.stragglers import StragglerModel
 from repro.scenarios import ScenarioSpec
+from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.results_store import (
     ResultsStore,
@@ -77,8 +89,12 @@ __all__ = [
     "TraceSpec",
     "RunSpec",
     "ExperimentRunner",
+    "ReplicatedResult",
     "default_workers",
+    "normalize_workers",
     "execute_run_spec",
+    "run_simulation",
+    "run_replications",
     "sweep_specs",
 ]
 
@@ -89,6 +105,129 @@ def default_workers() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return max(1, os.cpu_count() or 1)
+
+
+def normalize_workers(workers: Optional[int]) -> Optional[int]:
+    """Normalise a worker-count knob to the library convention.
+
+    The library and the CLI historically disagreed on "use every CPU"
+    (``workers=None`` vs ``--workers 0``); this is the single place the
+    mapping lives.  ``None`` and ``0`` both mean "all usable CPUs" and
+    normalise to ``None``; any count >= 1 means exactly that many worker
+    processes (1 = serial, in-process); negative counts are rejected.
+    """
+    if workers is None or workers == 0:
+        return None
+    if workers < 0:
+        raise ValueError(
+            f"workers must be >= 1, or 0/None for all CPUs; got {workers}"
+        )
+    return int(workers)
+
+
+def run_simulation(
+    trace: Trace,
+    scheduler: Scheduler,
+    num_machines: int,
+    *,
+    seed: int = 0,
+    machine_speed: float = 1.0,
+    straggler_model: Optional[StragglerModel] = None,
+    scenario: Optional[ScenarioSpec] = None,
+    max_time: Optional[float] = None,
+    check_invariants: bool = False,
+) -> SimulationResult:
+    """Run one simulation and return its metrics.
+
+    Parameters mirror :class:`~repro.simulation.engine.SimulationEngine`;
+    ``seed`` controls both the workload sampling and any randomised
+    tie-breaking inside the engine (scenario processes draw from dedicated
+    streams derived from the same seed).
+    """
+    engine = SimulationEngine(
+        trace=trace,
+        scheduler=scheduler,
+        num_machines=num_machines,
+        seed=seed,
+        machine_speed=machine_speed,
+        straggler_model=straggler_model,
+        scenario=scenario,
+        max_time=max_time,
+        check_invariants=check_invariants,
+    )
+    started = _time.perf_counter()
+    result = engine.run()
+    result.runtime_seconds = _time.perf_counter() - started
+    return result
+
+
+@dataclass
+class ReplicatedResult:
+    """Aggregate of several runs of the same configuration with different seeds."""
+
+    scheduler_name: str
+    results: List[SimulationResult] = field(default_factory=list)
+
+    @property
+    def num_replications(self) -> int:
+        """Number of runs aggregated."""
+        return len(self.results)
+
+    def _metric(self, name: str) -> np.ndarray:
+        return np.array([getattr(result, name) for result in self.results], dtype=float)
+
+    @property
+    def mean_flowtime(self) -> float:
+        """Average over replications of the unweighted mean flowtime."""
+        return float(self._metric("mean_flowtime").mean())
+
+    @property
+    def weighted_mean_flowtime(self) -> float:
+        """Average over replications of the weighted mean flowtime."""
+        return float(self._metric("weighted_mean_flowtime").mean())
+
+    @property
+    def mean_flowtime_std(self) -> float:
+        """Standard deviation across replications of the unweighted mean."""
+        return float(self._metric("mean_flowtime").std(ddof=0))
+
+    @property
+    def weighted_mean_flowtime_std(self) -> float:
+        """Standard deviation across replications of the weighted mean."""
+        return float(self._metric("weighted_mean_flowtime").std(ddof=0))
+
+    @property
+    def mean_makespan(self) -> float:
+        """Average makespan across replications."""
+        return float(self._metric("makespan").mean())
+
+    @property
+    def mean_cloning_ratio(self) -> float:
+        """Average copies-per-task ratio across replications."""
+        return float(self._metric("cloning_ratio").mean())
+
+    def fraction_completed_within(self, limit: float) -> float:
+        """Replication-averaged fraction of jobs finishing within ``limit``."""
+        values = [result.fraction_completed_within(limit) for result in self.results]
+        return float(np.mean(values))
+
+    def flowtime_cdf(self, points: Sequence[float]) -> np.ndarray:
+        """Replication-averaged empirical CDF evaluated at ``points``."""
+        curves = [result.flowtime_cdf(points) for result in self.results]
+        return np.mean(np.stack(curves, axis=0), axis=0)
+
+    def summary(self) -> dict:
+        """Flat dictionary of the headline replication metrics."""
+        return {
+            "scheduler": self.scheduler_name,
+            "replications": self.num_replications,
+            "mean_flowtime": self.mean_flowtime,
+            "mean_flowtime_std": self.mean_flowtime_std,
+            "weighted_mean_flowtime": self.weighted_mean_flowtime,
+            "weighted_mean_flowtime_std": self.weighted_mean_flowtime_std,
+            "mean_makespan": self.mean_makespan,
+            "mean_cloning_ratio": self.mean_cloning_ratio,
+        }
 
 
 @dataclass(frozen=True)
@@ -248,8 +387,6 @@ class RunSpec:
 
     def execute(self) -> SimulationResult:
         """Build the trace/scheduler/engine and run the simulation."""
-        from repro.simulation.runner import run_simulation
-
         straggler = self.straggler_factory() if self.straggler_factory else None
         return run_simulation(
             _resolve_trace(self.trace),
@@ -276,7 +413,8 @@ class ExperimentRunner:
     workers:
         ``1`` runs every spec in-process (no pool, no pickling
         constraints).  ``N > 1`` fans specs out over ``N`` worker
-        processes.  ``None`` uses every usable CPU.
+        processes.  ``None`` and ``0`` both use every usable CPU (see
+        :func:`normalize_workers`).
     mp_context:
         ``multiprocessing`` start-method name (``"fork"``/``"spawn"``) or
         context object; defaults to the platform default.
@@ -303,10 +441,9 @@ class ExperimentRunner:
         cache_dir: Union[str, "os.PathLike[str]", None] = None,
         store: Optional[ResultsStore] = None,
     ) -> None:
+        workers = normalize_workers(workers)
         if workers is None:
             workers = default_workers()
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self._mp_context = mp_context
         if chunksize is not None and chunksize < 1:
@@ -420,14 +557,8 @@ class ExperimentRunner:
         straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
         scenario: Optional[ScenarioSpec] = None,
         max_time: Optional[float] = None,
-    ):
-        """One run per seed of a single configuration (the paper's protocol).
-
-        Returns a :class:`~repro.simulation.runner.ReplicatedResult`, same
-        as the legacy serial helper.
-        """
-        from repro.simulation.runner import ReplicatedResult
-
+    ) -> ReplicatedResult:
+        """One run per seed of a single configuration (the paper's protocol)."""
         if not seeds:
             raise ValueError("at least one seed is required")
         base = RunSpec(
@@ -480,3 +611,37 @@ def sweep_specs(
                 )
             )
     return specs
+
+
+def run_replications(
+    trace: Trace,
+    scheduler_factory: Callable[[], Scheduler],
+    num_machines: int,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    machine_speed: float = 1.0,
+    straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
+    scenario: Optional[ScenarioSpec] = None,
+    max_time: Optional[float] = None,
+    workers: Optional[int] = 1,
+) -> ReplicatedResult:
+    """Run the same (trace, scheduler, cluster) configuration once per seed.
+
+    A fresh scheduler instance is built per replication because schedulers
+    carry state (priority queues, per-job bookkeeping) that must not leak
+    between runs.  With ``workers > 1`` (or ``0``/``None`` for all CPUs)
+    the replications fan out over a process pool (``scheduler_factory`` and
+    ``straggler_model_factory`` must then be picklable -- use
+    :class:`SchedulerSpec` rather than a lambda); results are bit-identical
+    to ``workers=1`` for the same seeds.
+    """
+    return ExperimentRunner(workers=workers).run_replications(
+        trace,
+        scheduler_factory,
+        num_machines,
+        seeds=seeds,
+        machine_speed=machine_speed,
+        straggler_model_factory=straggler_model_factory,
+        scenario=scenario,
+        max_time=max_time,
+    )

@@ -1,166 +1,42 @@
-"""Convenience wrappers for running (replicated) simulations.
+"""Deprecated shim: the execution path lives in ``experiment_runner``.
 
-The paper repeats every simulation ten times and reports the average
-(Section VI); :func:`run_replications` reproduces that protocol: one run per
-seed with a freshly constructed scheduler, aggregated into a
-:class:`ReplicatedResult`.
+Historically this module owned :func:`run_simulation`,
+:class:`ReplicatedResult` and :func:`run_replications` while
+:mod:`repro.simulation.experiment_runner` owned the batch/parallel path --
+two modules, one job.  They were consolidated into
+:mod:`repro.simulation.experiment_runner` (or, equivalently, the
+:mod:`repro.simulation` package namespace), which is the single execution
+path; this module survives only so old imports keep working.
+
+Importing names from here emits a :class:`DeprecationWarning`; new code
+should do::
+
+    from repro.simulation import ReplicatedResult, run_replications, run_simulation
 """
 
 from __future__ import annotations
 
-import time as _time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+import warnings
 
-import numpy as np
-
-from repro.cluster.stragglers import StragglerModel
-from repro.scenarios import ScenarioSpec
-from repro.simulation.engine import SimulationEngine
-from repro.simulation.metrics import SimulationResult
-from repro.simulation.scheduler_api import Scheduler
-from repro.workload.trace import Trace
+from repro.simulation import experiment_runner as _impl
 
 __all__ = ["run_simulation", "run_replications", "ReplicatedResult"]
 
 
-def run_simulation(
-    trace: Trace,
-    scheduler: Scheduler,
-    num_machines: int,
-    *,
-    seed: int = 0,
-    machine_speed: float = 1.0,
-    straggler_model: Optional[StragglerModel] = None,
-    scenario: Optional[ScenarioSpec] = None,
-    max_time: Optional[float] = None,
-    check_invariants: bool = False,
-) -> SimulationResult:
-    """Run one simulation and return its metrics.
-
-    Parameters mirror :class:`~repro.simulation.engine.SimulationEngine`;
-    ``seed`` controls both the workload sampling and any randomised
-    tie-breaking inside the engine (scenario processes draw from dedicated
-    streams derived from the same seed).
-    """
-    engine = SimulationEngine(
-        trace=trace,
-        scheduler=scheduler,
-        num_machines=num_machines,
-        seed=seed,
-        machine_speed=machine_speed,
-        straggler_model=straggler_model,
-        scenario=scenario,
-        max_time=max_time,
-        check_invariants=check_invariants,
-    )
-    started = _time.perf_counter()
-    result = engine.run()
-    result.runtime_seconds = _time.perf_counter() - started
-    return result
+def __getattr__(name: str):
+    """Forward attribute access to ``experiment_runner``, with a warning."""
+    if name in __all__:
+        warnings.warn(
+            f"repro.simulation.runner.{name} moved to "
+            f"repro.simulation.experiment_runner (import it from there or "
+            f"from the repro.simulation package)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_impl, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-@dataclass
-class ReplicatedResult:
-    """Aggregate of several runs of the same configuration with different seeds."""
-
-    scheduler_name: str
-    results: List[SimulationResult] = field(default_factory=list)
-
-    @property
-    def num_replications(self) -> int:
-        """Number of runs aggregated."""
-        return len(self.results)
-
-    def _metric(self, name: str) -> np.ndarray:
-        return np.array([getattr(result, name) for result in self.results], dtype=float)
-
-    @property
-    def mean_flowtime(self) -> float:
-        """Average over replications of the unweighted mean flowtime."""
-        return float(self._metric("mean_flowtime").mean())
-
-    @property
-    def weighted_mean_flowtime(self) -> float:
-        """Average over replications of the weighted mean flowtime."""
-        return float(self._metric("weighted_mean_flowtime").mean())
-
-    @property
-    def mean_flowtime_std(self) -> float:
-        """Standard deviation across replications of the unweighted mean."""
-        return float(self._metric("mean_flowtime").std(ddof=0))
-
-    @property
-    def weighted_mean_flowtime_std(self) -> float:
-        """Standard deviation across replications of the weighted mean."""
-        return float(self._metric("weighted_mean_flowtime").std(ddof=0))
-
-    @property
-    def mean_makespan(self) -> float:
-        """Average makespan across replications."""
-        return float(self._metric("makespan").mean())
-
-    @property
-    def mean_cloning_ratio(self) -> float:
-        """Average copies-per-task ratio across replications."""
-        return float(self._metric("cloning_ratio").mean())
-
-    def fraction_completed_within(self, limit: float) -> float:
-        """Replication-averaged fraction of jobs finishing within ``limit``."""
-        values = [result.fraction_completed_within(limit) for result in self.results]
-        return float(np.mean(values))
-
-    def flowtime_cdf(self, points: Sequence[float]) -> np.ndarray:
-        """Replication-averaged empirical CDF evaluated at ``points``."""
-        curves = [result.flowtime_cdf(points) for result in self.results]
-        return np.mean(np.stack(curves, axis=0), axis=0)
-
-    def summary(self) -> dict:
-        """Flat dictionary of the headline replication metrics."""
-        return {
-            "scheduler": self.scheduler_name,
-            "replications": self.num_replications,
-            "mean_flowtime": self.mean_flowtime,
-            "mean_flowtime_std": self.mean_flowtime_std,
-            "weighted_mean_flowtime": self.weighted_mean_flowtime,
-            "weighted_mean_flowtime_std": self.weighted_mean_flowtime_std,
-            "mean_makespan": self.mean_makespan,
-            "mean_cloning_ratio": self.mean_cloning_ratio,
-        }
-
-
-def run_replications(
-    trace: Trace,
-    scheduler_factory: Callable[[], Scheduler],
-    num_machines: int,
-    *,
-    seeds: Sequence[int] = (0, 1, 2),
-    machine_speed: float = 1.0,
-    straggler_model_factory: Optional[Callable[[], StragglerModel]] = None,
-    scenario: Optional[ScenarioSpec] = None,
-    max_time: Optional[float] = None,
-    workers: Optional[int] = 1,
-) -> ReplicatedResult:
-    """Run the same (trace, scheduler, cluster) configuration once per seed.
-
-    A fresh scheduler instance is built per replication because schedulers
-    carry state (priority queues, per-job bookkeeping) that must not leak
-    between runs.  With ``workers > 1`` the replications fan out over a
-    process pool (``scheduler_factory`` and ``straggler_model_factory``
-    must then be picklable -- use
-    :class:`~repro.simulation.experiment_runner.SchedulerSpec` rather than
-    a lambda); results are bit-identical to ``workers=1`` for the same
-    seeds.
-    """
-    from repro.simulation.experiment_runner import ExperimentRunner
-
-    return ExperimentRunner(workers=workers).run_replications(
-        trace,
-        scheduler_factory,
-        num_machines,
-        seeds=seeds,
-        machine_speed=machine_speed,
-        straggler_model_factory=straggler_model_factory,
-        scenario=scenario,
-        max_time=max_time,
-    )
+def __dir__() -> list:
+    """Expose the forwarded names to introspection."""
+    return sorted(__all__)

@@ -1,0 +1,628 @@
+"""The paper's tables and figures as declarative :class:`Study` presets.
+
+Every legacy driver (``run_table2``, ``run_figure1`` .. ``run_figure6``,
+``run_offline_bound``, ``run_scenario_sweep``) is reimplemented here as a
+*preset*: a builder returning the declarative :class:`Study` the driver
+sweeps, plus a ``compute_*`` function that runs the study through
+:meth:`Study.run` and reassembles the driver's legacy result object --
+whose ``render()`` output is byte-identical to the pre-Study drivers
+(asserted against the golden reports in ``tests/test_study_presets.py``).
+The thin ``run_*`` wrappers in :mod:`repro.experiments` delegate here, so
+presets are the one place driver sweeps are defined.
+
+:data:`STUDY_PRESETS` registers all nine by their CLI names; each entry
+exposes ``build(config)`` (the study itself, e.g. to dump as a spec file)
+and ``report(config)`` (run + render).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.theory import offline_bound_check
+from repro.experiments.config import ExperimentConfig, generate_google_trace
+from repro.simulation.experiment_runner import ReplicatedResult
+from repro.study.core import Study
+from repro.study.resultset import ResultSet
+from repro.workload.google_trace import GoogleTraceConfig
+
+__all__ = [
+    "StudyPreset",
+    "STUDY_PRESETS",
+    "preset_study",
+    "run_preset_report",
+    "comparison_study",
+    "compute_comparison",
+    "figure1_study",
+    "compute_figure1",
+    "figure2_study",
+    "compute_figure2",
+    "figure3_study",
+    "compute_figure3",
+    "table2_study",
+    "compute_table2",
+    "offline_bound_study",
+    "compute_offline_bound",
+    "scenario_sweep_study",
+    "compute_scenario_sweep",
+]
+
+
+def _config(config: Optional[ExperimentConfig]) -> ExperimentConfig:
+    return config if config is not None else ExperimentConfig.default_bench()
+
+
+def _base_study_kwargs(config: ExperimentConfig) -> Dict[str, object]:
+    """The scalar knobs every google-trace study inherits from a config."""
+    return dict(
+        scenarios=(config.scenario,),
+        seeds=config.seeds,
+        scale=config.scale,
+        epsilon=config.epsilon,
+        r=config.r,
+        machines=config.num_machines,
+        trace_seed=config.trace_seed,
+        within_job_cv=config.within_job_cv,
+    )
+
+
+def _run(study: Study, config: ExperimentConfig, select=None) -> ResultSet:
+    """Execute a preset study under the config's runner settings."""
+    return study.run(runner=config.make_runner(), select=select)
+
+
+def _replicated(group: ResultSet) -> ReplicatedResult:
+    results = group.results
+    return ReplicatedResult(
+        scheduler_name=results[0].scheduler_name, results=results
+    )
+
+
+# ------------------------------------------------- scheduler comparison (4-6)
+
+#: The paper's compared policies, in report order.
+COMPARISON_SCHEDULERS: Tuple[str, ...] = ("SRPTMS+C", "SCA", "Mantri")
+#: Extra reference policies of the ablation benchmarks.
+EXTRA_SCHEDULERS: Tuple[str, ...] = ("LATE", "SRPT", "Fair", "FIFO")
+
+
+def comparison_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    trace=None,
+    include_extra: bool = False,
+    schedulers: Optional[Sequence[str]] = None,
+) -> Study:
+    """The Figure 4/5/6 comparison as a study (one scheduler axis)."""
+    config = _config(config)
+    names = COMPARISON_SCHEDULERS + (EXTRA_SCHEDULERS if include_extra else ())
+    if schedulers is not None:
+        unknown = set(schedulers) - set(names)
+        if unknown:
+            raise ValueError(f"unknown scheduler names: {sorted(unknown)}")
+        names = tuple(schedulers)
+    kwargs = _base_study_kwargs(config)
+    if trace is not None:
+        kwargs["workloads"] = (trace,)
+    return Study(name="scheduler-comparison", schedulers=names, **kwargs)
+
+
+def compute_comparison(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    trace=None,
+    include_extra: bool = False,
+    schedulers: Optional[Sequence[str]] = None,
+) -> Dict[str, ReplicatedResult]:
+    """Run the comparison study; results keyed by policy name, in axis order."""
+    config = _config(config)
+    study = comparison_study(
+        config, trace=trace, include_extra=include_extra, schedulers=schedulers
+    )
+    results = _run(study, config)
+    return {
+        key[0]: _replicated(group)
+        for key, group in results.group_by("scheduler").items()
+    }
+
+
+# ----------------------------------------------------------- figure 1 (epsilon)
+
+
+def figure1_study(
+    config: Optional[ExperimentConfig] = None,
+    epsilons: Sequence[float] = (),
+    r: float = 0.0,
+) -> Study:
+    """SRPTMS+C swept over epsilon at fixed r (Figure 1's axes product)."""
+    config = _config(config)
+    kwargs = _base_study_kwargs(config)
+    kwargs["epsilon"] = 0.6  # unused: the axis overrides it at every point
+    kwargs["r"] = float(r)
+    return Study(
+        name="figure1",
+        schedulers=("SRPTMS+C",),
+        axes={"epsilon": tuple(float(e) for e in epsilons)},
+        **kwargs,
+    )
+
+
+def compute_figure1(
+    config: ExperimentConfig, epsilons: Sequence[float], r: float
+):
+    """Run the Figure 1 sweep and assemble its legacy result object."""
+    from repro.experiments.figure1 import Figure1Result
+
+    results = _run(figure1_study(config, epsilons=epsilons, r=r), config)
+    means, weighted = [], []
+    for epsilon in epsilons:
+        replicated = _replicated(results.filter(epsilon=float(epsilon)))
+        means.append(replicated.mean_flowtime)
+        weighted.append(replicated.weighted_mean_flowtime)
+    return Figure1Result(
+        epsilons=tuple(epsilons),
+        mean_flowtimes=tuple(means),
+        weighted_mean_flowtimes=tuple(weighted),
+        r=r,
+    )
+
+
+# ----------------------------------------------------------------- figure 2 (r)
+
+
+def figure2_study(
+    config: Optional[ExperimentConfig] = None,
+    r_values: Sequence[float] = (),
+    epsilon: float = 0.6,
+) -> Study:
+    """SRPTMS+C swept over r at fixed epsilon (Figure 2's axes product)."""
+    config = _config(config)
+    kwargs = _base_study_kwargs(config)
+    kwargs["epsilon"] = float(epsilon)
+    return Study(
+        name="figure2",
+        schedulers=("SRPTMS+C",),
+        axes={"r": tuple(float(v) for v in r_values)},
+        **kwargs,
+    )
+
+
+def compute_figure2(
+    config: ExperimentConfig, r_values: Sequence[float], epsilon: float
+):
+    """Run the Figure 2 sweep and assemble its legacy result object."""
+    from repro.experiments.figure2 import Figure2Result
+
+    results = _run(figure2_study(config, r_values=r_values, epsilon=epsilon), config)
+    means, weighted = [], []
+    for r in r_values:
+        replicated = _replicated(results.filter(r=float(r)))
+        means.append(replicated.mean_flowtime)
+        weighted.append(replicated.weighted_mean_flowtime)
+    return Figure2Result(
+        r_values=tuple(r_values),
+        mean_flowtimes=tuple(means),
+        weighted_mean_flowtimes=tuple(weighted),
+        epsilon=epsilon,
+    )
+
+
+# -------------------------------------------------------- figure 3 (cluster size)
+
+
+def figure3_study(
+    config: Optional[ExperimentConfig] = None,
+    machine_fractions: Sequence[float] = (),
+) -> Study:
+    """SRPTMS+C swept over cluster-size fractions (Figure 3's axes product)."""
+    config = _config(config)
+    return Study(
+        name="figure3",
+        schedulers=("SRPTMS+C",),
+        axes={"machine_fraction": tuple(float(f) for f in machine_fractions)},
+        **_base_study_kwargs(config),
+    )
+
+
+def compute_figure3(config: ExperimentConfig, machine_fractions: Sequence[float]):
+    """Run the Figure 3 sweep and assemble its legacy result object."""
+    from repro.experiments.figure3 import Figure3Result
+
+    results = _run(figure3_study(config, machine_fractions=machine_fractions), config)
+    full_cluster = config.machines
+    counts, means, weighted = [], [], []
+    for fraction in machine_fractions:
+        counts.append(max(1, int(round(full_cluster * fraction))))
+        replicated = _replicated(results.filter(machine_fraction=float(fraction)))
+        means.append(replicated.mean_flowtime)
+        weighted.append(replicated.weighted_mean_flowtime)
+    return Figure3Result(
+        machine_counts=tuple(counts),
+        mean_flowtimes=tuple(means),
+        weighted_mean_flowtimes=tuple(weighted),
+        epsilon=config.epsilon,
+        r=config.r,
+    )
+
+
+# ------------------------------------------------------------------- table II
+
+
+def table2_study(config: Optional[ExperimentConfig] = None) -> Study:
+    """Table II as a zero-run study: pure statistics of the workload axis."""
+    config = _config(config)
+    return Study(
+        name="table2",
+        schedulers=(),  # nothing to simulate: the workload itself is the result
+        seeds=config.seeds,
+        scale=config.scale,
+        trace_seed=config.trace_seed,
+        within_job_cv=config.within_job_cv,
+    )
+
+
+def compute_table2(config: ExperimentConfig):
+    """Generate the study's trace and compute its Table II statistics."""
+    from repro.experiments.table2 import Table2Result
+
+    study = table2_study(config)
+    trace = generate_google_trace(
+        GoogleTraceConfig(scale=study.scale, within_job_cv=study.within_job_cv),
+        seed=study.trace_seed,
+    )
+    rng = np.random.default_rng(study.trace_seed)
+    return Table2Result(statistics=trace.statistics(rng=rng), scale=study.scale)
+
+
+# -------------------------------------------------------------- offline bound
+
+
+def offline_bound_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    job_sizes: Sequence[int] = (),
+    num_machines: int = 20,
+    mean_duration: float = 10.0,
+    noisy_cv: float = 0.3,
+    r: float = 3.0,
+    weights: Optional[Sequence[float]] = None,
+) -> Study:
+    """Algorithm 1 on deterministic and noisy bulk arrivals, as one product.
+
+    The axes are workloads (deterministic/noisy task durations) x r
+    (``0`` for the Remark 2 regime, ``r`` for the Theorem 1 regime); the
+    report consumes only the two diagonal cells, which
+    :func:`compute_offline_bound` selects at run time (``Study.run``'s
+    ``select`` hook), so just two simulations execute.
+    """
+    config = _config(config)
+
+    def bulk_table(cv: float) -> Dict[str, object]:
+        table: Dict[str, object] = {
+            "kind": "bulk",
+            "job_sizes": tuple(int(size) for size in job_sizes),
+            "mean_duration": float(mean_duration),
+            "cv": float(cv),
+        }
+        if weights is not None:
+            table["weights"] = tuple(float(w) for w in weights)
+        return table
+
+    r_axis = (0.0, float(r)) if r != 0.0 else (0.0,)
+    return Study(
+        name="offline-bound",
+        schedulers=("Offline",),
+        workloads=(
+            ("deterministic", bulk_table(0.0)),
+            ("noisy", bulk_table(noisy_cv)),
+        ),
+        seeds=(config.seeds[0],),
+        axes={"r": r_axis},
+        machines=num_machines,
+        scale=config.scale,
+    )
+
+
+def compute_offline_bound(
+    config: ExperimentConfig,
+    *,
+    job_sizes: Sequence[int],
+    num_machines: int,
+    mean_duration: float,
+    noisy_cv: float,
+    r: float,
+    weights: Optional[Sequence[float]],
+):
+    """Run the offline-bound study and assemble its legacy result object."""
+    from repro.experiments.offline_bound import OfflineBoundResult
+
+    study = offline_bound_study(
+        config,
+        job_sizes=job_sizes,
+        num_machines=num_machines,
+        mean_duration=mean_duration,
+        noisy_cv=noisy_cv,
+        r=r,
+        weights=weights,
+    )
+    # Only the diagonal of the workloads x r product is reported, and only
+    # it is simulated (same two engine runs as the legacy driver).
+    wanted = {("deterministic", 0.0), ("noisy", float(r))}
+    results = _run(
+        study,
+        config,
+        select=lambda point: (
+            dict(point.coords)["workload"],
+            dict(point.coords)["r"],
+        )
+        in wanted,
+    )
+    workloads = {ref.label: ref for ref in study.workloads}
+    deterministic = results.filter(workload="deterministic", r=0.0).results[0]
+    noisy = results.filter(workload="noisy", r=float(r)).results[0]
+    # The bound check reads the trace's job specs; rebuilding from the
+    # workload recipe yields content-identical traces (bulk traces are a
+    # pure function of their arguments).
+    deterministic_report = offline_bound_check(
+        deterministic,
+        workloads["deterministic"].resolve(None).build(),
+        num_machines,
+        r=0.0,
+    )
+    noisy_report = offline_bound_check(
+        noisy, workloads["noisy"].resolve(None).build(), num_machines, r=r
+    )
+    return OfflineBoundResult(
+        deterministic=deterministic_report,
+        noisy=noisy_report,
+        r=r,
+        num_machines=num_machines,
+    )
+
+
+# -------------------------------------------------------------- scenario sweep
+
+#: The cloning policy the sweep studies plus its baselines, in report order.
+SWEEP_SCHEDULERS: Tuple[str, ...] = ("SCA", "LATE", "Mantri", "Fair")
+
+
+def _sweep_scenario_label(axis: str, value: float) -> str:
+    return "base" if value == 0.0 else f"{axis}:{value:g}"
+
+
+def scenario_sweep_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    speed_spreads: Sequence[float] = (),
+    failure_rates: Sequence[float] = (),
+    mean_repair: float = 300.0,
+) -> Study:
+    """Both adversity axes of the scenario sweep as one scenario axis.
+
+    The two sweeps share their zero point (the homogeneous cluster), so it
+    appears once, labelled ``base`` -- exactly the deduplication the legacy
+    driver performed by tagging.  Every scenario is declared through knob
+    tables, so this study round-trips through spec files.
+    """
+    config = _config(config)
+    scenarios: list = []
+    seen_labels = set()
+
+    def add(label: str, table) -> None:
+        # Duplicate axis values collapse to one scenario (the legacy
+        # driver's seen-tags dedup), and 'base' appears only when some
+        # axis actually contains the zero point.
+        if label not in seen_labels:
+            seen_labels.add(label)
+            scenarios.append((label, table))
+
+    for spread in speed_spreads:
+        if spread == 0.0:
+            add("base", None)
+        else:
+            add(_sweep_scenario_label("hetero", spread), {"speed_spread": spread})
+    for rate in failure_rates:
+        if rate == 0.0:
+            add("base", None)
+        else:
+            add(
+                _sweep_scenario_label("failure", rate),
+                {"failure_rate": rate, "mean_repair": mean_repair},
+            )
+    kwargs = _base_study_kwargs(config)
+    kwargs["scenarios"] = tuple(scenarios)
+    return Study(name="scenario-sweep", schedulers=SWEEP_SCHEDULERS, **kwargs)
+
+
+def compute_scenario_sweep(
+    config: ExperimentConfig,
+    *,
+    speed_spreads: Sequence[float],
+    failure_rates: Sequence[float],
+    mean_repair: float,
+):
+    """Run the scenario sweep and assemble its legacy result object."""
+    from repro.experiments.scenario_sweep import ScenarioSweepResult
+
+    study = scenario_sweep_study(
+        config,
+        speed_spreads=speed_spreads,
+        failure_rates=failure_rates,
+        mean_repair=mean_repair,
+    )
+    results = _run(study, config)
+
+    def mean_flowtime(axis: str, value: float, scheduler: str) -> float:
+        group = results.filter(
+            scenario=_sweep_scenario_label(axis, value), scheduler=scheduler
+        )
+        return _replicated(group).mean_flowtime
+
+    hetero = {
+        name: tuple(
+            mean_flowtime("hetero", spread, name) for spread in speed_spreads
+        )
+        for name in SWEEP_SCHEDULERS
+    }
+    failures = {
+        name: tuple(
+            mean_flowtime("failure", rate, name) for rate in failure_rates
+        )
+        for name in SWEEP_SCHEDULERS
+    }
+    return ScenarioSweepResult(
+        speed_spreads=tuple(speed_spreads),
+        failure_rates=tuple(failure_rates),
+        schedulers=SWEEP_SCHEDULERS,
+        hetero_flowtimes=hetero,
+        failure_flowtimes=failures,
+        mean_repair=mean_repair,
+    )
+
+
+# ------------------------------------------------------------------- registry
+
+
+@dataclass(frozen=True)
+class StudyPreset:
+    """A named, ready-to-run study: its builder and its report function."""
+
+    name: str
+    build: Callable[[Optional[ExperimentConfig]], Study]
+    report: Callable[[Optional[ExperimentConfig]], str]
+
+
+def _figure1_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.figure1 import run_figure1
+
+    return run_figure1(config).render()
+
+
+def _figure2_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.figure2 import run_figure2
+
+    return run_figure2(config).render()
+
+
+def _figure3_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.figure3 import run_figure3
+
+    return run_figure3(config).render()
+
+
+def _figure4_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.figure4 import run_figure4
+
+    return run_figure4(config).render()
+
+
+def _figure5_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.figure5 import run_figure5
+
+    return run_figure5(config).render()
+
+
+def _figure6_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.figure6 import run_figure6
+
+    return run_figure6(config).render()
+
+
+def _table2_report(config: Optional[ExperimentConfig] = None) -> str:
+    return compute_table2(_config(config)).render()
+
+
+def _offline_bound_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.offline_bound import run_offline_bound
+
+    return run_offline_bound(config).render()
+
+
+def _scenario_sweep_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.scenario_sweep import run_scenario_sweep
+
+    return run_scenario_sweep(config).render()
+
+
+def _default_figure1_study(config: Optional[ExperimentConfig] = None) -> Study:
+    from repro.experiments.figure1 import DEFAULT_EPSILONS
+
+    return figure1_study(config, epsilons=DEFAULT_EPSILONS, r=0.0)
+
+
+def _default_figure2_study(config: Optional[ExperimentConfig] = None) -> Study:
+    from repro.experiments.figure2 import DEFAULT_R_VALUES
+
+    return figure2_study(config, r_values=DEFAULT_R_VALUES, epsilon=0.6)
+
+
+def _default_figure3_study(config: Optional[ExperimentConfig] = None) -> Study:
+    from repro.experiments.figure3 import DEFAULT_MACHINE_FRACTIONS
+
+    return figure3_study(config, machine_fractions=DEFAULT_MACHINE_FRACTIONS)
+
+
+def _default_offline_bound_study(
+    config: Optional[ExperimentConfig] = None,
+) -> Study:
+    from repro.experiments.offline_bound import DEFAULT_JOB_SIZES
+
+    return offline_bound_study(config, job_sizes=DEFAULT_JOB_SIZES)
+
+
+def _default_scenario_sweep_study(
+    config: Optional[ExperimentConfig] = None,
+) -> Study:
+    from repro.experiments.scenario_sweep import (
+        DEFAULT_FAILURE_RATES,
+        DEFAULT_SPEED_SPREADS,
+    )
+    from repro.scenarios import DEFAULT_MEAN_REPAIR
+
+    return scenario_sweep_study(
+        config,
+        speed_spreads=DEFAULT_SPEED_SPREADS,
+        failure_rates=DEFAULT_FAILURE_RATES,
+        mean_repair=DEFAULT_MEAN_REPAIR,
+    )
+
+
+#: All nine legacy drivers, by their CLI names.
+STUDY_PRESETS: Dict[str, StudyPreset] = {
+    "table2": StudyPreset("table2", table2_study, _table2_report),
+    "figure1": StudyPreset("figure1", _default_figure1_study, _figure1_report),
+    "figure2": StudyPreset("figure2", _default_figure2_study, _figure2_report),
+    "figure3": StudyPreset("figure3", _default_figure3_study, _figure3_report),
+    "figure4": StudyPreset("figure4", comparison_study, _figure4_report),
+    "figure5": StudyPreset("figure5", comparison_study, _figure5_report),
+    "figure6": StudyPreset("figure6", comparison_study, _figure6_report),
+    "offline-bound": StudyPreset(
+        "offline-bound", _default_offline_bound_study, _offline_bound_report
+    ),
+    "scenario-sweep": StudyPreset(
+        "scenario-sweep", _default_scenario_sweep_study, _scenario_sweep_report
+    ),
+}
+
+
+def preset_study(name: str, config: Optional[ExperimentConfig] = None) -> Study:
+    """The default study a named preset sweeps (see :data:`STUDY_PRESETS`)."""
+    try:
+        preset = STUDY_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(STUDY_PRESETS))
+        raise KeyError(f"unknown preset {name!r}; known presets: {known}") from None
+    return preset.build(config)
+
+
+def run_preset_report(name: str, config: Optional[ExperimentConfig] = None) -> str:
+    """Run a named preset end to end and return its plain-text report."""
+    try:
+        preset = STUDY_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(STUDY_PRESETS))
+        raise KeyError(f"unknown preset {name!r}; known presets: {known}") from None
+    return preset.report(config)

@@ -14,7 +14,7 @@ from repro.schedulers import (
 )
 from repro.schedulers.base import SpeculationEstimator
 from repro.core.speedup import ParetoSpeedup
-from repro.simulation.runner import run_simulation
+from repro.simulation import run_simulation
 from repro.workload.distributions import Deterministic, LogNormal
 from repro.workload.generators import bulk_arrival_trace
 from repro.workload.job import JobSpec, Phase

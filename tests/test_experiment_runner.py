@@ -30,7 +30,7 @@ from repro.simulation.experiment_runner import (
     default_workers,
     sweep_specs,
 )
-from repro.simulation.runner import run_replications, run_simulation
+from repro.simulation import run_replications, run_simulation
 from repro.workload.generators import poisson_trace
 
 #: One spec per scheduling policy shipped with the repository.
@@ -154,9 +154,11 @@ class TestRunnerMechanics:
 
     def test_worker_count_validation(self):
         with pytest.raises(ValueError):
-            ExperimentRunner(workers=0)
+            ExperimentRunner(workers=-1)
         with pytest.raises(ValueError):
             ExperimentRunner(workers=2, chunksize=0)
+        # 0 (the CLI spelling) and None both mean "all usable CPUs".
+        assert ExperimentRunner(workers=0).workers == default_workers()
         assert ExperimentRunner(workers=None).workers == default_workers()
         assert default_workers() >= 1
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.scenarios import MachineFailures, ScenarioSpec
 from repro.schedulers.fair import FairScheduler
-from repro.simulation.runner import run_simulation
+from repro.simulation import run_simulation
 from repro.workload.generators import poisson_trace
 from repro.workload.job import Job, Phase
 

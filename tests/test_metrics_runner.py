@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.simulation.metrics import JobRecord, SimulationResult
-from repro.simulation.runner import run_replications, run_simulation
+from repro.simulation import run_replications, run_simulation
 from repro.schedulers.fifo import FIFOScheduler
 
 
@@ -149,3 +149,28 @@ class TestRunner:
         summary = replicated.summary()
         assert {"scheduler", "replications", "mean_flowtime",
                 "weighted_mean_flowtime"} <= set(summary)
+
+
+class TestRunnerShim:
+    """repro.simulation.runner is a deprecation shim over experiment_runner."""
+
+    def test_names_forward_with_deprecation_warning(self):
+        import warnings
+
+        import repro.simulation.runner as shim
+        from repro.simulation import experiment_runner
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert shim.run_simulation is experiment_runner.run_simulation
+            assert shim.run_replications is experiment_runner.run_replications
+            assert shim.ReplicatedResult is experiment_runner.ReplicatedResult
+        assert any(
+            issubclass(warning.category, DeprecationWarning) for warning in caught
+        )
+
+    def test_unknown_attribute_raises(self):
+        import repro.simulation.runner as shim
+
+        with pytest.raises(AttributeError):
+            shim.no_such_name

@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis.theory import offline_bound_check
 from repro.core.offline import OfflineSRPTScheduler
-from repro.simulation.runner import run_simulation
+from repro.simulation import run_simulation
 from repro.workload.generators import bulk_arrival_trace
 
 

@@ -34,7 +34,7 @@ from repro.schedulers import LATEScheduler, MantriScheduler, SCAScheduler
 from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.events import Event
 from repro.simulation.experiment_runner import ExperimentRunner, RunSpec, SchedulerSpec
-from repro.simulation.runner import run_simulation
+from repro.simulation import run_simulation
 
 from test_engine import GreedyScheduler, single_job_trace
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.runner import run_simulation
+from repro.simulation import run_simulation
 from repro.workload.distributions import Deterministic, LogNormal
 from repro.workload.generators import bulk_arrival_trace, uniform_trace
 from repro.workload.job import JobSpec

@@ -8,7 +8,7 @@ from repro.core.srptms_c import SRPTMSCScheduler
 from repro.schedulers.fifo import FIFOScheduler
 from repro.simulation import ExperimentRunner, RunSpec, SchedulerSpec
 from repro.simulation.engine import SimulationEngine, SimulationError
-from repro.simulation.runner import run_simulation
+from repro.simulation import run_simulation
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler
 from repro.workload.distributions import Deterministic
 from repro.workload.job import JobSpec
