@@ -13,6 +13,8 @@ Examples::
     repro-mapreduce scenario-sweep --scale 0.01 --workers 0
     repro-mapreduce figure6 --cache-dir ~/.cache/repro-mapreduce
     repro-mapreduce sweep --spec study.toml --csv results.csv
+    repro-mapreduce policy --ordering srpt --allocation share --redundancy late
+    repro-mapreduce policy-grid --scale 0.01 --workers 0
 
 Each experiment subcommand prints the plain-text report of the
 corresponding experiment; ``--scale`` shrinks the trace and the cluster
@@ -31,6 +33,14 @@ TOML/JSON study file (:mod:`repro.study.specfile`) declaring the axes
 product to run; the tidy report prints to stdout and ``--csv``/``--json``
 export the per-run records.  Only ``--workers`` and the cache flags apply
 to ``sweep`` -- everything else lives in the spec file.
+
+The ``policy`` subcommand runs one policy-kernel composition
+(:mod:`repro.policies`): ``--ordering``/``--allocation``/``--redundancy``
+pick the triple, which is simulated next to the paper's SRPTMS+C under the
+usual scale/seed/scenario flags.  ``policy-grid`` sweeps a dozen novel
+compositions against SRPTMS+C across scenario presets and reports which
+compositions win where (it defines its own scenario axis, so scenario
+flags do not apply).
 
 Worker counts (one mapping, everywhere): ``--workers 1`` runs serially
 (the default), ``--workers N`` uses ``N`` worker processes, and
@@ -54,6 +64,7 @@ from repro.experiments import (
     run_figure5,
     run_figure6,
     run_offline_bound,
+    run_policy_grid,
     run_scenario_sweep,
     run_scheduler_comparison,
     run_table2,
@@ -68,6 +79,12 @@ from repro.scenarios import (
     ScenarioSpec,
     UniformSpeeds,
     scenario_preset,
+)
+from repro.policies import (
+    ALLOCATION_POLICIES as _ALLOCATION_NAMES,
+    ORDERING_POLICIES as _ORDERING_NAMES,
+    REDUNDANCY_POLICIES as _REDUNDANCY_NAMES,
+    composition_label,
 )
 from repro.simulation.experiment_runner import normalize_workers
 
@@ -96,10 +113,16 @@ def build_parser() -> argparse.ArgumentParser:
             "figure6",
             "offline-bound",
             "scenario-sweep",
+            "policy",
+            "policy-grid",
             "sweep",
             "all",
         ],
-        help="which table/figure to regenerate, or 'sweep' for a spec-file study",
+        help=(
+            "which table/figure to regenerate, 'sweep' for a spec-file "
+            "study, 'policy' for one policy-kernel composition, or "
+            "'policy-grid' for the composition sweep"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -190,6 +213,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the results cache even if --cache-dir is given",
     )
+    policy = parser.add_argument_group(
+        "policy kernel",
+        "the composition the 'policy' subcommand runs (repro.policies): "
+        "ordering x allocation x redundancy; the chosen triple is "
+        "simulated next to SRPTMS+C under the usual scale/seed/scenario "
+        "flags",
+    )
+    policy.add_argument(
+        "--ordering",
+        choices=sorted(_ORDERING_NAMES),
+        default=None,
+        help="job-ordering policy (default: srpt)",
+    )
+    policy.add_argument(
+        "--allocation",
+        choices=sorted(_ALLOCATION_NAMES),
+        default=None,
+        help="machine-allocation policy (default: greedy)",
+    )
+    policy.add_argument(
+        "--redundancy",
+        choices=sorted(_REDUNDANCY_NAMES),
+        default=None,
+        help="redundancy policy (default: none)",
+    )
     scenario = parser.add_argument_group(
         "scenario",
         "cluster environment the experiment runs under (repro.scenarios); "
@@ -259,9 +307,9 @@ _DEFAULT_SLOW_FACTOR = DEFAULT_SLOWDOWN_FACTOR
 #: Experiments that simulate under ``ExperimentConfig.scenario``.  The others
 #: reject scenario flags instead of silently ignoring them: table2 is pure
 #: trace statistics, offline-bound validates the homogeneous-cluster bounds,
-#: and scenario-sweep defines its own scenario axes.
+#: and scenario-sweep / policy-grid define their own scenario axes.
 _SCENARIO_EXPERIMENTS = frozenset(
-    {"figure1", "figure2", "figure3", "figure4", "figure5", "figure6"}
+    {"figure1", "figure2", "figure3", "figure4", "figure5", "figure6", "policy"}
 )
 
 
@@ -376,10 +424,11 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         raise SystemExit(
             f"scenario flags do not apply to {args.experiment!r}: table2 is "
             "pure trace statistics, offline-bound validates the "
-            "homogeneous-cluster bounds, scenario-sweep defines its own "
-            "scenario axes (only --repair-time applies), 'sweep' takes its "
-            "scenarios from the spec file, and 'all' mixes "
-            "both kinds -- run the figure commands individually instead"
+            "homogeneous-cluster bounds, scenario-sweep and policy-grid "
+            "define their own scenario axes (only --repair-time applies to "
+            "scenario-sweep), 'sweep' takes its scenarios from the spec "
+            "file, and 'all' mixes both kinds -- run the figure commands "
+            "individually instead"
         )
     return ExperimentConfig(
         scale=args.scale,
@@ -436,6 +485,29 @@ def _run_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0
 
 
+def _run_policy(args: argparse.Namespace, config: ExperimentConfig) -> str:
+    """Run one policy-kernel composition next to SRPTMS+C and render it."""
+    from repro.study import Study
+
+    name = composition_label(
+        args.ordering or "srpt",
+        args.allocation or "greedy",
+        args.redundancy or "none",
+    )
+    study = Study(
+        name="policy",
+        schedulers=(name, "SRPTMS+C"),
+        **config.study_kwargs(),
+    )
+    results = study.run(runner=config.make_runner())
+    title = (
+        f"Policy composition {name} vs SRPTMS+C "
+        f"(epsilon={config.epsilon:g}, r={config.r:g}), mean over "
+        f"{len(config.seeds)} seed(s)"
+    )
+    return render_resultset(results, title=title)
+
+
 def _run_one(
     name: str, config: ExperimentConfig, *, repair_time: Optional[float] = None
 ) -> str:
@@ -456,6 +528,8 @@ def _run_one(
         return run_figure6(config, results=results).render()
     if name == "offline-bound":
         return run_offline_bound(config).render()
+    if name == "policy-grid":
+        return run_policy_grid(config).render()
     if name == "scenario-sweep":
         if repair_time is not None:
             return run_scenario_sweep(config, mean_repair=repair_time).render()
@@ -470,9 +544,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for flag, value in (("--spec", args.spec), ("--csv", args.csv), ("--json", args.json_out)):
         if value is not None and args.experiment != "sweep":
             raise SystemExit(f"{flag} only applies to the 'sweep' subcommand")
+    for flag, value in (
+        ("--ordering", args.ordering),
+        ("--allocation", args.allocation),
+        ("--redundancy", args.redundancy),
+    ):
+        if value is not None and args.experiment != "policy":
+            raise SystemExit(
+                f"{flag} only applies to the 'policy' subcommand (the "
+                "policy-grid sweep and spec files declare compositions "
+                "through the scheduler axis)"
+            )
     if args.experiment == "sweep":
         return _run_sweep(args, parser)
     config = _config_from_args(args)
+    if args.experiment == "policy":
+        print(_run_policy(args, config))
+        return 0
 
     if args.experiment == "all":
         reports: List[str] = [_run_one("table2", config)]

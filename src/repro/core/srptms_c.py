@@ -2,23 +2,23 @@
 
 At every decision point the scheduler:
 
-1. collects ``psi^s(l)``, the alive jobs that still have unscheduled tasks;
+1. collects ``psi^s(l)``, the alive jobs that still have unscheduled tasks
+   (:func:`repro.policies.gating.schedulable_jobs`);
 2. ranks them by the online SRPT priority ``w_i / U_i(l)`` where ``U_i(l)``
-   is the remaining effective workload of Equation (4);
+   is the remaining effective workload of Equation (4)
+   (:class:`~repro.policies.ordering.SRPTOrdering`);
 3. grants the highest-priority jobs machine shares ``g_i(l)`` via the
-   epsilon-fraction sharing rule of Section V-A (implemented in
+   epsilon-fraction sharing rule of Section V-A
+   (:class:`~repro.policies.allocation.EpsilonShareAllocation` over
    :mod:`repro.core.allocation`);
-4. for each job, computes the *newly available* machines
-   ``xi_i(l) = g_i(l) - sigma_i(l)`` where ``sigma_i(l)`` counts the
-   machines already running that job's copies.  Non-preemption: if
-   ``sigma_i(l)`` already exceeds the share, the job simply keeps its
-   machines and receives nothing new;
-5. runs the task-scheduling procedure: when the job has more newly allocated
-   machines than unscheduled tasks, every unscheduled task is cloned so the
-   whole allocation is used (the copies are spread as evenly as possible);
-   otherwise a random subset of unscheduled tasks is launched with a single
-   copy each;
-6. respects the Map/Reduce precedence: reduce tasks are only scheduled once
+4. spends each job's newly available machines
+   ``xi_i(l) = g_i(l) - sigma_i(l)`` through the task-scheduling procedure
+   of :class:`~repro.policies.redundancy.PaperCloning`: when the job has
+   more newly allocated machines than unscheduled tasks, every unscheduled
+   task is cloned so the whole allocation is used (copies spread as evenly
+   as possible); otherwise a random subset of unscheduled tasks is launched
+   with a single copy each;
+5. respects the Map/Reduce precedence: reduce tasks are only scheduled once
    the job's map phase has *completed* (Section V-B).  Setting
    ``schedule_reduce_before_map_completion=True`` switches to the
    park-on-machine behaviour of the offline algorithm, for ablations.
@@ -27,24 +27,22 @@ At every decision point the scheduler:
 fair scheduler; the paper's trace study finds the minimum of both flowtime
 metrics near ``epsilon = 0.6`` (Figure 1) and a flat dependence on ``r``
 (Figure 2), which the benchmark harness reproduces.
+
+Since the policy-kernel refactor this class is a thin alias for the
+``srpt+share+clone`` composition (see :mod:`repro.policies`); it produces
+bit-identical results to the historical monolithic implementation.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-import numpy as np
-
-from repro.core.allocation import epsilon_shares_from_ordered
-from repro.core.priority import online_priority
-from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
-from repro.workload.job import Job, Phase, Task
+from repro.policies.redundancy import PaperCloning
+from repro.simulation.scheduler_api import ComposedScheduler
 
 __all__ = ["SRPTMSCScheduler"]
 
 
-class SRPTMSCScheduler(Scheduler):
-    """The SRPTMS+C online scheduler (the paper's primary contribution).
+class SRPTMSCScheduler(ComposedScheduler):
+    """The SRPTMS+C online scheduler (``srpt+share+clone``).
 
     Parameters
     ----------
@@ -72,8 +70,6 @@ class SRPTMSCScheduler(Scheduler):
         unscheduled tasks to launch when machines are scarce).
     """
 
-    name = "SRPTMS+C"
-
     def __init__(
         self,
         epsilon: float = 0.6,
@@ -84,140 +80,44 @@ class SRPTMSCScheduler(Scheduler):
         max_copies_per_task: int = 0,
         seed: int = 0,
     ) -> None:
-        if not 0.0 < epsilon <= 1.0:
-            raise ValueError(f"epsilon must lie in (0, 1], got {epsilon}")
-        if r < 0:
-            raise ValueError(f"r must be non-negative, got {r}")
-        if max_copies_per_task < 0:
-            raise ValueError(
-                f"max_copies_per_task must be >= 0, got {max_copies_per_task}"
-            )
-        self.epsilon = epsilon
-        self.r = r
-        self.cloning_enabled = cloning_enabled
-        self.schedule_reduce_before_map_completion = (
-            schedule_reduce_before_map_completion
+        cloning = PaperCloning(
+            enabled=cloning_enabled, max_copies_per_task=max_copies_per_task
         )
-        self.max_copies_per_task = max_copies_per_task
-        self._rng = np.random.default_rng(seed)
-        if not cloning_enabled:
-            self.name = "SRPTMS"
-
-    # -- helpers ------------------------------------------------------------------------
-
-    def _schedulable_jobs(self, view: SchedulerView) -> List[Job]:
-        """``psi^s(l)``: alive jobs that still have unscheduled, launchable tasks.
-
-        Uses the O(1) per-job counters (never builds task lists), so this is
-        O(alive jobs) per decision point regardless of job sizes.
-        """
-        jobs: List[Job] = []
-        allow_early_reduce = self.schedule_reduce_before_map_completion
-        for job in view.alive_jobs:
-            if job.num_unscheduled_map_tasks > 0:
-                jobs.append(job)
-            elif (
-                (job.map_phase_complete or allow_early_reduce)
-                and job.num_unscheduled_reduce_tasks > 0
-            ):
-                jobs.append(job)
-        return jobs
-
-    def _unscheduled_candidates(self, job: Job) -> List[Task]:
-        """Unscheduled tasks of ``job`` that may be launched right now."""
-        pending_maps = job.unscheduled_tasks(Phase.MAP)
-        if pending_maps:
-            return pending_maps
-        if job.map_phase_complete or self.schedule_reduce_before_map_completion:
-            return job.unscheduled_tasks(Phase.REDUCE)
-        return []
-
-    def _copies_for(self, task: Task, desired: int) -> int:
-        """Apply the cloning switch and the optional per-task copy cap."""
-        copies = desired if self.cloning_enabled else 1
-        if self.max_copies_per_task > 0:
-            existing = task.num_active_copies
-            copies = min(copies, max(0, self.max_copies_per_task - existing))
-        return copies
-
-    def _task_scheduling(
-        self, job: Job, machines: int
-    ) -> Tuple[List[LaunchRequest], int]:
-        """The paper's "Task Scheduling" procedure for one job.
-
-        Returns the launch requests and the number of machines actually used
-        (``pi_i(l)`` in Algorithm 2).
-        """
-        candidates = self._unscheduled_candidates(job)
-        if not candidates or machines <= 0:
-            return [], 0
-        count = len(candidates)
-        requests: List[LaunchRequest] = []
-        used = 0
-        if machines >= count:
-            # Enough machines for every unscheduled task: clone to use them all.
-            base_copies = machines // count
-            extras = machines - base_copies * count
-            # Give the extra copies to a random subset so no task systematically
-            # lags behind with fewer clones.
-            extra_indices = set(
-                int(i)
-                for i in self._rng.choice(count, size=extras, replace=False)
-            ) if extras > 0 else set()
-            for index, task in enumerate(candidates):
-                desired = base_copies + (1 if index in extra_indices else 0)
-                copies = self._copies_for(task, desired)
-                if copies <= 0:
-                    continue
-                requests.append(LaunchRequest(task=task, num_copies=copies))
-                used += copies
-        else:
-            # Fewer machines than tasks: launch a random subset, one copy each.
-            chosen = self._rng.choice(count, size=machines, replace=False)
-            for index in sorted(int(i) for i in chosen):
-                task = candidates[index]
-                requests.append(LaunchRequest(task=task, num_copies=1))
-                used += 1
-        return requests, used
-
-    # -- decision ------------------------------------------------------------------------
-
-    def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
-        """Return the copies to launch at this decision point (see base class)."""
-        available = view.num_free_machines
-        if available <= 0:
-            return []
-        jobs = self._schedulable_jobs(view)
-        if not jobs:
-            return []
-
-        # Priorities are O(1) per job (incremental counters); sort once and
-        # feed the same ordering to the sharing rule instead of re-sorting
-        # inside an epsilon_shares() call.
-        r = self.r
-        ordered = sorted(
-            jobs, key=lambda job: (-online_priority(job, r), job.job_id)
-        )
-        shares = epsilon_shares_from_ordered(
-            [(job.job_id, job.weight) for job in ordered],
-            view.num_machines,
-            self.epsilon,
+        super().__init__(
+            "srpt",
+            "share",
+            cloning,
+            epsilon=epsilon,
+            r=r,
+            seed=seed,
+            allow_early_reduce=schedule_reduce_before_map_completion,
+            name="SRPTMS+C" if cloning_enabled else "SRPTMS",
         )
 
-        requests: List[LaunchRequest] = []
-        for job in ordered:
-            if available <= 0:
-                break
-            share = shares.get(job.job_id, 0)
-            if share <= 0:
-                continue
-            occupied = job.num_running_copies
-            newly_available = share - occupied
-            if newly_available <= 0:
-                # Non-preemptive: the job already holds at least its share.
-                continue
-            grant = min(newly_available, available)
-            job_requests, used = self._task_scheduling(job, grant)
-            requests.extend(job_requests)
-            available -= used
-        return requests
+    # The public knobs read through to the policy objects that actually
+    # consume them, so there is no second, silently ignorable copy.
+
+    @property
+    def epsilon(self) -> float:
+        """The machine-sharing fraction (held by the share allocation)."""
+        return self.allocation.epsilon
+
+    @property
+    def r(self) -> float:
+        """The effective-workload std weight (held by the srpt ordering)."""
+        return self.ordering.r
+
+    @property
+    def cloning_enabled(self) -> bool:
+        """Whether the cloning policy may launch more than one copy."""
+        return self.redundancy.enabled
+
+    @property
+    def schedule_reduce_before_map_completion(self) -> bool:
+        """Whether reduce copies may park before map completion."""
+        return self.allow_early_reduce
+
+    @property
+    def max_copies_per_task(self) -> int:
+        """Per-task copy cap of the cloning policy (0 = uncapped)."""
+        return self.redundancy.max_copies_per_task

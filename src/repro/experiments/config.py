@@ -151,3 +151,18 @@ class ExperimentConfig:
     def make_runner(self) -> ExperimentRunner:
         """The experiment runner this configuration asks for."""
         return ExperimentRunner(workers=self.workers, cache_dir=self.cache_dir)
+
+    def study_kwargs(self) -> dict:
+        """The scalar knobs a google-trace :class:`~repro.study.core.Study`
+        inherits from this config (the one config-to-study mapping, used by
+        every study preset and the CLI ``policy`` subcommand)."""
+        return dict(
+            scenarios=(self.scenario,),
+            seeds=self.seeds,
+            scale=self.scale,
+            epsilon=self.epsilon,
+            r=self.r,
+            machines=self.num_machines,
+            trace_seed=self.trace_seed,
+            within_job_cv=self.within_job_cv,
+        )

@@ -1,0 +1,156 @@
+"""Policy-grid experiment: novel policy compositions vs SRPTMS+C.
+
+The policy kernel (:mod:`repro.policies`) splits every scheduler into
+ordering x allocation x redundancy; only seven cells of that grid existed
+as historical schedulers.  This driver sweeps a dozen *novel* cells --
+e.g. SRPT ordering with LATE speculation, FIFO with paper cloning, fair
+sharing with Mantri under epsilon shares -- against the paper's SRPTMS+C
+across cluster scenarios (homogeneous, uniform-heterogeneous,
+Zipf-heterogeneous), and reports which compositions beat SRPTMS+C under
+which scenario.  The sweep itself is the ``policy-grid``
+:class:`~repro.study.core.Study` preset, so spec files and the results
+cache apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_columns
+
+__all__ = [
+    "PolicyGridResult",
+    "run_policy_grid",
+    "DEFAULT_GRID",
+    "DEFAULT_GRID_SCENARIOS",
+    "REFERENCE_SCHEDULER",
+]
+
+#: The novel ordering+allocation+redundancy compositions the grid sweeps
+#: (none of these existed as a monolithic scheduler; the seven legacy
+#: cells are in :data:`repro.policies.NAMED_COMPOSITIONS`).
+DEFAULT_GRID: Tuple[str, ...] = (
+    "srpt+greedy+clone",
+    "srpt+greedy+late",
+    "srpt+greedy+mantri",
+    "srpt+share+none",
+    "srpt+share+late",
+    "srpt+share+sca",
+    "fifo+greedy+clone",
+    "fifo+greedy+late",
+    "fifo+share+clone",
+    "fair+greedy+clone",
+    "fair+share+clone",
+    "fair+share+mantri",
+)
+
+#: Scenario presets the grid is evaluated under.
+DEFAULT_GRID_SCENARIOS: Tuple[str, ...] = (
+    "none",
+    "uniform-hetero",
+    "zipf-hetero",
+)
+
+#: The paper's scheduler, the yardstick every composition is compared to.
+REFERENCE_SCHEDULER = "SRPTMS+C"
+
+
+@dataclass(frozen=True)
+class PolicyGridResult:
+    """Per-scenario flowtimes of every composition and the reference."""
+
+    scenarios: Tuple[str, ...]
+    compositions: Tuple[str, ...]
+    reference: str
+    #: ``mean_flowtimes[scenario][name]`` -- replication-mean flowtime.
+    mean_flowtimes: Dict[str, Dict[str, float]]
+    #: ``weighted_mean_flowtimes[scenario][name]`` -- weighted counterpart.
+    weighted_mean_flowtimes: Dict[str, Dict[str, float]]
+    #: ``redundant_copies[scenario][name]`` -- replication-mean redundant
+    #: copies launched (clones + speculative duplicates).
+    redundant_copies: Dict[str, Dict[str, float]]
+
+    def advantage(self, scenario: str, name: str) -> float:
+        """Percent mean-flowtime reduction of ``name`` vs the reference."""
+        reference = self.mean_flowtimes[scenario][self.reference]
+        value = self.mean_flowtimes[scenario][name]
+        return 100.0 * (reference - value) / reference
+
+    def winners(self, scenario: str) -> List[str]:
+        """Compositions beating the reference, best advantage first."""
+        ahead = [
+            name
+            for name in self.compositions
+            if self.mean_flowtimes[scenario][name]
+            < self.mean_flowtimes[scenario][self.reference]
+        ]
+        return sorted(ahead, key=lambda name: -self.advantage(scenario, name))
+
+    def render(self) -> str:
+        """Human-readable report of this experiment's results."""
+        names = (self.reference,) + self.compositions
+        blocks: List[str] = []
+        for scenario in self.scenarios:
+            series: Dict[str, Sequence[float]] = {
+                "mean flowtime": [
+                    self.mean_flowtimes[scenario][name] for name in names
+                ],
+                "weighted mean": [
+                    self.weighted_mean_flowtimes[scenario][name] for name in names
+                ],
+                "vs SRPTMS+C (%)": [
+                    self.advantage(scenario, name) for name in names
+                ],
+                "redundant copies": [
+                    self.redundant_copies[scenario][name] for name in names
+                ],
+            }
+            table = render_columns(
+                "policy",
+                list(names),
+                series,
+                title=f"Policy grid -- scenario: {scenario}",
+                precision=1,
+                column_width=18,
+                x_width=24,
+            )
+            winners = self.winners(scenario)
+            verdict = (
+                "beats SRPTMS+C: " + ", ".join(winners)
+                if winners
+                else "beats SRPTMS+C: (none)"
+            )
+            blocks.append(table + "\n" + verdict)
+        footer = (
+            "policy = <ordering>+<allocation>+<redundancy> "
+            "(repro.policies); vs SRPTMS+C (%) = mean-flowtime reduction "
+            "relative to the paper's scheduler, positive is better"
+        )
+        blocks.append(footer)
+        return "\n\n".join(blocks)
+
+
+def run_policy_grid(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    grid: Sequence[str] = DEFAULT_GRID,
+    scenarios: Sequence[str] = DEFAULT_GRID_SCENARIOS,
+) -> PolicyGridResult:
+    """Sweep the composition grid across scenarios and compare to SRPTMS+C.
+
+    A thin wrapper over the ``policy-grid`` :class:`~repro.study.core.Study`
+    preset (:mod:`repro.study.presets`): one axes product of
+    ``(reference + grid) x scenarios x seeds`` through a single
+    :meth:`~repro.study.core.Study.run` call, so ``config.workers`` and the
+    results cache apply with bit-identical results.
+    """
+    from repro.study.presets import compute_policy_grid
+
+    config = config if config is not None else ExperimentConfig.default_bench()
+    if not grid:
+        raise ValueError("the composition grid needs at least one entry")
+    if not scenarios:
+        raise ValueError("at least one scenario is required")
+    return compute_policy_grid(config, grid=tuple(grid), scenarios=tuple(scenarios))

@@ -1,0 +1,241 @@
+"""Allocation policies: how are free machines distributed over ranked jobs?
+
+One of the three axes of the policy kernel (see :mod:`repro.policies`).
+Given the ordering policy's ranking, an :class:`AllocationPolicy` decides
+how many machines each job receives and emits the *base* launch requests
+of a decision point; the redundancy policy then adds (or folds in) any
+extra copies.
+
+* :class:`GreedyAllocation` -- one copy per launchable task, jobs served
+  strictly in ranking order.  For *dynamic* orderings (fair sharing) the
+  machines are handed out one at a time with re-ranking after each
+  (water-filling); for static orderings the one-pass walk is equivalent
+  and cheaper.  This is the base allocation of FIFO, Fair, SRPT and the
+  speculative baselines.
+* :class:`EpsilonShareAllocation` -- the epsilon-fraction machine-sharing
+  rule of SRPTMS+C (Section V-A, :mod:`repro.core.allocation`): the
+  highest-priority jobs covering an ``epsilon`` fraction of the alive
+  weight share the cluster in proportion to their weights; each job's
+  newly available machines are spent through the redundancy policy's
+  :meth:`~repro.policies.redundancy.RedundancyPolicy.expand_grant` hook
+  (cloning when the policy says so, single copies otherwise).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.allocation import epsilon_shares_from_ordered
+from repro.policies.gating import (
+    has_launchable_tasks,
+    launchable_tasks,
+    schedulable_jobs,
+)
+from repro.policies.ordering import OrderingPolicy
+from repro.policies.redundancy import RedundancyPolicy
+from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
+from repro.workload.job import Job
+
+__all__ = ["AllocationPolicy", "GreedyAllocation", "EpsilonShareAllocation"]
+
+
+class AllocationPolicy:
+    """Base class of the allocation axis (see the module docstring)."""
+
+    #: Registry name of the policy (also its segment in composition labels).
+    name: str = "allocation"
+    #: True when the policy computes per-job machine shares and spends them
+    #: through ``RedundancyPolicy.expand_grant`` (the epsilon-share rule);
+    #: redundancy policies use this to avoid double-cloning in ``finalize``.
+    shares_machines: bool = False
+
+    def allocate(
+        self,
+        view: SchedulerView,
+        ordering: OrderingPolicy,
+        redundancy: RedundancyPolicy,
+        rng: np.random.Generator,
+        allow_early_reduce: bool = False,
+    ) -> Tuple[List[LaunchRequest], int]:
+        """Base launch requests of this decision point and machines used."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class GreedyAllocation(AllocationPolicy):
+    """One copy per launchable task, jobs served in ranking order."""
+
+    name = "greedy"
+
+    def allocate(
+        self,
+        view: SchedulerView,
+        ordering: OrderingPolicy,
+        redundancy: RedundancyPolicy,
+        rng: np.random.Generator,
+        allow_early_reduce: bool = False,
+    ) -> Tuple[List[LaunchRequest], int]:
+        """Walk (static) or water-fill (dynamic ordering) the free machines."""
+        free = view.num_free_machines
+        if free <= 0:
+            return [], 0
+        if ordering.dynamic:
+            requests = self._water_fill(view, ordering, free, allow_early_reduce)
+        else:
+            requests = self._static_walk(view, ordering, free, allow_early_reduce)
+        return requests, len(requests)
+
+    @staticmethod
+    def _static_walk(
+        view: SchedulerView,
+        ordering: OrderingPolicy,
+        free: int,
+        allow_early_reduce: bool,
+    ) -> List[LaunchRequest]:
+        """One pass over the fixed ranking, one copy per launchable task."""
+        requests: List[LaunchRequest] = []
+        has_launchable = has_launchable_tasks
+        launchable = launchable_tasks
+        for job in ordering.order(view, view.alive_jobs):
+            if free <= 0:
+                break
+            if not has_launchable(job, allow_early_reduce):
+                # O(1) skip: don't build a task list for a job with nothing
+                # launchable (the common case once a job is fully dispatched).
+                continue
+            for task in launchable(job, allow_early_reduce):
+                if free <= 0:
+                    break
+                requests.append(LaunchRequest(task=task, num_copies=1))
+                free -= 1
+        return requests
+
+    @staticmethod
+    def _water_fill(
+        view: SchedulerView,
+        ordering: OrderingPolicy,
+        free: int,
+        allow_early_reduce: bool,
+    ) -> List[LaunchRequest]:
+        """Hand out machines one at a time, re-ranking after each.
+
+        This is the Hadoop Fair Scheduler's water-filling loop: each free
+        machine goes to the job whose :meth:`OrderingPolicy.fill_key` is
+        currently smallest among jobs that still have launchable tasks.
+        """
+        candidates: Dict[int, List] = {}
+        jobs: Dict[int, Job] = {}
+        for job in view.alive_jobs:
+            if not has_launchable_tasks(job, allow_early_reduce):
+                continue
+            candidates[job.job_id] = launchable_tasks(job, allow_early_reduce)
+            jobs[job.job_id] = job
+        if not candidates:
+            return []
+
+        counter = itertools.count()
+        heap: List[tuple] = []
+        occupied: Dict[int, int] = {}
+        for job_id, job in jobs.items():
+            occupied[job_id] = job.num_running_copies
+            heapq.heappush(
+                heap,
+                (ordering.fill_key(job, occupied[job_id]), next(counter), job_id),
+            )
+
+        requests: List[LaunchRequest] = []
+        while free > 0 and heap:
+            _, _, job_id = heapq.heappop(heap)
+            tasks = candidates[job_id]
+            if not tasks:
+                continue
+            task = tasks.pop(0)
+            requests.append(LaunchRequest(task=task, num_copies=1))
+            free -= 1
+            occupied[job_id] += 1
+            if tasks:
+                heapq.heappush(
+                    heap,
+                    (
+                        ordering.fill_key(jobs[job_id], occupied[job_id]),
+                        next(counter),
+                        job_id,
+                    ),
+                )
+        return requests
+
+
+class EpsilonShareAllocation(AllocationPolicy):
+    """Epsilon-fraction machine sharing (the paper's Section V-A rule).
+
+    ``epsilon -> 0`` grants everything to the single highest-ranked job;
+    ``epsilon = 1`` degenerates to weight-proportional fair shares.  Shares
+    are non-preemptive: a job already occupying at least its share receives
+    nothing new.  Each job's newly available machines are spent through the
+    redundancy policy's ``expand_grant`` hook, which is where the paper's
+    task cloning happens.
+    """
+
+    name = "share"
+    shares_machines = True
+
+    def __init__(self, epsilon: float = 0.6) -> None:
+        if not 0.0 < epsilon <= 1.0:
+            raise ValueError(f"epsilon must lie in (0, 1], got {epsilon}")
+        self.epsilon = epsilon
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EpsilonShareAllocation(epsilon={self.epsilon})"
+
+    def allocate(
+        self,
+        view: SchedulerView,
+        ordering: OrderingPolicy,
+        redundancy: RedundancyPolicy,
+        rng: np.random.Generator,
+        allow_early_reduce: bool = False,
+    ) -> Tuple[List[LaunchRequest], int]:
+        """Rank, share, then spend each job's grant via the redundancy hook."""
+        available = view.num_free_machines
+        if available <= 0:
+            return [], 0
+        jobs = schedulable_jobs(view.alive_jobs, allow_early_reduce)
+        if not jobs:
+            return [], 0
+        # Rank once and feed the same ordering to the sharing rule instead
+        # of re-sorting inside an epsilon_shares() call.
+        ordered = ordering.order(view, jobs)
+        shares = epsilon_shares_from_ordered(
+            [(job.job_id, job.weight) for job in ordered],
+            view.num_machines,
+            self.epsilon,
+        )
+
+        requests: List[LaunchRequest] = []
+        used_total = 0
+        for job in ordered:
+            if available <= 0:
+                break
+            share = shares.get(job.job_id, 0)
+            if share <= 0:
+                continue
+            occupied = job.num_running_copies
+            newly_available = share - occupied
+            if newly_available <= 0:
+                # Non-preemptive: the job already holds at least its share.
+                continue
+            grant = min(newly_available, available)
+            candidates = launchable_tasks(job, allow_early_reduce)
+            job_requests, used = redundancy.expand_grant(
+                job, candidates, grant, rng
+            )
+            requests.extend(job_requests)
+            available -= used
+            used_total += used
+        return requests, used_total

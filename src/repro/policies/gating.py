@@ -1,0 +1,62 @@
+"""Map/Reduce launch gating shared by every policy and scheduler.
+
+The precedence rule of Section V-B -- reduce tasks of a job become
+launchable only once the job's map phase has *completed* -- used to be
+implemented twice: once in ``schedulers/base.py`` for the baseline
+schedulers and once in ``core/srptms_c.py`` for the paper's algorithm.
+This module is now the single implementation; both the policy kernel and
+the legacy scheduler entry points call these helpers.
+
+``allow_early_reduce=True`` switches to the park-on-machine behaviour of
+the offline algorithm (reduce copies may occupy machines before the map
+phase completes, making no progress), which SRPTMS+C exposes as the
+``schedule_reduce_before_map_completion`` ablation knob.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.workload.job import Job, Phase, Task
+
+__all__ = ["has_launchable_tasks", "launchable_tasks", "schedulable_jobs"]
+
+
+def has_launchable_tasks(job: Job, allow_early_reduce: bool = False) -> bool:
+    """O(1) counter-based test for :func:`launchable_tasks` being non-empty."""
+    if job.num_unscheduled_map_tasks > 0:
+        return True
+    return (
+        (job.map_phase_complete or allow_early_reduce)
+        and job.num_unscheduled_reduce_tasks > 0
+    )
+
+
+def launchable_tasks(job: Job, allow_early_reduce: bool = False) -> List[Task]:
+    """Unscheduled tasks of ``job`` that can run right now (maps first)."""
+    pending_maps = job.unscheduled_tasks(Phase.MAP)
+    if pending_maps:
+        return pending_maps
+    if job.map_phase_complete or allow_early_reduce:
+        return job.unscheduled_tasks(Phase.REDUCE)
+    return []
+
+
+def schedulable_jobs(
+    jobs: Iterable[Job], allow_early_reduce: bool = False
+) -> List[Job]:
+    """``psi^s(l)``: jobs with unscheduled, launchable tasks, in given order.
+
+    Uses the O(1) per-job counters (never builds task lists), so this is
+    O(jobs) per decision point regardless of job sizes.
+    """
+    result: List[Job] = []
+    for job in jobs:
+        if job.num_unscheduled_map_tasks > 0:
+            result.append(job)
+        elif (
+            (job.map_phase_complete or allow_early_reduce)
+            and job.num_unscheduled_reduce_tasks > 0
+        ):
+            result.append(job)
+    return result

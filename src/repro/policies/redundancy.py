@@ -1,0 +1,546 @@
+"""Redundancy policies: when is a second copy of a task worth a machine?
+
+One of the three axes of the policy kernel (see :mod:`repro.policies`).
+A :class:`RedundancyPolicy` has two hooks into a decision point:
+
+* :meth:`RedundancyPolicy.expand_grant` -- called by *share-based*
+  allocations (:class:`~repro.policies.allocation.EpsilonShareAllocation`)
+  for every job, with the job's newly granted machines.  The default
+  spends them one single copy per unscheduled task;
+  :class:`PaperCloning` clones tasks to use the whole grant (the paper's
+  Task Scheduling procedure).
+* :meth:`RedundancyPolicy.finalize` -- called once per decision point
+  after the base allocation, with the machines still free.  This is where
+  post-pass redundancy lives: :class:`SCACloning` folds marginal-gain
+  clones into the planned requests, :class:`LATESpeculation` and
+  :class:`MantriSpeculation` append duplicates of detected stragglers,
+  and :class:`PaperCloning` spreads leftover machines as clones when the
+  allocation did not already give it per-job grants.
+
+:class:`NoRedundancy` implements neither: exactly one copy per task, ever
+(the engine-level ``SimulationResult.redundant_copies_launched`` counter
+stays at zero, which the property tests assert).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.speedup import ParetoSpeedup, SpeedupFunction
+from repro.policies.speculation import SpeculationEstimator
+from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
+from repro.workload.job import Job, Phase, Task, TaskCopy
+
+__all__ = [
+    "RedundancyPolicy",
+    "NoRedundancy",
+    "PaperCloning",
+    "SCACloning",
+    "LATESpeculation",
+    "MantriSpeculation",
+]
+
+
+class RedundancyPolicy:
+    """Base class of the redundancy axis (see the module docstring)."""
+
+    #: Registry name of the policy (also its segment in composition labels).
+    name: str = "redundancy"
+    #: Progress-monitoring policies (Mantri, LATE) ask the engine for
+    #: periodic wake-ups; allocation-time policies do not need them.
+    tick_interval: Optional[float] = None
+
+    def __init__(self) -> None:
+        #: Redundant copies (clones or speculative duplicates) this policy
+        #: decided to launch over the lifetime of one simulation run.
+        self.copies_launched = 0
+
+    def on_task_completion(self, task: Task, time: float) -> None:
+        """Observation hook (estimator feeding); default: nothing."""
+
+    def expand_grant(
+        self,
+        job: Job,
+        candidates: Sequence[Task],
+        machines: int,
+        rng: np.random.Generator,
+    ) -> Tuple[List[LaunchRequest], int]:
+        """Spend one job's ``machines``-machine grant on its ``candidates``.
+
+        Default behaviour (no redundancy): one single copy per candidate,
+        in candidate order, until the grant or the candidates run out.
+        Returns the requests and the machines actually used.
+        """
+        count = len(candidates)
+        if count == 0 or machines <= 0:
+            return [], 0
+        launch = min(machines, count)
+        requests = [
+            LaunchRequest(task=task, num_copies=1)
+            for task in candidates[:launch]
+        ]
+        return requests, launch
+
+    def finalize(
+        self,
+        view: SchedulerView,
+        free: int,
+        planned: List[LaunchRequest],
+        rng: np.random.Generator,
+        shares_expanded: bool,
+    ) -> List[LaunchRequest]:
+        """Post-allocation pass over the ``free`` machines still available.
+
+        ``planned`` is the base allocation's request list; ``shares_expanded``
+        is True when the allocation already routed per-job grants through
+        :meth:`expand_grant` (so grant-time cloning must not double-apply).
+        Default: return the planned requests unchanged.
+        """
+        return planned
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NoRedundancy(RedundancyPolicy):
+    """Never launch a second copy of a task (the pure-ordering ablation)."""
+
+    name = "none"
+
+
+class PaperCloning(RedundancyPolicy):
+    """The paper's task cloning (Algorithm 2's Task Scheduling procedure).
+
+    Under a share-based allocation this is exactly SRPTMS+C's rule: when a
+    job's grant exceeds its unscheduled task count, every task is cloned so
+    the whole grant is used (copies spread as evenly as possible, the extra
+    copies going to a random subset); otherwise a random subset of tasks is
+    launched with a single copy each.
+
+    Under the greedy allocation there are no per-job grants, so the same
+    spreading rule is applied once, in :meth:`finalize`, to the machines
+    left over after every launchable task received its single copy -- the
+    natural "FIFO + cloning" / "Fair + cloning" generalisation.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` caps every task at one copy while keeping the random
+        subset draws of the disabled-cloning SRPTMS ablation bit-identical
+        to the historical implementation.
+    max_copies_per_task:
+        Safety cap on simultaneous copies of one task (0 = uncapped, the
+        paper's setting).
+    """
+
+    name = "clone"
+
+    def __init__(
+        self, *, enabled: bool = True, max_copies_per_task: int = 0
+    ) -> None:
+        super().__init__()
+        if max_copies_per_task < 0:
+            raise ValueError(
+                f"max_copies_per_task must be >= 0, got {max_copies_per_task}"
+            )
+        self.enabled = enabled
+        self.max_copies_per_task = max_copies_per_task
+
+    def _copies_for(self, task: Task, desired: int) -> int:
+        """Apply the cloning switch and the optional per-task copy cap."""
+        copies = desired if self.enabled else 1
+        if self.max_copies_per_task > 0:
+            existing = task.num_active_copies
+            copies = min(copies, max(0, self.max_copies_per_task - existing))
+        return copies
+
+    def expand_grant(
+        self,
+        job: Job,
+        candidates: Sequence[Task],
+        machines: int,
+        rng: np.random.Generator,
+    ) -> Tuple[List[LaunchRequest], int]:
+        """The paper's Task Scheduling procedure for one job's grant.
+
+        Returns the launch requests and the number of machines actually
+        used (``pi_i(l)`` in Algorithm 2).
+        """
+        if not candidates or machines <= 0:
+            return [], 0
+        count = len(candidates)
+        requests: List[LaunchRequest] = []
+        used = 0
+        if machines >= count:
+            # Enough machines for every unscheduled task: clone to use them all.
+            base_copies = machines // count
+            extras = machines - base_copies * count
+            # Give the extra copies to a random subset so no task systematically
+            # lags behind with fewer clones.
+            extra_indices = set(
+                int(i)
+                for i in rng.choice(count, size=extras, replace=False)
+            ) if extras > 0 else set()
+            for index, task in enumerate(candidates):
+                desired = base_copies + (1 if index in extra_indices else 0)
+                copies = self._copies_for(task, desired)
+                if copies <= 0:
+                    continue
+                requests.append(LaunchRequest(task=task, num_copies=copies))
+                used += copies
+                self.copies_launched += copies - 1
+        else:
+            # Fewer machines than tasks: launch a random subset, one copy each.
+            chosen = rng.choice(count, size=machines, replace=False)
+            for index in sorted(int(i) for i in chosen):
+                task = candidates[index]
+                requests.append(LaunchRequest(task=task, num_copies=1))
+                used += 1
+        return requests, used
+
+    def finalize(
+        self,
+        view: SchedulerView,
+        free: int,
+        planned: List[LaunchRequest],
+        rng: np.random.Generator,
+        shares_expanded: bool,
+    ) -> List[LaunchRequest]:
+        """Spread leftover machines as clones over the planned tasks.
+
+        Only under grant-less (greedy) allocations: a share-based
+        allocation already routed its grants through :meth:`expand_grant`,
+        and the paper's rule leaves share-exceeding machines idle.
+        """
+        if shares_expanded or free <= 0 or not planned or not self.enabled:
+            return planned
+        count = len(planned)
+        base_copies = free // count
+        extras = free - base_copies * count
+        extra_indices = set(
+            int(i) for i in rng.choice(count, size=extras, replace=False)
+        ) if extras > 0 else set()
+        requests: List[LaunchRequest] = []
+        for index, request in enumerate(planned):
+            desired = request.num_copies + base_copies + (
+                1 if index in extra_indices else 0
+            )
+            copies = self._copies_for(request.task, desired)
+            if copies <= 0:
+                continue
+            self.copies_launched += max(0, copies - request.num_copies)
+            requests.append(LaunchRequest(task=request.task, num_copies=copies))
+        return requests
+
+
+class SCACloning(RedundancyPolicy):
+    """Smart Cloning Algorithm's marginal-gain cloning (after [26]).
+
+    Remaining free machines are handed out one at a time to the task whose
+    additional clone yields the largest marginal reduction in expected
+    weighted phase-completion time,
+
+        gain = w_i * (E / s(x) - E / s(x + 1)) / (#unfinished tasks in phase),
+
+    where ``x`` is the task's current planned copy count.  Dividing by the
+    number of unfinished tasks in the phase captures that a phase only
+    completes when *all* its tasks do, which makes SCA clone *small* jobs
+    aggressively -- the behaviour [26] reports.
+    """
+
+    name = "sca"
+
+    def __init__(
+        self,
+        speedup: Optional[SpeedupFunction] = None,
+        *,
+        max_copies_per_task: int = 8,
+    ) -> None:
+        super().__init__()
+        if max_copies_per_task < 1:
+            raise ValueError(
+                f"max_copies_per_task must be >= 1, got {max_copies_per_task}"
+            )
+        self.speedup = speedup if speedup is not None else ParetoSpeedup(alpha=2.0)
+        self.max_copies_per_task = max_copies_per_task
+
+    # -- clone allocation -------------------------------------------------------------
+
+    def _phase_pending_count(self, job: Job, phase: Phase) -> int:
+        """Unfinished task count of one phase, used to scale marginal gains."""
+        return job.num_incomplete_tasks(phase)
+
+    def _marginal_gain(self, task: Task, copies: int, pending_in_phase: int) -> float:
+        """Weighted reduction in expected phase time from one more clone."""
+        mean = task.duration_distribution.mean
+        gain = self.speedup.marginal_gain(mean, copies)
+        return task.job.weight * gain / max(1, pending_in_phase)
+
+    def _allocate_clones(
+        self,
+        planned_copies: Dict[str, int],
+        tasks_by_id: Dict[str, Task],
+        free: int,
+    ) -> Dict[str, int]:
+        """Distribute ``free`` machines as clones by greedy marginal gain."""
+        extra: Dict[str, int] = {}
+        if free <= 0 or not planned_copies:
+            return extra
+        counter = itertools.count()
+        heap: List[tuple] = []
+        pending_cache: Dict[tuple, int] = {}
+        for task_id, copies in planned_copies.items():
+            task = tasks_by_id[task_id]
+            key = (task.job.job_id, task.phase)
+            if key not in pending_cache:
+                pending_cache[key] = self._phase_pending_count(task.job, task.phase)
+            gain = self._marginal_gain(task, copies, pending_cache[key])
+            heapq.heappush(heap, (-gain, next(counter), task_id))
+
+        while free > 0 and heap:
+            negative_gain, _, task_id = heapq.heappop(heap)
+            if -negative_gain <= 0:
+                break
+            task = tasks_by_id[task_id]
+            current = planned_copies[task_id] + extra.get(task_id, 0)
+            if current >= self.max_copies_per_task:
+                continue
+            extra[task_id] = extra.get(task_id, 0) + 1
+            free -= 1
+            new_count = current + 1
+            if new_count < self.max_copies_per_task:
+                key = (task.job.job_id, task.phase)
+                gain = self._marginal_gain(task, new_count, pending_cache[key])
+                heapq.heappush(heap, (-gain, next(counter), task_id))
+        return extra
+
+    # -- decision --------------------------------------------------------------------------
+
+    def finalize(
+        self,
+        view: SchedulerView,
+        free: int,
+        planned: List[LaunchRequest],
+        rng: np.random.Generator,
+        shares_expanded: bool,
+    ) -> List[LaunchRequest]:
+        """Fold marginal-gain clones into the planned base requests."""
+        planned_copies: Dict[str, int] = {}
+        tasks_by_id: Dict[str, Task] = {}
+        for request in planned:
+            planned_copies[request.task.task_id] = request.num_copies
+            tasks_by_id[request.task.task_id] = request.task
+        extra = self._allocate_clones(planned_copies, tasks_by_id, free)
+        self.copies_launched += sum(extra.values())
+        requests: List[LaunchRequest] = []
+        for task_id, copies in planned_copies.items():
+            total = copies + extra.get(task_id, 0)
+            requests.append(
+                LaunchRequest(task=tasks_by_id[task_id], num_copies=total)
+            )
+        return requests
+
+
+class LATESpeculation(RedundancyPolicy):
+    """LATE (Longest Approximate Time to End) speculative execution [28].
+
+    * estimate each running attempt's time-to-end by progress-rate
+      extrapolation;
+    * speculate only on attempts whose *progress rate* falls below the
+      ``slow_task_percentile`` of currently running attempts;
+    * among those, duplicate the attempts with the *longest* estimated time
+      to end first;
+    * never exceed ``speculative_cap`` (a fraction of the cluster)
+      concurrent speculative copies, and at most one duplicate per task.
+    """
+
+    name = "late"
+
+    def __init__(
+        self,
+        *,
+        slow_task_percentile: float = 25.0,
+        speculative_cap: float = 0.1,
+        tick_interval: Optional[float] = 5.0,
+        min_progress: float = 0.05,
+        min_elapsed: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < slow_task_percentile < 100.0:
+            raise ValueError(
+                f"slow_task_percentile must be in (0, 100), got {slow_task_percentile}"
+            )
+        if not 0.0 < speculative_cap <= 1.0:
+            raise ValueError(
+                f"speculative_cap must be in (0, 1], got {speculative_cap}"
+            )
+        self.slow_task_percentile = slow_task_percentile
+        self.speculative_cap = speculative_cap
+        self.tick_interval = tick_interval
+        self.estimator = SpeculationEstimator(
+            min_progress=min_progress, min_elapsed=min_elapsed, min_samples=1
+        )
+
+    def on_task_completion(self, task: Task, time: float) -> None:
+        """Feed the finished task's duration into the time-left estimator."""
+        self.estimator.record_completion(task, time)
+
+    def _progress_rates(self, view: SchedulerView) -> Dict[int, float]:
+        """Progress per unit time of every estimable running copy."""
+        rates: Dict[int, float] = {}
+        for copy in view.running_copies():
+            elapsed = view.copy_elapsed(copy)
+            if elapsed < self.estimator.min_elapsed:
+                continue
+            rates[id(copy)] = view.copy_progress(copy) / elapsed
+        return rates
+
+    def _speculate(self, view: SchedulerView, free: int) -> List[LaunchRequest]:
+        if free <= 0:
+            return []
+        cap = int(self.speculative_cap * view.num_machines)
+        budget = min(free, cap)
+        if budget <= 0:
+            return []
+        rates = self._progress_rates(view)
+        if not rates:
+            return []
+        threshold = float(
+            np.percentile(list(rates.values()), self.slow_task_percentile)
+        )
+        candidates: List[tuple] = []
+        for copy in view.running_copies():
+            key = id(copy)
+            if key not in rates or rates[key] > threshold:
+                continue
+            task = copy.task
+            if task.num_active_copies >= 2:
+                continue
+            time_left = self.estimator.remaining_time(view, copy)
+            if time_left is None:
+                continue
+            candidates.append((-time_left, copy))
+        candidates.sort(key=lambda item: item[0])
+
+        requests: List[LaunchRequest] = []
+        duplicated = set()
+        for _, copy in candidates:
+            if budget <= 0:
+                break
+            task = copy.task
+            if id(task) in duplicated:
+                continue
+            requests.append(LaunchRequest(task=task, num_copies=1))
+            duplicated.add(id(task))
+            self.copies_launched += 1
+            budget -= 1
+        return requests
+
+    def finalize(
+        self,
+        view: SchedulerView,
+        free: int,
+        planned: List[LaunchRequest],
+        rng: np.random.Generator,
+        shares_expanded: bool,
+    ) -> List[LaunchRequest]:
+        """Append duplicates of the slowest detected attempts."""
+        requests = list(planned)
+        requests.extend(self._speculate(view, free))
+        return requests
+
+
+class MantriSpeculation(RedundancyPolicy):
+    """Microsoft Mantri's duplicate-launch rule [4].
+
+    For every running attempt Mantri tracks a progress score and estimates
+    the remaining time ``t_rem`` by progress-rate extrapolation, and the
+    duration ``t_new`` of a restarted copy from the empirical durations of
+    finished copies of the same job phase; a duplicate is launched when
+    ``P(t_rem > 2 * t_new) > delta``, the paper's inequality, with at most
+    ``max_copies_per_task`` simultaneous attempts per task.  Pending
+    (never-yet-launched) tasks always take priority over speculative
+    duplicates because the base allocation runs first.
+    """
+
+    name = "mantri"
+
+    def __init__(
+        self,
+        delta: float = 0.25,
+        *,
+        max_copies_per_task: int = 2,
+        tick_interval: Optional[float] = 5.0,
+        min_progress: float = 0.05,
+        min_elapsed: float = 1.0,
+        min_samples: int = 3,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must lie in (0, 1), got {delta}")
+        if max_copies_per_task < 2:
+            raise ValueError(
+                f"max_copies_per_task must be at least 2, got {max_copies_per_task}"
+            )
+        self.delta = delta
+        self.max_copies_per_task = max_copies_per_task
+        self.tick_interval = tick_interval
+        self.estimator = SpeculationEstimator(
+            min_progress=min_progress,
+            min_elapsed=min_elapsed,
+            min_samples=min_samples,
+        )
+
+    def on_task_completion(self, task: Task, time: float) -> None:
+        """Feed the finished task's duration into the t_new estimator."""
+        self.estimator.record_completion(task, time)
+
+    def _speculation_candidates(self, view: SchedulerView) -> List[TaskCopy]:
+        """Running copies eligible for a duplicate, worst straggler first."""
+        scored: List[tuple] = []
+        for copy in view.running_copies():
+            task = copy.task
+            if task.num_active_copies >= self.max_copies_per_task:
+                continue
+            probability = self.estimator.straggler_probability(view, copy)
+            if probability is None or probability <= self.delta:
+                continue
+            t_rem = self.estimator.remaining_time(view, copy)
+            scored.append((-(t_rem or 0.0), copy))
+        scored.sort(key=lambda item: item[0])
+        return [copy for _, copy in scored]
+
+    def _speculate(self, view: SchedulerView, free: int) -> List[LaunchRequest]:
+        """Spend up to ``free`` machines on duplicates of detected stragglers."""
+        if free <= 0:
+            return []
+        requests: List[LaunchRequest] = []
+        duplicated = set()
+        for copy in self._speculation_candidates(view):
+            if free <= 0:
+                break
+            task = copy.task
+            if id(task) in duplicated:
+                continue
+            requests.append(LaunchRequest(task=task, num_copies=1))
+            duplicated.add(id(task))
+            self.copies_launched += 1
+            free -= 1
+        return requests
+
+    def finalize(
+        self,
+        view: SchedulerView,
+        free: int,
+        planned: List[LaunchRequest],
+        rng: np.random.Generator,
+        shares_expanded: bool,
+    ) -> List[LaunchRequest]:
+        """Append duplicates of attempts satisfying Mantri's inequality."""
+        requests = list(planned)
+        requests.extend(self._speculate(view, free))
+        return requests

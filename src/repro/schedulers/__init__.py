@@ -10,6 +10,12 @@
   :class:`~repro.schedulers.late.LATEScheduler` -- additional reference
   policies (Hadoop defaults and the LATE speculative scheduler) used by the
   examples and ablation benchmarks.
+
+Since the policy-kernel refactor every class here is a thin alias for a
+named ordering+allocation+redundancy composition
+(:data:`repro.policies.NAMED_COMPOSITIONS`) run by
+:class:`~repro.simulation.scheduler_api.ComposedScheduler`; results are
+bit-identical to the historical monolithic implementations.
 """
 
 from repro.schedulers.fair import FairScheduler

@@ -1,80 +1,31 @@
 """Hadoop Fair Scheduler baseline (weight-proportional machine sharing).
 
 Every alive job is entitled to a share of the cluster proportional to its
-weight.  The implementation is a water-filling loop: free machines are
-handed out one at a time, each to the job whose ratio of occupied machines
-to weight is currently smallest among jobs that still have launchable
-tasks.  No speculation and no cloning are performed.
+weight; free machines are handed out one at a time, each to the job whose
+ratio of occupied machines to weight is currently smallest among jobs that
+still have launchable tasks (water-filling).  No speculation and no cloning
+are performed.
 
 The paper observes that SRPTMS+C with ``epsilon = 1`` degenerates to this
 fair scheduler, which the integration tests verify (up to the cloning of
 leftover machines).
+
+Since the policy-kernel refactor this class is a thin alias for the
+``fair+greedy+none`` composition (see :mod:`repro.policies`); the
+water-filling loop lives in
+:class:`~repro.policies.allocation.GreedyAllocation` (dynamic-ordering
+path) and produces bit-identical results to the historical implementation.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Dict, List
-
-from repro.schedulers.base import SingleCopyScheduler
-from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
-from repro.workload.job import Job
+from repro.simulation.scheduler_api import ComposedScheduler
 
 __all__ = ["FairScheduler"]
 
 
-class FairScheduler(SingleCopyScheduler):
-    """Weight-proportional fair sharing across alive jobs."""
+class FairScheduler(ComposedScheduler):
+    """Weight-proportional fair sharing (``fair+greedy+none``)."""
 
-    name = "Fair"
-
-    def job_order(self, view: SchedulerView) -> List[Job]:
-        """Jobs ordered by increasing occupied-machines-per-weight ratio."""
-        return sorted(
-            view.alive_jobs,
-            key=lambda job: (job.num_running_copies / job.weight, job.job_id),
-        )
-
-    def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
-        """Return the copies to launch at this decision point (see base class)."""
-        free = view.num_free_machines
-        if free <= 0:
-            return []
-        # Water-filling: repeatedly give one machine to the most underserved
-        # job that still has a launchable task.
-        candidates: Dict[int, List] = {}
-        jobs: Dict[int, Job] = {}
-        for job in view.alive_jobs:
-            if not self.has_launchable_tasks(job):
-                continue
-            candidates[job.job_id] = self.launchable_tasks(job)
-            jobs[job.job_id] = job
-        if not candidates:
-            return []
-
-        counter = itertools.count()
-        heap = []
-        occupied: Dict[int, int] = {}
-        for job_id, job in jobs.items():
-            occupied[job_id] = job.num_running_copies
-            heapq.heappush(
-                heap, (occupied[job_id] / job.weight, next(counter), job_id)
-            )
-
-        requests: List[LaunchRequest] = []
-        while free > 0 and heap:
-            _, _, job_id = heapq.heappop(heap)
-            tasks = candidates[job_id]
-            if not tasks:
-                continue
-            task = tasks.pop(0)
-            requests.append(LaunchRequest(task=task, num_copies=1))
-            free -= 1
-            occupied[job_id] += 1
-            if tasks:
-                heapq.heappush(
-                    heap,
-                    (occupied[job_id] / jobs[job_id].weight, next(counter), job_id),
-                )
-        return requests
+    def __init__(self) -> None:
+        super().__init__("fair", "greedy", "none", name="Fair")

@@ -4,31 +4,21 @@ Machines are offered to jobs strictly in arrival order.  This is the
 simplest possible reference point: small jobs arriving behind a large job
 wait for it, which is exactly the head-of-line blocking that motivates SRPT
 ordering in the paper.
+
+Since the policy-kernel refactor this class is a thin alias for the
+``fifo+greedy+none`` composition (see :mod:`repro.policies`); it produces
+bit-identical results to the historical implementation.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.schedulers.base import SingleCopyScheduler
-from repro.simulation.scheduler_api import SchedulerView
-from repro.workload.job import Job
+from repro.simulation.scheduler_api import ComposedScheduler
 
 __all__ = ["FIFOScheduler"]
 
 
-class FIFOScheduler(SingleCopyScheduler):
-    """Serve jobs in order of arrival time (ties broken by job id)."""
+class FIFOScheduler(ComposedScheduler):
+    """Serve jobs in order of arrival time (``fifo+greedy+none``)."""
 
-    name = "FIFO"
-
-    def job_order(self, view: SchedulerView) -> Sequence[Job]:
-        """Alive jobs in arrival order.
-
-        The engine maintains the alive set in arrival-event order, which is
-        exactly ``(arrival_time, job_id)``: traces are sorted on that key
-        and simultaneous arrivals are enqueued in trace order.  Returning
-        the view's order directly is therefore identical to re-sorting --
-        and O(n) instead of O(n log n) at every decision point.
-        """
-        return view.alive_jobs
+    def __init__(self) -> None:
+        super().__init__("fifo", "greedy", "none", name="FIFO")

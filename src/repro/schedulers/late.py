@@ -1,37 +1,29 @@
 """LATE (Longest Approximate Time to End) speculative execution [28].
 
 LATE is the classic Hadoop-era improvement over naive speculation and is
-included as an extra detection-based reference point beyond Mantri:
+included as an extra detection-based reference point beyond Mantri.  The
+underlying job scheduler is, as in Hadoop, the fair scheduler; the
+speculation rule itself lives in
+:class:`~repro.policies.redundancy.LATESpeculation`.
 
-* estimate each running attempt's time-to-end by progress-rate
-  extrapolation;
-* speculate only on attempts whose *progress rate* falls below the
-  ``slow_task_percentile`` of currently running attempts;
-* among those, duplicate the attempts with the *longest* estimated time to
-  end first;
-* never exceed ``speculative_cap`` (a fraction of the cluster) concurrent
-  speculative copies, and at most one duplicate per task.
-
-The underlying job scheduler is, as in Hadoop, the fair scheduler.
+Since the policy-kernel refactor this class is a thin alias for the
+``fair+greedy+late`` composition (see :mod:`repro.policies`); it produces
+bit-identical results to the historical implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
-import numpy as np
-
-from repro.schedulers.base import SpeculationEstimator
-from repro.schedulers.fair import FairScheduler
-from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
+from repro.policies.redundancy import LATESpeculation
+from repro.policies.speculation import SpeculationEstimator
+from repro.simulation.scheduler_api import ComposedScheduler
 
 __all__ = ["LATEScheduler"]
 
 
-class LATEScheduler(FairScheduler):
-    """Fair sharing plus the LATE speculative-execution heuristic."""
-
-    name = "LATE"
+class LATEScheduler(ComposedScheduler):
+    """Fair sharing plus the LATE speculative-execution heuristic (``fair+greedy+late``)."""
 
     def __init__(
         self,
@@ -42,81 +34,35 @@ class LATEScheduler(FairScheduler):
         min_progress: float = 0.05,
         min_elapsed: float = 1.0,
     ) -> None:
-        if not 0.0 < slow_task_percentile < 100.0:
-            raise ValueError(
-                f"slow_task_percentile must be in (0, 100), got {slow_task_percentile}"
-            )
-        if not 0.0 < speculative_cap <= 1.0:
-            raise ValueError(
-                f"speculative_cap must be in (0, 1], got {speculative_cap}"
-            )
-        self.slow_task_percentile = slow_task_percentile
-        self.speculative_cap = speculative_cap
-        self.tick_interval = tick_interval
-        self.estimator = SpeculationEstimator(
-            min_progress=min_progress, min_elapsed=min_elapsed, min_samples=1
+        speculation = LATESpeculation(
+            slow_task_percentile=slow_task_percentile,
+            speculative_cap=speculative_cap,
+            tick_interval=tick_interval,
+            min_progress=min_progress,
+            min_elapsed=min_elapsed,
         )
-        self.speculative_copies_launched = 0
+        super().__init__("fair", "greedy", speculation, name="LATE")
 
-    def on_task_completion(self, task, time: float) -> None:
-        """Feed the finished task's duration into the time-left estimator."""
-        self.estimator.record_completion(task, time)
+    @property
+    def slow_task_percentile(self) -> float:
+        """Progress-rate percentile below which attempts are speculated on."""
+        return self.redundancy.slow_task_percentile
 
-    def _progress_rates(self, view: SchedulerView) -> Dict[int, float]:
-        """Progress per unit time of every estimable running copy."""
-        rates: Dict[int, float] = {}
-        for copy in view.running_copies():
-            elapsed = view.copy_elapsed(copy)
-            if elapsed < self.estimator.min_elapsed:
-                continue
-            rates[id(copy)] = view.copy_progress(copy) / elapsed
-        return rates
+    @property
+    def speculative_cap(self) -> float:
+        """Cluster fraction the speculation budget is capped at."""
+        return self.redundancy.speculative_cap
 
-    def _speculate(self, view: SchedulerView, free: int) -> List[LaunchRequest]:
-        if free <= 0:
-            return []
-        cap = int(self.speculative_cap * view.num_machines)
-        budget = min(free, cap)
-        if budget <= 0:
-            return []
-        rates = self._progress_rates(view)
-        if not rates:
-            return []
-        threshold = float(
-            np.percentile(list(rates.values()), self.slow_task_percentile)
-        )
-        candidates: List[tuple] = []
-        for copy in view.running_copies():
-            key = id(copy)
-            if key not in rates or rates[key] > threshold:
-                continue
-            task = copy.task
-            if task.num_active_copies >= 2:
-                continue
-            time_left = self.estimator.remaining_time(view, copy)
-            if time_left is None:
-                continue
-            candidates.append((-time_left, copy))
-        candidates.sort(key=lambda item: item[0])
+    @property
+    def estimator(self) -> SpeculationEstimator:
+        """The progress-based time-left estimator feeding the rule."""
+        return self.redundancy.estimator
 
-        requests: List[LaunchRequest] = []
-        duplicated = set()
-        for _, copy in candidates:
-            if budget <= 0:
-                break
-            task = copy.task
-            if id(task) in duplicated:
-                continue
-            requests.append(LaunchRequest(task=task, num_copies=1))
-            duplicated.add(id(task))
-            self.speculative_copies_launched += 1
-            budget -= 1
-        return requests
+    @property
+    def speculative_copies_launched(self) -> int:
+        """Speculative duplicates launched so far (exposed for tests/benches).
 
-    def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
-        """Return the copies to launch at this decision point (see base class)."""
-        requests = list(super().schedule(view))
-        used = sum(request.num_copies for request in requests)
-        free = view.num_free_machines - used
-        requests.extend(self._speculate(view, free))
-        return requests
+        The same quantity is available on every scheduler's result as
+        ``SimulationResult.redundant_copies_launched``.
+        """
+        return self.redundancy.copies_launched

@@ -1,44 +1,33 @@
 """Microsoft Mantri speculative-execution baseline [4].
 
 Mantri is the strongest straggler-*detection* based scheme the paper
-compares against (Section VI-A).  The reproduction follows the published
-decision rule:
+compares against (Section VI-A).  The cluster scheduler itself is a
+weight-proportional fair scheduler (Mantri is an outlier-mitigation layer,
+not a job scheduler); the published duplicate-launch rule --
+``P(t_rem > 2 * t_new) > delta`` evaluated against empirical duration
+samples -- lives in :class:`~repro.policies.redundancy.MantriSpeculation`.
+A periodic tick wakes the scheduler so that speculation can trigger even
+when no arrival/completion event occurs, reflecting Mantri's continuous
+progress monitoring.
 
-* the cluster scheduler itself is a weight-proportional fair scheduler
-  (Mantri is an outlier-mitigation layer, not a job scheduler);
-* for every running attempt Mantri tracks a progress score and estimates the
-  remaining time ``t_rem`` by progress-rate extrapolation, and the duration
-  ``t_new`` of a restarted copy from the empirical durations of finished
-  copies of the same job phase;
-* whenever a machine becomes available, a duplicate of a running task is
-  launched if ``P(t_rem > 2 * t_new) > delta`` -- the paper's inequality --
-  where the probability is evaluated against the empirical duration samples;
-* at most ``max_copies_per_task`` simultaneous attempts per task (Mantri's
-  "schedule a duplicate only if total resource consumption decreases" rule
-  caps this at two in practice).
-
-Pending (never-yet-launched) tasks always take priority over speculative
-duplicates, matching the production system.  A periodic tick wakes the
-scheduler so that speculation can trigger even when no arrival/completion
-event occurs, reflecting Mantri's continuous progress monitoring.
+Since the policy-kernel refactor this class is a thin alias for the
+``fair+greedy+mantri`` composition (see :mod:`repro.policies`); it
+produces bit-identical results to the historical implementation.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.schedulers.base import SpeculationEstimator
-from repro.schedulers.fair import FairScheduler
-from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
-from repro.workload.job import TaskCopy
+from repro.policies.redundancy import MantriSpeculation
+from repro.policies.speculation import SpeculationEstimator
+from repro.simulation.scheduler_api import ComposedScheduler
 
 __all__ = ["MantriScheduler"]
 
 
-class MantriScheduler(FairScheduler):
-    """Fair sharing plus Mantri's duplicate-launch rule."""
-
-    name = "Mantri"
+class MantriScheduler(ComposedScheduler):
+    """Fair sharing plus Mantri's duplicate-launch rule (``fair+greedy+mantri``)."""
 
     def __init__(
         self,
@@ -50,70 +39,36 @@ class MantriScheduler(FairScheduler):
         min_elapsed: float = 1.0,
         min_samples: int = 3,
     ) -> None:
-        if not 0.0 < delta < 1.0:
-            raise ValueError(f"delta must lie in (0, 1), got {delta}")
-        if max_copies_per_task < 2:
-            raise ValueError(
-                f"max_copies_per_task must be at least 2, got {max_copies_per_task}"
-            )
-        self.delta = delta
-        self.max_copies_per_task = max_copies_per_task
-        self.tick_interval = tick_interval
-        self.estimator = SpeculationEstimator(
+        speculation = MantriSpeculation(
+            delta=delta,
+            max_copies_per_task=max_copies_per_task,
+            tick_interval=tick_interval,
             min_progress=min_progress,
             min_elapsed=min_elapsed,
             min_samples=min_samples,
         )
-        #: Number of speculative duplicates launched (exposed for tests/benches).
-        self.speculative_copies_launched = 0
+        super().__init__("fair", "greedy", speculation, name="Mantri")
 
-    # -- notifications ----------------------------------------------------------------
+    @property
+    def delta(self) -> float:
+        """The straggler-probability threshold of Mantri's inequality."""
+        return self.redundancy.delta
 
-    def on_task_completion(self, task, time: float) -> None:
-        """Feed the finished task's duration into the t_new estimator."""
-        self.estimator.record_completion(task, time)
+    @property
+    def max_copies_per_task(self) -> int:
+        """Cap on simultaneous attempts per task."""
+        return self.redundancy.max_copies_per_task
 
-    # -- speculation ------------------------------------------------------------------
+    @property
+    def estimator(self) -> SpeculationEstimator:
+        """The progress-based t_rem/t_new estimator feeding the rule."""
+        return self.redundancy.estimator
 
-    def _speculation_candidates(self, view: SchedulerView) -> List[TaskCopy]:
-        """Running copies eligible for a duplicate, worst straggler first."""
-        scored: List[tuple] = []
-        for copy in view.running_copies():
-            task = copy.task
-            if task.num_active_copies >= self.max_copies_per_task:
-                continue
-            probability = self.estimator.straggler_probability(view, copy)
-            if probability is None or probability <= self.delta:
-                continue
-            t_rem = self.estimator.remaining_time(view, copy)
-            scored.append((-(t_rem or 0.0), copy))
-        scored.sort(key=lambda item: item[0])
-        return [copy for _, copy in scored]
+    @property
+    def speculative_copies_launched(self) -> int:
+        """Speculative duplicates launched so far (exposed for tests/benches).
 
-    def _speculate(self, view: SchedulerView, free: int) -> List[LaunchRequest]:
-        """Spend up to ``free`` machines on duplicates of detected stragglers."""
-        if free <= 0:
-            return []
-        requests: List[LaunchRequest] = []
-        duplicated = set()
-        for copy in self._speculation_candidates(view):
-            if free <= 0:
-                break
-            task = copy.task
-            if id(task) in duplicated:
-                continue
-            requests.append(LaunchRequest(task=task, num_copies=1))
-            duplicated.add(id(task))
-            self.speculative_copies_launched += 1
-            free -= 1
-        return requests
-
-    # -- decision ----------------------------------------------------------------------
-
-    def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
-        """Return the copies to launch at this decision point (see base class)."""
-        requests = list(super().schedule(view))
-        used = sum(request.num_copies for request in requests)
-        free = view.num_free_machines - used
-        requests.extend(self._speculate(view, free))
-        return requests
+        The same quantity is available on every scheduler's result as
+        ``SimulationResult.redundant_copies_launched``.
+        """
+        return self.redundancy.copies_launched

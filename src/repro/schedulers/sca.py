@@ -3,53 +3,32 @@
 The authors' earlier paper proposes, at the beginning of every time slot, to
 solve a convex program that chooses the number of clones for each task of
 the arriving jobs so as to minimise the total expected weighted flowtime,
-then to launch all chosen copies on available machines.
+then to launch all chosen copies on available machines.  The reproduction
+implements the standard greedy/water-filling counterpart of that program:
+fair-share single copies first, then leftover machines spent one at a time
+on the clone with the largest marginal gain (see
+:class:`~repro.policies.redundancy.SCACloning` for the rule and
+DESIGN.md "Substitutions" for why the greedy preserves the relevant
+behaviour of the original convex program).
 
-The exact convex program is not reproducible verbatim (the paper under
-reproduction only summarises it), but its structure is: with concave speedup
-functions the optimum equalises the *marginal* reduction in expected
-weighted phase-completion time per extra machine across tasks.  The
-reproduction therefore implements the standard greedy/water-filling
-counterpart of that program:
-
-1. every launchable task (map before reduce, honouring the precedence
-   constraint) first receives a single copy; machines are offered to jobs by
-   weight-proportional fair sharing, as in Hadoop -- SCA does not apply SRPT
-   ordering across jobs, which is the key behavioural difference from
-   SRPTMS+C;
-2. remaining free machines are then handed out one at a time to the task
-   whose additional clone yields the largest marginal gain
-
-       gain = w_i * (E / s(x) - E / s(x + 1)) / (#unfinished tasks in phase)
-
-   where ``x`` is the task's current planned copy count.  Dividing by the
-   number of unfinished tasks in the phase captures that a phase only
-   completes when *all* its tasks do, so cloning one of many pending tasks
-   is worth little -- this is what makes SCA clone *small* jobs
-   aggressively, the behaviour [26] reports.
-
-See DESIGN.md ("Substitutions") for why this greedy preserves the relevant
-behaviour of the original convex program.
+Since the policy-kernel refactor this class is a thin alias for the
+``fair+greedy+sca`` composition (see :mod:`repro.policies`); it produces
+bit-identical results to the historical implementation.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Dict, List, Optional
+from typing import Optional
 
-from repro.core.speedup import ParetoSpeedup, SpeedupFunction
-from repro.schedulers.fair import FairScheduler
-from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
-from repro.workload.job import Job, Phase, Task
+from repro.core.speedup import SpeedupFunction
+from repro.policies.redundancy import SCACloning
+from repro.simulation.scheduler_api import ComposedScheduler
 
 __all__ = ["SCAScheduler"]
 
 
-class SCAScheduler(FairScheduler):
-    """Fair-share base copies plus greedy marginal-gain cloning (the SCA baseline)."""
-
-    name = "SCA"
+class SCAScheduler(ComposedScheduler):
+    """Fair-share base copies plus greedy marginal-gain cloning (``fair+greedy+sca``)."""
 
     def __init__(
         self,
@@ -57,85 +36,15 @@ class SCAScheduler(FairScheduler):
         *,
         max_copies_per_task: int = 8,
     ) -> None:
-        if max_copies_per_task < 1:
-            raise ValueError(
-                f"max_copies_per_task must be >= 1, got {max_copies_per_task}"
-            )
-        self.speedup = speedup if speedup is not None else ParetoSpeedup(alpha=2.0)
-        self.max_copies_per_task = max_copies_per_task
+        cloning = SCACloning(speedup, max_copies_per_task=max_copies_per_task)
+        super().__init__("fair", "greedy", cloning, name="SCA")
 
-    # -- clone allocation -------------------------------------------------------------
+    @property
+    def speedup(self) -> SpeedupFunction:
+        """The speedup function pricing each marginal clone."""
+        return self.redundancy.speedup
 
-    def _phase_pending_count(self, job: Job, phase: Phase) -> int:
-        """Unfinished task count of one phase, used to scale marginal gains."""
-        return job.num_incomplete_tasks(phase)
-
-    def _marginal_gain(self, task: Task, copies: int, pending_in_phase: int) -> float:
-        """Weighted reduction in expected phase time from one more clone."""
-        mean = task.duration_distribution.mean
-        gain = self.speedup.marginal_gain(mean, copies)
-        return task.job.weight * gain / max(1, pending_in_phase)
-
-    def _allocate_clones(
-        self,
-        planned_copies: Dict[str, int],
-        tasks_by_id: Dict[str, Task],
-        free: int,
-    ) -> Dict[str, int]:
-        """Distribute ``free`` machines as clones by greedy marginal gain."""
-        extra: Dict[str, int] = {}
-        if free <= 0 or not planned_copies:
-            return extra
-        counter = itertools.count()
-        heap: List[tuple] = []
-        pending_cache: Dict[tuple, int] = {}
-        for task_id, copies in planned_copies.items():
-            task = tasks_by_id[task_id]
-            key = (task.job.job_id, task.phase)
-            if key not in pending_cache:
-                pending_cache[key] = self._phase_pending_count(task.job, task.phase)
-            gain = self._marginal_gain(task, copies, pending_cache[key])
-            heapq.heappush(heap, (-gain, next(counter), task_id))
-
-        while free > 0 and heap:
-            negative_gain, _, task_id = heapq.heappop(heap)
-            if -negative_gain <= 0:
-                break
-            task = tasks_by_id[task_id]
-            current = planned_copies[task_id] + extra.get(task_id, 0)
-            if current >= self.max_copies_per_task:
-                continue
-            extra[task_id] = extra.get(task_id, 0) + 1
-            free -= 1
-            new_count = current + 1
-            if new_count < self.max_copies_per_task:
-                key = (task.job.job_id, task.phase)
-                gain = self._marginal_gain(task, new_count, pending_cache[key])
-                heapq.heappush(heap, (-gain, next(counter), task_id))
-        return extra
-
-    # -- decision --------------------------------------------------------------------------
-
-    def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
-        """Return the copies to launch at this decision point (see base class)."""
-        free = view.num_free_machines
-        if free <= 0:
-            return []
-        # Step 1: fair-share single copies for every launchable task.
-        base_requests = super().schedule(view)
-        planned: Dict[str, int] = {}
-        tasks_by_id: Dict[str, Task] = {}
-        used = 0
-        for request in base_requests:
-            planned[request.task.task_id] = request.num_copies
-            tasks_by_id[request.task.task_id] = request.task
-            used += request.num_copies
-        # Step 2: spend leftover machines on clones by marginal gain.
-        extra = self._allocate_clones(planned, tasks_by_id, free - used)
-        requests: List[LaunchRequest] = []
-        for task_id, copies in planned.items():
-            total = copies + extra.get(task_id, 0)
-            requests.append(
-                LaunchRequest(task=tasks_by_id[task_id], num_copies=total)
-            )
-        return requests
+    @property
+    def max_copies_per_task(self) -> int:
+        """Cap on simultaneous copies of one task."""
+        return self.redundancy.max_copies_per_task

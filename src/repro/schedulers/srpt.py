@@ -5,33 +5,26 @@ Jobs are served strictly in decreasing order of the online SRPT priority
 has launchable tasks before the next job gets any.  This is the
 ``epsilon -> 0`` limit of SRPTMS+C with cloning disabled, and serves as the
 "prioritisation only, no straggler mitigation" ablation point.
+
+Since the policy-kernel refactor this class is a thin alias for the
+``srpt+greedy+none`` composition (see :mod:`repro.policies`); it produces
+bit-identical results to the historical implementation.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.core.priority import online_priority
-from repro.schedulers.base import SingleCopyScheduler
-from repro.simulation.scheduler_api import SchedulerView
-from repro.workload.job import Job
+from repro.simulation.scheduler_api import ComposedScheduler
 
 __all__ = ["SRPTScheduler"]
 
 
-class SRPTScheduler(SingleCopyScheduler):
-    """Greedy weighted-SRPT ordering of jobs, one copy per task."""
-
-    name = "SRPT"
+class SRPTScheduler(ComposedScheduler):
+    """Greedy weighted-SRPT ordering of jobs (``srpt+greedy+none``)."""
 
     def __init__(self, r: float = 0.0) -> None:
-        if r < 0:
-            raise ValueError(f"r must be non-negative, got {r}")
-        self.r = r
+        super().__init__("srpt", "greedy", "none", r=r, name="SRPT")
 
-    def job_order(self, view: SchedulerView) -> Sequence[Job]:
-        """Alive jobs in this policy's service order (see base class)."""
-        return sorted(
-            view.alive_jobs,
-            key=lambda job: (-online_priority(job, self.r), job.job_id),
-        )
+    @property
+    def r(self) -> float:
+        """The effective-workload std weight (held by the srpt ordering)."""
+        return self.ordering.r

@@ -616,6 +616,12 @@ class SimulationEngine:
             duration,
             work=raw_workload,
         )
+        if task.num_active_copies > 0:
+            # The task already occupies a machine: this launch is redundant
+            # (a clone or a speculative duplicate).  Replacements of
+            # failure-killed copies are not counted -- the killed copy no
+            # longer holds a machine when the task is re-dispatched.
+            self.result.redundant_copies_launched += 1
         task.add_copy(copy)
         cluster.place(copy)
         self.result.total_copies += 1

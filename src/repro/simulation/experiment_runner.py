@@ -4,8 +4,8 @@ This module is the *one* place simulations are executed from.
 :func:`run_simulation` performs a single engine run;
 :class:`ReplicatedResult` aggregates several runs of one configuration;
 :class:`ExperimentRunner` executes whole batches of runs.  (The historical
-``repro.simulation.runner`` module is a thin deprecation shim over these
-names.)
+``repro.simulation.runner`` shim module was removed; import these names
+from here or from the :mod:`repro.simulation` package.)
 
 The paper's evaluation protocol (Section VI) repeats every simulation ten
 times per configuration and sweeps epsilon, r and the cluster size --

@@ -96,6 +96,12 @@ class SimulationResult:
     total_copies: int = 0
     #: Total logical tasks across all jobs (copies beyond this are clones).
     total_tasks: int = 0
+    #: Copies launched for tasks that already had an active copy -- clones
+    #: (SRPTMS+C, SCA) and speculative duplicates (LATE, Mantri) alike.
+    #: Replacement copies of failure-killed tasks are *not* redundant (the
+    #: killed copy no longer occupies a machine).  Engine-maintained, so the
+    #: counter is comparable across all schedulers and policy compositions.
+    redundant_copies_launched: int = 0
     #: Processing time consumed by copies that were killed (redundant work).
     wasted_work: float = 0.0
     #: Processing time consumed by copies that completed (useful work).
@@ -263,6 +269,7 @@ class SimulationResult:
             "seed": self.seed,
             "total_copies": self.total_copies,
             "total_tasks": self.total_tasks,
+            "redundant_copies_launched": self.redundant_copies_launched,
             "wasted_work": self.wasted_work,
             "useful_work": self.useful_work,
             "makespan": self.makespan,
@@ -311,6 +318,7 @@ class SimulationResult:
             "max_flowtime": self.max_flowtime,
             "makespan": self.makespan,
             "cloning_ratio": self.cloning_ratio,
+            "redundant_copies_launched": self.redundant_copies_launched,
             "redundant_work_fraction": self.redundant_work_fraction,
             "average_utilization": self.average_utilization,
             "over_requests": self.over_requests,

@@ -60,8 +60,9 @@ __all__ = [
 
 #: Bump when the canonical description or the entry format changes
 #: incompatibly; old entries then miss (and are recomputed) instead of
-#: being misinterpreted.
-FORMAT_VERSION = 1
+#: being misinterpreted.  Version 2 added
+#: ``SimulationResult.redundant_copies_launched`` to the payload.
+FORMAT_VERSION = 2
 
 
 class UncacheableSpecError(ValueError):
@@ -207,6 +208,7 @@ def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
         num_machines=payload["num_machines"],
         total_copies=payload["total_copies"],
         total_tasks=payload["total_tasks"],
+        redundant_copies_launched=payload["redundant_copies_launched"],
         wasted_work=payload["wasted_work"],
         useful_work=payload["useful_work"],
         makespan=payload["makespan"],

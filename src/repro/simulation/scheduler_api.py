@@ -16,14 +16,19 @@ assumption that only the first and second moments are known a priori.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Union
 
 from repro.workload.job import Job, Phase, Task, TaskCopy
 
 if TYPE_CHECKING:  # pragma: no cover - avoid an import cycle at runtime
+    from repro.policies import (
+        AllocationPolicy,
+        OrderingPolicy,
+        RedundancyPolicy,
+    )
     from repro.simulation.engine import SimulationEngine
 
-__all__ = ["LaunchRequest", "SchedulerView", "Scheduler"]
+__all__ = ["LaunchRequest", "SchedulerView", "Scheduler", "ComposedScheduler"]
 
 
 class LaunchRequest:
@@ -188,3 +193,104 @@ class Scheduler(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ComposedScheduler(Scheduler):
+    """The policy-kernel driver: runs any ordering x allocation x redundancy.
+
+    Every decision point proceeds in two steps: the allocation policy
+    distributes the free machines over the ordering policy's job ranking
+    (routing per-job grants through the redundancy policy's
+    ``expand_grant`` hook when it is share-based), then the redundancy
+    policy's ``finalize`` hook spends the still-free machines on clones or
+    speculative duplicates.  The seven historical schedulers are fixed
+    triples of this driver (see
+    :data:`repro.policies.NAMED_COMPOSITIONS`); their legacy classes are
+    thin subclasses pinning the triple and the historical constructor
+    signature.
+
+    Parameters
+    ----------
+    ordering, allocation, redundancy:
+        Policy registry names (``"fifo"``/``"fair"``/``"srpt"``,
+        ``"greedy"``/``"share"``, ``"none"``/``"clone"``/``"sca"``/
+        ``"late"``/``"mantri"``) or constructed policy instances for
+        non-default parameters.
+    epsilon:
+        Machine-sharing fraction consumed by the ``share`` allocation.
+    r:
+        Standard-deviation weight consumed by the ``srpt`` ordering.
+    seed:
+        Seed of the scheduler's private RNG (the random task subsets and
+        clone spreading of the paper's cloning policy).
+    allow_early_reduce:
+        If True, reduce tasks may be placed before their job's map phase
+        completes (they park without progress) -- the offline algorithm's
+        behaviour, exposed for ablations.
+    name:
+        Result-table name; defaults to the composition label
+        (``"srpt+share+clone"`` style).
+    """
+
+    def __init__(
+        self,
+        ordering: Union[str, "OrderingPolicy"] = "fifo",
+        allocation: Union[str, "AllocationPolicy"] = "greedy",
+        redundancy: Union[str, "RedundancyPolicy"] = "none",
+        *,
+        epsilon: float = 0.6,
+        r: float = 0.0,
+        seed: int = 0,
+        allow_early_reduce: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        # Deferred import: repro.policies imports this module for the
+        # Scheduler/LaunchRequest contract, so importing it at module level
+        # would be cyclic.
+        from repro.policies import (
+            make_allocation,
+            make_ordering,
+            make_redundancy,
+        )
+
+        import numpy as np
+
+        self.ordering = make_ordering(ordering, r=r)
+        self.allocation = make_allocation(allocation, epsilon=epsilon)
+        self.redundancy = make_redundancy(redundancy)
+        self.allow_early_reduce = allow_early_reduce
+        self.tick_interval = self.redundancy.tick_interval
+        self._rng = np.random.default_rng(seed)
+        self.name = name if name is not None else (
+            f"{self.ordering.name}+{self.allocation.name}+{self.redundancy.name}"
+        )
+
+    def on_task_completion(self, task: Task, time: float) -> None:
+        """Forward completion observations to the redundancy policy."""
+        self.redundancy.on_task_completion(task, time)
+
+    def schedule(self, view: SchedulerView) -> List[LaunchRequest]:
+        """Return the copies to launch at this decision point (see base class)."""
+        free = view.num_free_machines
+        if free <= 0:
+            return []
+        planned, used = self.allocation.allocate(
+            view,
+            self.ordering,
+            self.redundancy,
+            self._rng,
+            self.allow_early_reduce,
+        )
+        return self.redundancy.finalize(
+            view,
+            free - used,
+            planned,
+            self._rng,
+            self.allocation.shares_machines,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComposedScheduler({self.ordering.name!r}, "
+            f"{self.allocation.name!r}, {self.redundancy.name!r})"
+        )

@@ -14,8 +14,9 @@ The layer every comparative evaluation goes through:
 * :mod:`~repro.study.specfile` -- strict TOML/JSON spec files, so new
   sweeps need a file rather than a driver
   (``repro-mapreduce sweep --spec study.toml``);
-* :mod:`~repro.study.presets` -- all nine paper drivers as ready-made
-  studies (:data:`~repro.study.presets.STUDY_PRESETS`).
+* :mod:`~repro.study.presets` -- the paper drivers and the policy-grid
+  sweep as ready-made studies
+  (:data:`~repro.study.presets.STUDY_PRESETS`).
 """
 
 from repro.study.core import (

@@ -60,6 +60,7 @@ from typing import (
     Union,
 )
 
+from repro.policies import parse_composition
 from repro.scenarios import (
     DEFAULT_MEAN_REPAIR,
     DEFAULT_SLOWDOWN_DURATION,
@@ -153,8 +154,31 @@ _SCHEDULER_BUILDERS = {
     "Offline": _build_offline,
 }
 
-#: The policy names a study's ``schedulers`` axis accepts.
+#: The policy names a study's ``schedulers`` axis accepts.  Beyond these,
+#: any policy-kernel composition triple ``"<ordering>+<allocation>+
+#: <redundancy>"`` (e.g. ``"srpt+greedy+late"``, ``"fifo+share+clone"``;
+#: see :mod:`repro.policies`) is accepted too -- the triple consumes the
+#: point's ``epsilon`` (share allocation) and ``r`` (srpt ordering) unless
+#: overridden by per-ref kwargs.
 SCHEDULER_NAMES: Tuple[str, ...] = tuple(_SCHEDULER_BUILDERS)
+
+
+def _build_composition(
+    name: str, point: "StudyPoint", kwargs: Dict[str, Any]
+) -> SchedulerSpec:
+    """SchedulerSpec for a policy-kernel triple (``ordering+allocation+redundancy``)."""
+    from repro.simulation.scheduler_api import ComposedScheduler
+
+    ordering, allocation, redundancy = parse_composition(name)
+    composed_kwargs: Dict[str, Any] = {
+        "ordering": ordering,
+        "allocation": allocation,
+        "redundancy": redundancy,
+        "epsilon": point.epsilon,
+        "r": point.r,
+    }
+    composed_kwargs.update(kwargs)
+    return SchedulerSpec(ComposedScheduler, composed_kwargs)
 
 
 @dataclass(frozen=True)
@@ -174,10 +198,15 @@ class SchedulerRef:
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.name not in _SCHEDULER_BUILDERS:
+        if (
+            self.name not in _SCHEDULER_BUILDERS
+            and parse_composition(self.name) is None
+        ):
             known = ", ".join(sorted(_SCHEDULER_BUILDERS))
             raise ValueError(
-                f"unknown scheduler {self.name!r}; known schedulers: {known}"
+                f"unknown scheduler {self.name!r}; known schedulers: {known}, "
+                "or a policy-kernel triple like 'srpt+greedy+late' "
+                "(<ordering>+<allocation>+<redundancy>, see repro.policies)"
             )
         if not self.label:
             object.__setattr__(self, "label", self.default_label())
@@ -214,7 +243,10 @@ class SchedulerRef:
 
     def build(self, point: "StudyPoint") -> SchedulerSpec:
         """The picklable scheduler recipe for one study point."""
-        return _SCHEDULER_BUILDERS[self.name](point, dict(self.kwargs))
+        builder = _SCHEDULER_BUILDERS.get(self.name)
+        if builder is not None:
+            return builder(point, dict(self.kwargs))
+        return _build_composition(self.name, point, dict(self.kwargs))
 
 
 SchedulerLike = Union[str, Mapping[str, Any], SchedulerRef]

@@ -10,9 +10,11 @@ whose ``render()`` output is byte-identical to the pre-Study drivers
 The thin ``run_*`` wrappers in :mod:`repro.experiments` delegate here, so
 presets are the one place driver sweeps are defined.
 
-:data:`STUDY_PRESETS` registers all nine by their CLI names; each entry
-exposes ``build(config)`` (the study itself, e.g. to dump as a spec file)
-and ``report(config)`` (run + render).
+:data:`STUDY_PRESETS` registers all nine by their CLI names -- plus the
+``policy-grid`` sweep of the policy kernel (novel ordering x allocation x
+redundancy compositions vs SRPTMS+C across scenarios); each entry exposes
+``build(config)`` (the study itself, e.g. to dump as a spec file) and
+``report(config)`` (run + render).
 """
 
 from __future__ import annotations
@@ -48,6 +50,8 @@ __all__ = [
     "compute_offline_bound",
     "scenario_sweep_study",
     "compute_scenario_sweep",
+    "policy_grid_study",
+    "compute_policy_grid",
 ]
 
 
@@ -57,16 +61,7 @@ def _config(config: Optional[ExperimentConfig]) -> ExperimentConfig:
 
 def _base_study_kwargs(config: ExperimentConfig) -> Dict[str, object]:
     """The scalar knobs every google-trace study inherits from a config."""
-    return dict(
-        scenarios=(config.scenario,),
-        seeds=config.seeds,
-        scale=config.scale,
-        epsilon=config.epsilon,
-        r=config.r,
-        machines=config.num_machines,
-        trace_seed=config.trace_seed,
-        within_job_cv=config.within_job_cv,
-    )
+    return config.study_kwargs()
 
 
 def _run(study: Study, config: ExperimentConfig, select=None) -> ResultSet:
@@ -483,6 +478,85 @@ def compute_scenario_sweep(
     )
 
 
+# --------------------------------------------------------------- policy grid
+
+
+def policy_grid_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    grid: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence[str]] = None,
+) -> Study:
+    """Novel policy compositions + SRPTMS+C across scenario presets.
+
+    The scheduler axis holds the reference (``SRPTMS+C``) followed by the
+    composition triples of the grid (``"srpt+greedy+late"`` style, see
+    :mod:`repro.policies`); the scenario axis holds named presets, so the
+    whole study round-trips through spec files.
+    """
+    from repro.experiments.policy_grid import (
+        DEFAULT_GRID,
+        DEFAULT_GRID_SCENARIOS,
+        REFERENCE_SCHEDULER,
+    )
+
+    config = _config(config)
+    grid = tuple(grid) if grid is not None else DEFAULT_GRID
+    scenarios = (
+        tuple(scenarios) if scenarios is not None else DEFAULT_GRID_SCENARIOS
+    )
+    kwargs = _base_study_kwargs(config)
+    kwargs["scenarios"] = scenarios
+    return Study(
+        name="policy-grid",
+        schedulers=(REFERENCE_SCHEDULER,) + grid,
+        **kwargs,
+    )
+
+
+def compute_policy_grid(
+    config: ExperimentConfig,
+    *,
+    grid: Sequence[str],
+    scenarios: Sequence[str],
+):
+    """Run the policy-grid study and assemble its result object."""
+    from repro.experiments.policy_grid import (
+        PolicyGridResult,
+        REFERENCE_SCHEDULER,
+    )
+
+    study = policy_grid_study(config, grid=grid, scenarios=scenarios)
+    results = _run(study, config)
+    names = (REFERENCE_SCHEDULER,) + tuple(grid)
+    scenario_labels = tuple(ref.label for ref in study.scenarios)
+    means: Dict[str, Dict[str, float]] = {}
+    weighted: Dict[str, Dict[str, float]] = {}
+    redundant: Dict[str, Dict[str, float]] = {}
+    for label in scenario_labels:
+        means[label] = {}
+        weighted[label] = {}
+        redundant[label] = {}
+        for name in names:
+            group = results.filter(scenario=label, scheduler=name)
+            replicated = _replicated(group)
+            means[label][name] = replicated.mean_flowtime
+            weighted[label][name] = replicated.weighted_mean_flowtime
+            redundant[label][name] = float(
+                np.mean(
+                    [r.redundant_copies_launched for r in group.results]
+                )
+            )
+    return PolicyGridResult(
+        scenarios=scenario_labels,
+        compositions=tuple(grid),
+        reference=REFERENCE_SCHEDULER,
+        mean_flowtimes=means,
+        weighted_mean_flowtimes=weighted,
+        redundant_copies=redundant,
+    )
+
+
 # ------------------------------------------------------------------- registry
 
 
@@ -547,6 +621,12 @@ def _scenario_sweep_report(config: Optional[ExperimentConfig] = None) -> str:
     return run_scenario_sweep(config).render()
 
 
+def _policy_grid_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.policy_grid import run_policy_grid
+
+    return run_policy_grid(config).render()
+
+
 def _default_figure1_study(config: Optional[ExperimentConfig] = None) -> Study:
     from repro.experiments.figure1 import DEFAULT_EPSILONS
 
@@ -590,7 +670,7 @@ def _default_scenario_sweep_study(
     )
 
 
-#: All nine legacy drivers, by their CLI names.
+#: All nine legacy drivers plus the policy-grid sweep, by their CLI names.
 STUDY_PRESETS: Dict[str, StudyPreset] = {
     "table2": StudyPreset("table2", table2_study, _table2_report),
     "figure1": StudyPreset("figure1", _default_figure1_study, _figure1_report),
@@ -604,6 +684,9 @@ STUDY_PRESETS: Dict[str, StudyPreset] = {
     ),
     "scenario-sweep": StudyPreset(
         "scenario-sweep", _default_scenario_sweep_study, _scenario_sweep_report
+    ),
+    "policy-grid": StudyPreset(
+        "policy-grid", policy_grid_study, _policy_grid_report
     ),
 }
 

@@ -58,6 +58,7 @@ DEFAULT_METRICS: Tuple[str, ...] = (
     "max_flowtime",
     "makespan",
     "cloning_ratio",
+    "redundant_copies_launched",
 )
 
 MetricLike = Union[str, Callable[[SimulationResult], float]]

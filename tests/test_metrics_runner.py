@@ -151,26 +151,10 @@ class TestRunner:
                 "weighted_mean_flowtime"} <= set(summary)
 
 
-class TestRunnerShim:
-    """repro.simulation.runner is a deprecation shim over experiment_runner."""
+class TestRunnerShimRemoved:
+    """The repro.simulation.runner deprecation shim (PR 4) is gone."""
 
-    def test_names_forward_with_deprecation_warning(self):
-        import warnings
+    def test_shim_module_no_longer_importable(self):
+        import importlib.util
 
-        import repro.simulation.runner as shim
-        from repro.simulation import experiment_runner
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert shim.run_simulation is experiment_runner.run_simulation
-            assert shim.run_replications is experiment_runner.run_replications
-            assert shim.ReplicatedResult is experiment_runner.ReplicatedResult
-        assert any(
-            issubclass(warning.category, DeprecationWarning) for warning in caught
-        )
-
-    def test_unknown_attribute_raises(self):
-        import repro.simulation.runner as shim
-
-        with pytest.raises(AttributeError):
-            shim.no_such_name
+        assert importlib.util.find_spec("repro.simulation.runner") is None

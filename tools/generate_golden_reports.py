@@ -22,6 +22,7 @@ from repro.experiments import (
     run_figure5,
     run_figure6,
     run_offline_bound,
+    run_policy_grid,
     run_scenario_sweep,
     run_scheduler_comparison,
     run_table2,
@@ -54,6 +55,7 @@ def generate() -> dict:
             speed_spreads=GOLDEN_SWEEP_SPREADS,
             failure_rates=GOLDEN_SWEEP_RATES,
         ).render(),
+        "policy_grid": run_policy_grid(config).render(),
     }
     comparison = run_scheduler_comparison(config)
     reports["figure4"] = run_figure4(config, results=comparison).render()
