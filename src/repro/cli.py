@@ -63,6 +63,7 @@ from repro.experiments import (
     run_figure4,
     run_figure5,
     run_figure6,
+    run_dag_redundancy,
     run_offline_bound,
     run_policy_grid,
     run_scenario_sweep,
@@ -115,13 +116,15 @@ def build_parser() -> argparse.ArgumentParser:
             "scenario-sweep",
             "policy",
             "policy-grid",
+            "dag-redundancy",
             "sweep",
             "all",
         ],
         help=(
             "which table/figure to regenerate, 'sweep' for a spec-file "
-            "study, 'policy' for one policy-kernel composition, or "
-            "'policy-grid' for the composition sweep"
+            "study, 'policy' for one policy-kernel composition, "
+            "'policy-grid' for the composition sweep, or 'dag-redundancy' "
+            "for the redundancy sweep on stage-DAG workloads"
         ),
     )
     parser.add_argument(
@@ -424,11 +427,11 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         raise SystemExit(
             f"scenario flags do not apply to {args.experiment!r}: table2 is "
             "pure trace statistics, offline-bound validates the "
-            "homogeneous-cluster bounds, scenario-sweep and policy-grid "
-            "define their own scenario axes (only --repair-time applies to "
-            "scenario-sweep), 'sweep' takes its scenarios from the spec "
-            "file, and 'all' mixes both kinds -- run the figure commands "
-            "individually instead"
+            "homogeneous-cluster bounds, scenario-sweep, policy-grid and "
+            "dag-redundancy define their own scenario axes (only "
+            "--repair-time applies to scenario-sweep), 'sweep' takes its "
+            "scenarios from the spec file, and 'all' mixes both kinds -- "
+            "run the figure commands individually instead"
         )
     return ExperimentConfig(
         scale=args.scale,
@@ -530,6 +533,8 @@ def _run_one(
         return run_offline_bound(config).render()
     if name == "policy-grid":
         return run_policy_grid(config).render()
+    if name == "dag-redundancy":
+        return run_dag_redundancy(config).render()
     if name == "scenario-sweep":
         if repair_time is not None:
             return run_scenario_sweep(config, mean_repair=repair_time).render()

@@ -18,6 +18,10 @@ from repro.experiments.figure5 import Figure5Result, run_figure5
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.offline_bound import OfflineBoundResult, run_offline_bound
 from repro.experiments.policy_grid import PolicyGridResult, run_policy_grid
+from repro.experiments.dag_redundancy import (
+    DagRedundancyResult,
+    run_dag_redundancy,
+)
 from repro.experiments.scenario_sweep import ScenarioSweepResult, run_scenario_sweep
 
 __all__ = [
@@ -25,6 +29,8 @@ __all__ = [
     "run_scenario_sweep",
     "PolicyGridResult",
     "run_policy_grid",
+    "DagRedundancyResult",
+    "run_dag_redundancy",
     "ExperimentConfig",
     "run_scheduler_comparison",
     "Table2Result",

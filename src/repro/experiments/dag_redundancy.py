@@ -1,0 +1,210 @@
+"""DAG-redundancy experiment: clone vs speculate vs checkpoint under failures.
+
+The stage-DAG job model (multi-round chains, fan-out/fan-in diamonds) and
+the ``checkpoint`` redundancy policy open a design axis the paper's
+two-phase model could not express: when machines fail mid-DAG, is it
+better to race redundant copies (``clone``), duplicate detected stragglers
+(``late``), or checkpoint partial work so the replacement copy resumes
+instead of restarting (``checkpoint``)?  This driver sweeps those
+redundancy policies -- under a fixed SRPT+greedy base -- across
+failure-heavy scenarios on the two DAG stream workloads, and reports mean
+flowtimes plus the checkpoint accounting (resumes, work saved).  The sweep
+itself is the ``dag-redundancy`` :class:`~repro.study.core.Study` preset,
+so spec files and the results cache apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_columns
+
+__all__ = [
+    "DagRedundancyResult",
+    "run_dag_redundancy",
+    "DEFAULT_REDUNDANCIES",
+    "DEFAULT_DAG_WORKLOADS",
+    "DEFAULT_FAILURE_SCENARIOS",
+    "BASELINE_REDUNDANCY",
+]
+
+#: The redundancy axis of the sweep: the no-redundancy baseline, the
+#: paper's cloning, LATE speculation, and opportunistic checkpointing,
+#: each composed over the same SRPT ordering + greedy allocation so the
+#: redundancy policy is the only varying factor.
+DEFAULT_REDUNDANCIES: Tuple[str, ...] = ("none", "clone", "late", "checkpoint")
+
+#: The baseline the checkpoint verdict is measured against.
+BASELINE_REDUNDANCY = "none"
+
+#: The two DAG stream workloads (labelled knob tables over
+#: :data:`repro.study.core.STREAM_FACTORIES`): a 3-round shuffle chain and
+#: a fan-out/fan-in diamond, both small enough for smoke-scale goldens.
+DEFAULT_DAG_WORKLOADS: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    (
+        "chain",
+        {
+            "kind": "stream",
+            "factory": "dag_chain",
+            "num_jobs": 20,
+            "num_rounds": 3,
+            "arrival_rate": 0.05,
+            "mean_tasks_per_round": 3.0,
+            "mean_duration": 15.0,
+            "cv": 0.3,
+            "seed": 1,
+        },
+    ),
+    (
+        "diamond",
+        {
+            "kind": "stream",
+            "factory": "dag_diamond",
+            "num_jobs": 20,
+            "fan_out": 3,
+            "arrival_rate": 0.05,
+            "mean_tasks_per_branch": 2.0,
+            "mean_duration": 15.0,
+            "cv": 0.3,
+            "seed": 2,
+        },
+    ),
+)
+
+#: The failure-heavy scenario axis (knob tables, spec-file serialisable).
+DEFAULT_FAILURE_SCENARIOS: Tuple[Tuple[str, Dict[str, float]], ...] = (
+    ("fail-lo", {"failure_rate": 0.002, "mean_repair": 10.0}),
+    ("fail-hi", {"failure_rate": 0.01, "mean_repair": 10.0}),
+)
+
+#: Cluster size of the sweep (fixed: the DAG workloads do not scale with
+#: the google-trace ``scale`` knob).  Large enough that LATE's speculative
+#: cap (10% of the cluster) rounds to at least one machine.
+DEFAULT_DAG_MACHINES = 12
+
+
+def composition_of(redundancy: str) -> str:
+    """The scheduler-axis triple a redundancy policy runs as."""
+    return f"srpt+greedy+{redundancy}"
+
+
+@dataclass(frozen=True)
+class DagRedundancyResult:
+    """Per-scenario, per-workload flowtimes of every redundancy policy."""
+
+    scenarios: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    redundancies: Tuple[str, ...]
+    baseline: str
+    #: ``mean_flowtimes[scenario][workload][redundancy]``.
+    mean_flowtimes: Dict[str, Dict[str, Dict[str, float]]]
+    #: ``failure_kills[scenario][redundancy]`` -- replication-mean copies
+    #: killed by machine failures, summed over workloads.
+    failure_kills: Dict[str, Dict[str, float]]
+    #: ``checkpoint_resumes[scenario][redundancy]`` -- replication-mean
+    #: checkpoint resumes, summed over workloads (non-zero only for the
+    #: ``checkpoint`` policy).
+    checkpoint_resumes: Dict[str, Dict[str, float]]
+    #: ``work_saved[scenario][redundancy]`` -- replication-mean raw work
+    #: recovered from checkpoints, summed over workloads.
+    work_saved: Dict[str, Dict[str, float]]
+
+    def advantage(self, scenario: str, workload: str, redundancy: str) -> float:
+        """Percent mean-flowtime reduction of ``redundancy`` vs the baseline."""
+        baseline = self.mean_flowtimes[scenario][workload][self.baseline]
+        value = self.mean_flowtimes[scenario][workload][redundancy]
+        return 100.0 * (baseline - value) / baseline
+
+    def render(self) -> str:
+        """Human-readable report of this experiment's results."""
+        blocks: List[str] = []
+        for scenario in self.scenarios:
+            series: Dict[str, Sequence[float]] = {}
+            for workload in self.workloads:
+                series[f"{workload} flowtime"] = [
+                    self.mean_flowtimes[scenario][workload][name]
+                    for name in self.redundancies
+                ]
+                series[f"{workload} vs none (%)"] = [
+                    self.advantage(scenario, workload, name)
+                    for name in self.redundancies
+                ]
+            series["failure kills"] = [
+                self.failure_kills[scenario][name] for name in self.redundancies
+            ]
+            series["ckpt resumes"] = [
+                self.checkpoint_resumes[scenario][name]
+                for name in self.redundancies
+            ]
+            series["work saved"] = [
+                self.work_saved[scenario][name] for name in self.redundancies
+            ]
+            table = render_columns(
+                "redundancy",
+                list(self.redundancies),
+                series,
+                title=f"DAG redundancy -- scenario: {scenario}",
+                precision=1,
+                column_width=18,
+                x_width=14,
+            )
+            winners = [
+                name
+                for name in self.redundancies
+                if name != self.baseline
+                and all(
+                    self.mean_flowtimes[scenario][w][name]
+                    < self.mean_flowtimes[scenario][w][self.baseline]
+                    for w in self.workloads
+                )
+            ]
+            verdict = (
+                "beats none on every workload: " + ", ".join(winners)
+                if winners
+                else "beats none on every workload: (none)"
+            )
+            blocks.append(table + "\n" + verdict)
+        footer = (
+            "redundancy policy composed as srpt+greedy+<redundancy> "
+            "(repro.policies); vs none (%) = mean-flowtime reduction "
+            "relative to the single-copy baseline, positive is better; "
+            "work saved = raw work recovered from checkpoints after "
+            "failure kills"
+        )
+        blocks.append(footer)
+        return "\n\n".join(blocks)
+
+
+def run_dag_redundancy(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    redundancies: Sequence[str] = DEFAULT_REDUNDANCIES,
+    scenarios: Sequence[Tuple[str, Dict[str, float]]] = DEFAULT_FAILURE_SCENARIOS,
+    workloads: Sequence[Tuple[str, Dict[str, object]]] = DEFAULT_DAG_WORKLOADS,
+) -> DagRedundancyResult:
+    """Sweep redundancy policies over DAG workloads under failure scenarios.
+
+    A thin wrapper over the ``dag-redundancy``
+    :class:`~repro.study.core.Study` preset (:mod:`repro.study.presets`):
+    one axes product of ``redundancies x workloads x scenarios x seeds``
+    through a single :meth:`~repro.study.core.Study.run` call, so
+    ``config.workers`` and the results cache apply with bit-identical
+    results.
+    """
+    from repro.study.presets import compute_dag_redundancy
+
+    config = config if config is not None else ExperimentConfig.default_bench()
+    if not redundancies:
+        raise ValueError("at least one redundancy policy is required")
+    if not scenarios:
+        raise ValueError("at least one scenario is required")
+    if not workloads:
+        raise ValueError("at least one workload is required")
+    return compute_dag_redundancy(
+        config,
+        redundancies=tuple(redundancies),
+        scenarios=tuple(scenarios),
+        workloads=tuple(workloads),
+    )

@@ -11,14 +11,15 @@ pluggable:
   over that order?  (``greedy`` one-per-task / ``share`` epsilon-fraction
   shares)
 * :mod:`~repro.policies.redundancy` -- when is a second copy of a task
-  worth a machine?  (``none`` / ``clone`` paper cloning / ``sca``
-  marginal-gain cloning / ``late`` / ``mantri`` speculation)
+  worth a machine?  (``none`` / ``checkpoint`` opportunistic
+  checkpointing / ``clone`` paper cloning / ``sca`` marginal-gain
+  cloning / ``late`` / ``mantri`` speculation)
 
 Any triple runs through
 :class:`~repro.simulation.scheduler_api.ComposedScheduler`; the seven
 historical schedulers are the named points of :data:`NAMED_COMPOSITIONS`
 (their classes are thin aliases producing bit-identical results), and the
-remaining 23 cells of the 3 x 2 x 5 grid are the novel design space the
+remaining cells of the 3 x 2 x 6 grid are the novel design space the
 ``policy-grid`` study preset sweeps.
 
 A composition is written ``"<ordering>+<allocation>+<redundancy>"``, e.g.
@@ -49,6 +50,7 @@ from repro.policies.ordering import (
     SRPTOrdering,
 )
 from repro.policies.redundancy import (
+    CheckpointRedundancy,
     LATESpeculation,
     MantriSpeculation,
     NoRedundancy,
@@ -68,6 +70,7 @@ __all__ = [
     "EpsilonShareAllocation",
     "RedundancyPolicy",
     "NoRedundancy",
+    "CheckpointRedundancy",
     "PaperCloning",
     "SCACloning",
     "LATESpeculation",
@@ -103,6 +106,7 @@ ALLOCATION_POLICIES: Dict[str, Type[AllocationPolicy]] = {
 #: The redundancy axis, by registry name.
 REDUNDANCY_POLICIES: Dict[str, Type[RedundancyPolicy]] = {
     "none": NoRedundancy,
+    "checkpoint": CheckpointRedundancy,
     "clone": PaperCloning,
     "sca": SCACloning,
     "late": LATESpeculation,

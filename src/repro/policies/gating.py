@@ -1,44 +1,60 @@
-"""Map/Reduce launch gating shared by every policy and scheduler.
+"""Stage-readiness launch gating shared by every policy and scheduler.
 
 The precedence rule of Section V-B -- reduce tasks of a job become
-launchable only once the job's map phase has *completed* -- used to be
-implemented twice: once in ``schedulers/base.py`` for the baseline
-schedulers and once in ``core/srptms_c.py`` for the paper's algorithm.
-This module is now the single implementation; both the policy kernel and
-the legacy scheduler entry points call these helpers.
+launchable only once the job's map phase has *completed* -- generalises to
+the stage DAG as: a stage's tasks are launchable once every *predecessor*
+stage has completed (the stage is *ready*).  Map→reduce is the 2-node
+instance: stage 0 is always ready, stage 1 becomes ready when stage 0
+completes.  This module is the single implementation; both the policy
+kernel and the legacy scheduler entry points call these helpers.
 
 ``allow_early_reduce=True`` switches to the park-on-machine behaviour of
-the offline algorithm (reduce copies may occupy machines before the map
-phase completes, making no progress), which SRPTMS+C exposes as the
-``schedule_reduce_before_map_completion`` ablation knob.
+the offline algorithm (copies of not-yet-ready stages may occupy machines
+before their predecessors complete, making no progress), which SRPTMS+C
+exposes as the ``schedule_reduce_before_map_completion`` ablation knob.
+Ready stages are always preferred: parking candidates are only offered
+when no ready stage has unscheduled work, exactly the maps-first rule of
+the two-phase model.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List
 
-from repro.workload.job import Job, Phase, Task
+from repro.workload.job import Job, Task
 
 __all__ = ["has_launchable_tasks", "launchable_tasks", "schedulable_jobs"]
 
 
 def has_launchable_tasks(job: Job, allow_early_reduce: bool = False) -> bool:
     """O(1) counter-based test for :func:`launchable_tasks` being non-empty."""
-    if job.num_unscheduled_map_tasks > 0:
+    if job.num_unscheduled_ready_tasks > 0:
         return True
-    return (
-        (job.map_phase_complete or allow_early_reduce)
-        and job.num_unscheduled_reduce_tasks > 0
-    )
+    return allow_early_reduce and job.num_unscheduled_tasks > 0
 
 
 def launchable_tasks(job: Job, allow_early_reduce: bool = False) -> List[Task]:
-    """Unscheduled tasks of ``job`` that can run right now (maps first)."""
-    pending_maps = job.unscheduled_tasks(Phase.MAP)
-    if pending_maps:
-        return pending_maps
-    if job.map_phase_complete or allow_early_reduce:
-        return job.unscheduled_tasks(Phase.REDUCE)
+    """Unscheduled tasks of ``job`` that can run right now (ready stages first).
+
+    Returns the unscheduled tasks of every *ready* stage in stage order.
+    Only when no ready stage has unscheduled work does
+    ``allow_early_reduce`` offer the unscheduled tasks of not-yet-ready
+    stages (launched copies park on their machines without progressing).
+    """
+    if job.num_unscheduled_ready_tasks > 0:
+        tasks: List[Task] = []
+        for stage in range(job.num_stages):
+            if job.stage_is_ready(stage) and job.num_unscheduled_stage_tasks(stage):
+                tasks.extend(job.unscheduled_stage_tasks(stage))
+        return tasks
+    if allow_early_reduce and job.num_unscheduled_tasks > 0:
+        tasks = []
+        for stage in range(job.num_stages):
+            if not job.stage_is_ready(stage) and job.num_unscheduled_stage_tasks(
+                stage
+            ):
+                tasks.extend(job.unscheduled_stage_tasks(stage))
+        return tasks
     return []
 
 
@@ -52,11 +68,8 @@ def schedulable_jobs(
     """
     result: List[Job] = []
     for job in jobs:
-        if job.num_unscheduled_map_tasks > 0:
-            result.append(job)
-        elif (
-            (job.map_phase_complete or allow_early_reduce)
-            and job.num_unscheduled_reduce_tasks > 0
+        if job.num_unscheduled_ready_tasks > 0 or (
+            allow_early_reduce and job.num_unscheduled_tasks > 0
         ):
             result.append(job)
     return result

@@ -67,7 +67,7 @@ from repro.scenarios import ScenarioSpec, machine_process_rng
 from repro.simulation.events import Event, EventHeap, EventType
 from repro.simulation.metrics import JobRecord, SimulationResult
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
-from repro.workload.job import Job, Phase, Task, TaskCopy
+from repro.workload.job import Job, Task, TaskCopy
 from repro.workload.stream import TraceStream
 from repro.workload.trace import Trace
 
@@ -149,6 +149,17 @@ class SimulationEngine:
         self.seed = seed
         self.max_time = max_time
         self.check_invariants = check_invariants
+        # Checkpointing redundancy: the composed scheduler exposes the
+        # interval when its redundancy policy is "checkpoint"; the engine
+        # then rounds a failure-killed copy's completed work down to an
+        # interval multiple and resumes the task from there (see
+        # _handle_machine_failure / _launch_copy).
+        interval = getattr(scheduler, "checkpoint_interval", None)
+        if interval is not None and interval <= 0:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {interval}"
+            )
+        self._checkpoint_interval: Optional[float] = interval
 
         self.now: float = 0.0
         self._sequence = itertools.count()
@@ -165,13 +176,14 @@ class SimulationEngine:
         self._specs_drawn = 0
         self._last_arrival_time = 0.0
         self._alive: Dict[int, Job] = {}
-        # Pre-sampled task workloads, one buffer per (job, phase).  Buffers
-        # are filled with a single vectorised RNG call per job phase at
+        # Pre-sampled task workloads, one buffer per (job, stage).  Buffers
+        # are filled with a single vectorised RNG call per job stage at
         # arrival (and refilled in batches when clones exhaust them), which
-        # is far cheaper than one Generator call per copy.
-        # Keyed by (job_id, is_reduce): bool keys hash faster than Phase
-        # members on the per-launch hot path.
-        self._workload_buffers: Dict[Tuple[int, bool], List[float]] = {}
+        # is far cheaper than one Generator call per copy.  For the
+        # canonical 2-node DAG the stage indices 0/1 hash identically to
+        # the old (job_id, is_reduce) bool keys, and stages are sampled in
+        # index order (map then reduce), so RNG consumption is unchanged.
+        self._workload_buffers: Dict[Tuple[int, int], List[float]] = {}
         self._completed = 0
         self._arrived = 0
         self._next_tick: Optional[float] = None
@@ -332,24 +344,24 @@ class SimulationEngine:
         self.scheduler.on_job_arrival(job, self.now)
 
     def _presample_workloads(self, job: Job) -> None:
-        """Draw one workload per task of ``job`` in two vectorised calls."""
-        for phase in (Phase.MAP, Phase.REDUCE):
-            count = job.spec.num_tasks(phase)
+        """Draw one workload per task of ``job``, one vectorised call per stage."""
+        for stage_index, stage in enumerate(job.stage_specs):
+            count = stage.num_tasks
             if count == 0:
                 continue
-            buffer = job.spec.duration(phase).sample_list(self.rng, count)
+            buffer = stage.duration.sample_list(self.rng, count)
             # Reversed so pop() consumes values in draw order.
             buffer.reverse()
-            self._workload_buffers[(job.job_id, phase is Phase.REDUCE)] = buffer
+            self._workload_buffers[(job.job_id, stage_index)] = buffer
 
     def _next_workload(self, task: Task) -> float:
-        """Next pre-sampled workload for ``task``'s phase (refill on demand)."""
-        key = (task.job.job_id, task.phase is Phase.REDUCE)
+        """Next pre-sampled workload for ``task``'s stage (refill on demand)."""
+        key = (task.job.job_id, task.stage)
         buffer = self._workload_buffers.get(key)
         if not buffer:
             # Clones (or relaunches) exhausted the arrival batch; refill
-            # with another phase-sized batch to keep RNG calls rare.
-            count = max(task.job.spec.num_tasks(task.phase), 1)
+            # with another stage-sized batch to keep RNG calls rare.
+            count = max(task.job.stage_specs[task.stage].num_tasks, 1)
             buffer = task.duration_distribution.sample_list(self.rng, count)
             buffer.reverse()
             self._workload_buffers[key] = buffer
@@ -385,36 +397,39 @@ class SimulationEngine:
 
         job = task.job
         job_finished = job.notify_task_completion(task, self.now)
-        if task.phase is Phase.MAP and job.map_phase_complete:
-            self._unblock_reduce_copies(job)
+        newly_ready = job.take_newly_ready_stages()
+        if newly_ready:
+            self._unblock_parked_copies(job, newly_ready)
         self.scheduler.on_task_completion(task, self.now)
         if job_finished:
             self._finalize_job(job)
 
-    def _unblock_reduce_copies(self, job: Job) -> None:
-        """Start reduce copies that were parked behind the map phase."""
-        for task in job.reduce_tasks:
-            for copy in task.copies:
-                if copy.is_active and copy.is_blocked:
-                    copy.start(self.now)
-                    if self._dynamic:
-                        # The machine's effective speed may have changed since
-                        # launch; price the parked work at the current rate.
-                        machine = self.cluster.machine(copy.machine_id)
-                        copy.workload = copy.work / machine.effective_speed
-                        self._running[copy.machine_id] = _RunningCopy(
-                            copy=copy,
-                            work_remaining=copy.work,
-                            settled_at=self.now,
-                            rate=machine.effective_speed,
-                        )
-                    self._push_finish(copy, self.now + copy.workload)
+    def _unblock_parked_copies(self, job: Job, stages: Sequence[int]) -> None:
+        """Start copies parked behind the now-complete predecessors of ``stages``."""
+        for stage in stages:
+            for task in job.stage_tasks[stage]:
+                for copy in task.copies:
+                    if copy.is_active and copy.is_blocked:
+                        copy.start(self.now)
+                        if self._dynamic:
+                            # The machine's effective speed may have changed
+                            # since launch; price the parked work at the
+                            # current rate.
+                            machine = self.cluster.machine(copy.machine_id)
+                            copy.workload = copy.work / machine.effective_speed
+                            self._running[copy.machine_id] = _RunningCopy(
+                                copy=copy,
+                                work_remaining=copy.work,
+                                settled_at=self.now,
+                                rate=machine.effective_speed,
+                            )
+                        self._push_finish(copy, self.now + copy.workload)
 
     def _finalize_job(self, job: Job) -> None:
         del self._alive[job.job_id]
         self._completed += 1
-        self._workload_buffers.pop((job.job_id, False), None)
-        self._workload_buffers.pop((job.job_id, True), None)
+        for stage_index in range(job.num_stages):
+            self._workload_buffers.pop((job.job_id, stage_index), None)
         self.result.add_record(
             JobRecord(
                 job_id=job.job_id,
@@ -425,6 +440,7 @@ class SimulationEngine:
                 num_reduce_tasks=job.spec.num_reduce_tasks,
                 copies_launched=job.total_copies_launched(),
                 map_phase_completion_time=job.map_phase_completion_time,
+                num_stages=job.num_stages,
             )
         )
         self.scheduler.on_job_completion(job, self.now)
@@ -477,8 +493,11 @@ class SimulationEngine:
             elapsed = copy.elapsed(self.now)
             copy.kill(self.now)
             self.cluster.release(copy, elapsed=elapsed)
-            self._running.pop(machine_id, None)
-            self.result.wasted_work += elapsed
+            entry = self._running.pop(machine_id, None)
+            if self._checkpoint_interval is not None and elapsed > 0.0:
+                self._checkpoint_killed_copy(copy, entry, elapsed)
+            else:
+                self.result.wasted_work += elapsed
             self.result.copies_killed_by_failure += 1
         self.cluster.mark_down(machine_id)
         self.result.machine_failures += 1
@@ -492,6 +511,46 @@ class SimulationEngine:
             )
         # A failure event injected without a failure process (tests) leaves
         # the machine down for the rest of the run.
+
+    def _checkpoint_killed_copy(
+        self, copy: TaskCopy, entry: Optional[_RunningCopy], elapsed: float
+    ) -> None:
+        """Round a failure-killed copy's completed work down to a checkpoint.
+
+        The raw work the copy processed before the failure, together with
+        whatever the task had checkpointed from earlier kills, is rounded
+        *down* to a multiple of the checkpoint interval -- that much is
+        durably saved (the next copy of the task resumes from it, see
+        :meth:`_launch_copy`).  The copy's wall-clock time splits
+        proportionally: the saved fraction counts as useful work, the
+        work since the last checkpoint is wasted.
+        """
+        task = copy.task
+        interval = self._checkpoint_interval
+        if entry is not None:
+            # Dynamic ledger: raw work done = total minus what remains at
+            # the rates actually experienced since the last settle.
+            remaining = max(
+                0.0,
+                entry.work_remaining - entry.rate * (self.now - entry.settled_at),
+            )
+            raw_done = copy.work - remaining
+        else:
+            raw_done = copy.work * (elapsed / copy.workload)
+        if raw_done <= 0.0:
+            self.result.wasted_work += elapsed
+            return
+        accumulated = task.checkpoint_work + raw_done
+        saved = int(accumulated / interval) * interval
+        newly_saved = saved - task.checkpoint_work
+        if newly_saved <= 0.0:
+            self.result.wasted_work += elapsed
+            return
+        task.checkpoint_work = saved
+        wall_saved = min(elapsed, elapsed * (newly_saved / raw_done))
+        self.result.useful_work += wall_saved
+        self.result.wasted_work += elapsed - wall_saved
+        self.result.work_saved_by_checkpointing += newly_saved
 
     def _handle_machine_repair(self, machine_id: int) -> None:
         """Return a repaired machine to the free pool and draw its next uptime."""
@@ -606,6 +665,12 @@ class SimulationEngine:
         raw_workload = self._next_workload(task)
         if self._inflate is not None:
             raw_workload = self._inflate(raw_workload, machine_id, self.rng)
+        if self._checkpoint_interval is not None and task.checkpoint_work > 0.0:
+            # Resume from the last checkpoint: the fresh draw keeps RNG
+            # consumption identical across policies; the saved work is then
+            # deducted (with a tiny floor so the copy stays schedulable).
+            raw_workload = max(raw_workload - task.checkpoint_work, 1e-9)
+            self.result.checkpoint_resumes += 1
         machine = cluster.machine(machine_id)
         duration = machine.processing_time(raw_workload)
         copy = TaskCopy(
@@ -627,8 +692,9 @@ class SimulationEngine:
         self.result.total_copies += 1
 
         job = task.job
-        if task.phase is Phase.REDUCE and not job.map_phase_complete:
-            # Parked: occupies the machine, progresses only after the map phase.
+        if not job.stage_is_ready(task.stage):
+            # Parked: occupies the machine, progresses only once every
+            # predecessor stage completes (reduce-behind-map in the 2-node DAG).
             return copy
         copy.start(self.now)
         if self._dynamic:
@@ -675,8 +741,7 @@ class SimulationEngine:
         elif self._events:
             return
         pending_tasks = sum(
-            job._unscheduled_map + job._unscheduled_reduce
-            for job in self._alive.values()
+            job.num_unscheduled_tasks for job in self._alive.values()
         )
         if pending_tasks == 0:
             return

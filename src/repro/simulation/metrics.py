@@ -34,6 +34,7 @@ class JobRecord:
         "num_reduce_tasks",
         "copies_launched",
         "map_phase_completion_time",
+        "num_stages",
     )
 
     def __init__(
@@ -46,6 +47,7 @@ class JobRecord:
         num_reduce_tasks: int,
         copies_launched: int,
         map_phase_completion_time: Optional[float] = None,
+        num_stages: int = 2,
     ) -> None:
         self.job_id = job_id
         self.arrival_time = arrival_time
@@ -55,6 +57,7 @@ class JobRecord:
         self.num_reduce_tasks = num_reduce_tasks
         self.copies_launched = copies_launched
         self.map_phase_completion_time = map_phase_completion_time
+        self.num_stages = num_stages
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -115,6 +118,11 @@ class SimulationResult:
     #: Copies killed because their hosting machine failed (each is
     #: re-dispatched exactly once through the normal scheduling path).
     copies_killed_by_failure: int = 0
+    #: Relaunches that resumed from a checkpoint instead of from zero
+    #: (checkpoint redundancy policy only).
+    checkpoint_resumes: int = 0
+    #: Raw work durably saved by checkpointing across failure kills.
+    work_saved_by_checkpointing: float = 0.0
     #: Dynamic straggler slowdown periods that began during the run.
     straggler_onsets: int = 0
     #: Wall-clock seconds the simulation took (filled by the runner).
@@ -276,6 +284,8 @@ class SimulationResult:
             "over_requests": self.over_requests,
             "machine_failures": self.machine_failures,
             "copies_killed_by_failure": self.copies_killed_by_failure,
+            "checkpoint_resumes": self.checkpoint_resumes,
+            "work_saved_by_checkpointing": self.work_saved_by_checkpointing,
             "straggler_onsets": self.straggler_onsets,
             "records": [
                 (
@@ -287,6 +297,7 @@ class SimulationResult:
                     r.num_reduce_tasks,
                     r.copies_launched,
                     r.map_phase_completion_time,
+                    r.num_stages,
                 )
                 for r in self.records
             ],
@@ -324,6 +335,8 @@ class SimulationResult:
             "over_requests": self.over_requests,
             "machine_failures": self.machine_failures,
             "copies_killed_by_failure": self.copies_killed_by_failure,
+            "checkpoint_resumes": self.checkpoint_resumes,
+            "work_saved_by_checkpointing": self.work_saved_by_checkpointing,
             "straggler_onsets": self.straggler_onsets,
         }
 

@@ -62,7 +62,11 @@ __all__ = [
 #: incompatibly; old entries then miss (and are recomputed) instead of
 #: being misinterpreted.  Version 2 added
 #: ``SimulationResult.redundant_copies_launched`` to the payload.
-FORMAT_VERSION = 2
+#: Version 3 added the stage-DAG fields (``JobRecord.num_stages`` in every
+#: record row, ``checkpoint_resumes`` and ``work_saved_by_checkpointing``)
+#: to ``canonical_dict``; v2 entries are detected as stale and recomputed
+#: rather than rebuilt with silently-defaulted fields.
+FORMAT_VERSION = 3
 
 
 class UncacheableSpecError(ValueError):
@@ -215,6 +219,8 @@ def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
         over_requests=payload["over_requests"],
         machine_failures=payload["machine_failures"],
         copies_killed_by_failure=payload["copies_killed_by_failure"],
+        checkpoint_resumes=payload["checkpoint_resumes"],
+        work_saved_by_checkpointing=payload["work_saved_by_checkpointing"],
         straggler_onsets=payload["straggler_onsets"],
         runtime_seconds=payload["runtime_seconds"],
         seed=payload["seed"],

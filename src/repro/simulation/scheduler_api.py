@@ -260,6 +260,11 @@ class ComposedScheduler(Scheduler):
         self.redundancy = make_redundancy(redundancy)
         self.allow_early_reduce = allow_early_reduce
         self.tick_interval = self.redundancy.tick_interval
+        # The checkpoint redundancy policy carries the checkpoint interval;
+        # the engine discovers it here and enables checkpoint-resume kills.
+        self.checkpoint_interval = getattr(
+            self.redundancy, "checkpoint_interval", None
+        )
         self._rng = np.random.default_rng(seed)
         self.name = name if name is not None else (
             f"{self.ordering.name}+{self.allocation.name}+{self.redundancy.name}"

@@ -81,6 +81,8 @@ from repro.study.resultset import ResultSet, StudyRun
 from repro.workload.google_trace import TABLE_II_TARGETS, GoogleTraceConfig
 from repro.workload.stream import (
     StreamSpec,
+    stream_dag_chain_jobs,
+    stream_dag_diamond_jobs,
     stream_heavy_tail_jobs,
     stream_poisson_jobs,
     stream_uniform_jobs,
@@ -392,6 +394,8 @@ STREAM_FACTORIES = {
     "uniform": stream_uniform_jobs,
     "poisson": stream_poisson_jobs,
     "heavy_tail": stream_heavy_tail_jobs,
+    "dag_chain": stream_dag_chain_jobs,
+    "dag_diamond": stream_dag_diamond_jobs,
 }
 
 _GOOGLE_WORKLOAD_KEYS = frozenset({"kind", "label", "scale", "trace_seed", "within_job_cv"})

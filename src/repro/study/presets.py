@@ -52,6 +52,8 @@ __all__ = [
     "compute_scenario_sweep",
     "policy_grid_study",
     "compute_policy_grid",
+    "dag_redundancy_study",
+    "compute_dag_redundancy",
 ]
 
 
@@ -557,6 +559,122 @@ def compute_policy_grid(
     )
 
 
+# ------------------------------------------------------------ dag redundancy
+
+
+def dag_redundancy_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    redundancies: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence] = None,
+    workloads: Optional[Sequence] = None,
+) -> Study:
+    """Redundancy policies on DAG workloads under failure-heavy scenarios.
+
+    The scheduler axis holds one ``srpt+greedy+<redundancy>`` composition
+    per policy (redundancy is the only varying factor); the workload axis
+    holds the DAG stream recipes (multi-round chain, fan-out/fan-in
+    diamond); the scenario axis holds failure-heavy knob tables.  All axes
+    are declarative, so the study round-trips through spec files.
+    """
+    from repro.experiments.dag_redundancy import (
+        DEFAULT_DAG_MACHINES,
+        DEFAULT_DAG_WORKLOADS,
+        DEFAULT_FAILURE_SCENARIOS,
+        DEFAULT_REDUNDANCIES,
+        composition_of,
+    )
+
+    config = _config(config)
+    redundancies = (
+        tuple(redundancies) if redundancies is not None else DEFAULT_REDUNDANCIES
+    )
+    scenarios = (
+        tuple(scenarios) if scenarios is not None else DEFAULT_FAILURE_SCENARIOS
+    )
+    workloads = (
+        tuple(workloads) if workloads is not None else DEFAULT_DAG_WORKLOADS
+    )
+    return Study(
+        name="dag-redundancy",
+        schedulers=tuple(composition_of(name) for name in redundancies),
+        scenarios=scenarios,
+        workloads=workloads,
+        seeds=config.seeds,
+        scale=config.scale,
+        r=config.r,
+        epsilon=config.epsilon,
+        machines=DEFAULT_DAG_MACHINES,
+    )
+
+
+def compute_dag_redundancy(
+    config: ExperimentConfig,
+    *,
+    redundancies: Sequence[str],
+    scenarios: Sequence,
+    workloads: Sequence,
+):
+    """Run the dag-redundancy study and assemble its result object."""
+    from repro.experiments.dag_redundancy import (
+        BASELINE_REDUNDANCY,
+        DagRedundancyResult,
+        composition_of,
+    )
+
+    study = dag_redundancy_study(
+        config,
+        redundancies=redundancies,
+        scenarios=scenarios,
+        workloads=workloads,
+    )
+    results = _run(study, config)
+    scenario_labels = tuple(ref.label for ref in study.scenarios)
+    workload_labels = tuple(ref.label for ref in study.workloads)
+    means: Dict[str, Dict[str, Dict[str, float]]] = {}
+    kills: Dict[str, Dict[str, float]] = {}
+    resumes: Dict[str, Dict[str, float]] = {}
+    saved: Dict[str, Dict[str, float]] = {}
+    for scenario in scenario_labels:
+        means[scenario] = {w: {} for w in workload_labels}
+        kills[scenario] = {}
+        resumes[scenario] = {}
+        saved[scenario] = {}
+        for name in redundancies:
+            scheduler = composition_of(name)
+            kill_total = resume_total = saved_total = 0.0
+            for workload in workload_labels:
+                group = results.filter(
+                    scenario=scenario, workload=workload, scheduler=scheduler
+                )
+                replicated = _replicated(group)
+                means[scenario][workload][name] = replicated.mean_flowtime
+                kill_total += float(
+                    np.mean([r.copies_killed_by_failure for r in group.results])
+                )
+                resume_total += float(
+                    np.mean([r.checkpoint_resumes for r in group.results])
+                )
+                saved_total += float(
+                    np.mean(
+                        [r.work_saved_by_checkpointing for r in group.results]
+                    )
+                )
+            kills[scenario][name] = kill_total
+            resumes[scenario][name] = resume_total
+            saved[scenario][name] = saved_total
+    return DagRedundancyResult(
+        scenarios=scenario_labels,
+        workloads=workload_labels,
+        redundancies=tuple(redundancies),
+        baseline=BASELINE_REDUNDANCY,
+        mean_flowtimes=means,
+        failure_kills=kills,
+        checkpoint_resumes=resumes,
+        work_saved=saved,
+    )
+
+
 # ------------------------------------------------------------------- registry
 
 
@@ -627,6 +745,12 @@ def _policy_grid_report(config: Optional[ExperimentConfig] = None) -> str:
     return run_policy_grid(config).render()
 
 
+def _dag_redundancy_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.dag_redundancy import run_dag_redundancy
+
+    return run_dag_redundancy(config).render()
+
+
 def _default_figure1_study(config: Optional[ExperimentConfig] = None) -> Study:
     from repro.experiments.figure1 import DEFAULT_EPSILONS
 
@@ -687,6 +811,9 @@ STUDY_PRESETS: Dict[str, StudyPreset] = {
     ),
     "policy-grid": StudyPreset(
         "policy-grid", policy_grid_study, _policy_grid_report
+    ),
+    "dag-redundancy": StudyPreset(
+        "dag-redundancy", dag_redundancy_study, _dag_redundancy_report
     ),
 }
 

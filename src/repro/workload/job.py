@@ -1,29 +1,35 @@
-"""Job / Task / TaskCopy data model with the MapReduce precedence state machine.
+"""Job / Task / TaskCopy data model with a stage-DAG precedence state machine.
 
-The model mirrors Section III of the paper:
+The model generalises Section III of the paper:
 
-* A job ``J_i`` arrives at time ``a_i`` with weight ``w_i``, ``m_i`` map
-  tasks and ``r_i`` reduce tasks.
-* Task workloads within a phase are i.i.d. with known mean ``E_i^c`` and
+* A job ``J_i`` arrives at time ``a_i`` with weight ``w_i`` and a DAG of
+  *stages*.  Each stage carries its own task list and duration
+  distribution; a stage's tasks may not make progress until every
+  *predecessor* stage has completed.  The paper's map→reduce job is the
+  canonical 2-node DAG: stage 0 ("map", no predecessors) and stage 1
+  ("reduce", depends on stage 0) -- constraint (1g) is exactly the
+  2-node instance of the general rule.
+* Task workloads within a stage are i.i.d. with known mean ``E_i^c`` and
   standard deviation ``sigma_i^c`` (carried here as a
-  :class:`~repro.workload.distributions.DurationDistribution` per phase).
-* The reduce phase of a job may not make progress until every map task of
-  the job has finished (constraint (1g)).  A reduce *copy* may however be
-  placed on a machine earlier; it then occupies the machine without doing
-  work, exactly as described at the end of Section IV-A.
+  :class:`~repro.workload.distributions.DurationDistribution` per stage).
+* A *copy* of a not-yet-ready stage's task may be placed on a machine
+  early; it then occupies the machine without doing work ("parked"),
+  exactly as described for reduce copies at the end of Section IV-A.
 * A task finishes when its earliest-finishing copy finishes (speedup via
   cloning, Section III-A); the remaining copies are killed and their
   machines are reclaimed.
 
-``JobSpec`` is the immutable description found in a trace.  ``Job``,
-``Task`` and ``TaskCopy`` are the mutable runtime objects owned by the
-simulation engine.
+``JobSpec`` is the immutable description found in a trace.  Legacy
+map→reduce specs (``num_map_tasks`` / ``num_reduce_tasks``) compile to the
+canonical 2-node DAG; :meth:`JobSpec.from_stages` builds arbitrary DAGs.
+``Job``, ``Task`` and ``TaskCopy`` are the mutable runtime objects owned by
+the simulation engine.
 
 Performance invariants (the engine hot path depends on these)
 -------------------------------------------------------------
 ``Job``, ``Task`` and ``TaskCopy`` are ``__slots__`` classes, and the
-scheduler-facing counters -- unscheduled tasks per phase ``m_i(l)`` /
-``r_i(l)``, running copies ``sigma_i(l)``, incomplete tasks per phase --
+scheduler-facing counters -- unscheduled tasks per stage ``m_i(l)`` /
+``r_i(l)``, running copies ``sigma_i(l)``, incomplete tasks per stage --
 are maintained *incrementally* on every copy/task state transition instead
 of being recomputed by scanning task lists.  A task is counted
 "unscheduled" exactly while it is not completed and has no active copy;
@@ -36,8 +42,12 @@ the transitions that preserve this invariant are:
 * :meth:`Task.complete`    -- an unscheduled-counted task leaving via
   completion is removed from the count.
 
-Consequently ``Job.remaining_effective_workload`` (Equation (4)) and every
-priority computation built on it are O(1) per job, which is what makes the
+A stage only ever becomes *ready* (all predecessors complete), never
+un-ready, so the aggregate ``_unscheduled_ready`` counter -- unscheduled
+tasks whose stage is ready -- stays O(1) to maintain and gives the gating
+helpers an O(1) "has launchable work" test.  Consequently
+``Job.remaining_effective_workload`` (Equation (4)) and every priority
+computation built on it are O(1) per job, which is what makes the
 per-event scheduler consultations affordable at million-job scale.
 """
 
@@ -45,15 +55,21 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.workload.distributions import DurationDistribution
 
-__all__ = ["Phase", "TaskStatus", "JobSpec", "Job", "Task", "TaskCopy"]
+__all__ = ["Phase", "TaskStatus", "StageSpec", "JobSpec", "Job", "Task", "TaskCopy"]
 
 
 class Phase(enum.Enum):
-    """The two MapReduce phases; ``c`` in the paper's notation."""
+    """The two MapReduce phases; ``c`` in the paper's notation.
+
+    With the stage-DAG generalisation, stage 0 presents as ``MAP`` and
+    every later stage as ``REDUCE`` (see :attr:`Task.phase`), so per-phase
+    consumers -- cluster occupancy counters, speculation estimators --
+    keep working unchanged on arbitrary DAGs.
+    """
 
     MAP = "map"
     REDUCE = "reduce"
@@ -74,6 +90,39 @@ class TaskStatus(enum.Enum):
 
 
 @dataclass(frozen=True)
+class StageSpec:
+    """One node of a job's stage DAG.
+
+    Attributes
+    ----------
+    name:
+        Stage label, unique within the job (task ids embed it).
+    num_tasks:
+        Number of tasks in the stage (may be 0: the stage completes the
+        instant it becomes ready).
+    duration:
+        Task duration distribution of the stage.
+    deps:
+        Indices of predecessor stages.  Every dependency must point at an
+        *earlier* stage (``dep < index``), so any stage tuple is
+        topologically ordered by construction.
+    """
+
+    name: str
+    num_tasks: int
+    duration: DurationDistribution
+    deps: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        if self.num_tasks < 0:
+            raise ValueError(f"stage {self.name!r}: num_tasks must be >= 0")
+        if len(set(self.deps)) != len(self.deps):
+            raise ValueError(f"stage {self.name!r}: duplicate dependencies")
+
+
+@dataclass(frozen=True)
 class JobSpec:
     """Immutable description of one job in a trace.
 
@@ -86,10 +135,17 @@ class JobSpec:
     weight:
         ``w_i`` -- the job priority/weight used by weighted flowtime.
     num_map_tasks / num_reduce_tasks:
-        ``m_i`` and ``r_i``.
+        ``m_i`` and ``r_i``.  For a DAG job these are summary views:
+        stage 0's task count and the total of all later stages.
     map_duration / reduce_duration:
         Per-phase task duration distributions.  The schedulers may only read
         ``mean`` and ``std``; the simulator samples actual workloads.
+    stages:
+        Optional explicit stage DAG.  ``None`` (the legacy map→reduce
+        case) compiles to the canonical 2-node DAG -- stage ``"map"`` with
+        no predecessors and stage ``"reduce"`` depending on it -- which is
+        behaviourally bit-identical to the pre-DAG model.  Build DAG specs
+        with :meth:`from_stages` so the summary fields stay consistent.
     """
 
     job_id: int
@@ -99,6 +155,7 @@ class JobSpec:
     num_reduce_tasks: int
     map_duration: DurationDistribution
     reduce_duration: DurationDistribution
+    stages: Optional[Tuple[StageSpec, ...]] = None
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
@@ -109,41 +166,174 @@ class JobSpec:
             raise ValueError("task counts must be non-negative")
         if self.num_map_tasks + self.num_reduce_tasks == 0:
             raise ValueError(f"job {self.job_id} has no tasks")
+        if self.stages is not None:
+            self._validate_stages()
+
+    def _validate_stages(self) -> None:
+        stages = self.stages
+        if not stages:
+            raise ValueError(f"job {self.job_id}: stages must be non-empty")
+        names = set()
+        total = 0
+        for index, stage in enumerate(stages):
+            if stage.name in names:
+                raise ValueError(
+                    f"job {self.job_id}: duplicate stage name {stage.name!r}"
+                )
+            names.add(stage.name)
+            for dep in stage.deps:
+                if not 0 <= dep < index:
+                    raise ValueError(
+                        f"job {self.job_id}: stage {stage.name!r} depends on "
+                        f"stage {dep}, which is not an earlier stage"
+                    )
+            total += stage.num_tasks
+        if self.num_map_tasks != stages[0].num_tasks:
+            raise ValueError(
+                f"job {self.job_id}: num_map_tasks must equal stage 0's task "
+                "count (use JobSpec.from_stages)"
+            )
+        if self.num_map_tasks + self.num_reduce_tasks != total:
+            raise ValueError(
+                f"job {self.job_id}: summary task counts disagree with the "
+                "stage DAG (use JobSpec.from_stages)"
+            )
+
+    @classmethod
+    def from_stages(
+        cls,
+        *,
+        job_id: int,
+        arrival_time: float,
+        weight: float,
+        stages: Sequence[StageSpec],
+    ) -> "JobSpec":
+        """Build a DAG job spec, deriving the legacy summary fields.
+
+        ``num_map_tasks`` becomes stage 0's task count, ``num_reduce_tasks``
+        the total of all later stages, and the per-phase durations come from
+        the first (and, when present, second) stage -- so phase-level
+        consumers see a sensible two-phase summary of any DAG.
+        """
+        stage_tuple = tuple(stages)
+        if not stage_tuple:
+            raise ValueError("stages must be non-empty")
+        first = stage_tuple[0]
+        rest_total = sum(stage.num_tasks for stage in stage_tuple[1:])
+        reduce_duration = (
+            stage_tuple[1].duration if len(stage_tuple) > 1 else first.duration
+        )
+        return cls(
+            job_id=job_id,
+            arrival_time=arrival_time,
+            weight=weight,
+            num_map_tasks=first.num_tasks,
+            num_reduce_tasks=rest_total,
+            map_duration=first.duration,
+            reduce_duration=reduce_duration,
+            stages=stage_tuple,
+        )
+
+    @property
+    def stage_specs(self) -> Tuple[StageSpec, ...]:
+        """The job's stage DAG; legacy specs compile to the 2-node map→reduce DAG.
+
+        Cached per instance: the derived tuple reuses the spec's duration
+        distribution objects, so sampling through the DAG path consumes RNG
+        state identically to the pre-DAG engine.
+        """
+        cached = self.__dict__.get("_stage_specs_cache")
+        if cached is None:
+            if self.stages is not None:
+                cached = self.stages
+            else:
+                cached = (
+                    StageSpec(
+                        name="map",
+                        num_tasks=self.num_map_tasks,
+                        duration=self.map_duration,
+                        deps=(),
+                    ),
+                    StageSpec(
+                        name="reduce",
+                        num_tasks=self.num_reduce_tasks,
+                        duration=self.reduce_duration,
+                        deps=(0,),
+                    ),
+                )
+            self.__dict__["_stage_specs_cache"] = cached
+        return cached
+
+    @property
+    def stage_dependents(self) -> Tuple[Tuple[int, ...], ...]:
+        """Adjacency of the stage DAG: for each stage, its successor stages."""
+        cached = self.__dict__.get("_stage_dependents_cache")
+        if cached is None:
+            stages = self.stage_specs
+            dependents: List[List[int]] = [[] for _ in stages]
+            for index, stage in enumerate(stages):
+                for dep in stage.deps:
+                    dependents[dep].append(index)
+            cached = tuple(tuple(successors) for successors in dependents)
+            self.__dict__["_stage_dependents_cache"] = cached
+        return cached
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages in the job's DAG (2 for legacy map→reduce)."""
+        return 2 if self.stages is None else len(self.stages)
 
     def num_tasks(self, phase: Phase) -> int:
-        """Number of tasks in ``phase``."""
+        """Number of tasks in ``phase`` (summary view for DAG jobs)."""
         if phase is Phase.MAP:
             return self.num_map_tasks
         return self.num_reduce_tasks
 
     def duration(self, phase: Phase) -> DurationDistribution:
-        """Duration distribution of tasks in ``phase``."""
+        """Duration distribution of tasks in ``phase`` (summary view)."""
         if phase is Phase.MAP:
             return self.map_duration
         return self.reduce_duration
 
     @property
     def total_tasks(self) -> int:
-        """``m_i + r_i``."""
+        """``m_i + r_i`` -- total tasks across every stage."""
         return self.num_map_tasks + self.num_reduce_tasks
 
     @property
     def expected_total_work(self) -> float:
-        """Expected sum of task workloads, ``m_i * E_i^m + r_i * E_i^r``."""
-        return (
-            self.num_map_tasks * self.map_duration.mean
-            + self.num_reduce_tasks * self.reduce_duration.mean
+        """Expected sum of task workloads over all stages."""
+        if self.stages is None:
+            return (
+                self.num_map_tasks * self.map_duration.mean
+                + self.num_reduce_tasks * self.reduce_duration.mean
+            )
+        return sum(
+            stage.num_tasks * stage.duration.mean for stage in self.stages
         )
 
     def effective_workload(self, r: float) -> float:
-        """``phi_i`` of Equation (2): the variance-adjusted total workload."""
+        """``phi_i`` of Equation (2): the variance-adjusted total workload.
+
+        Generalised to DAGs as the sum over stages of
+        ``n_s * (E_s + r * sigma_s)`` -- for the canonical 2-node DAG this
+        is exactly the paper's two-term expression.
+        """
         if r < 0:
             raise ValueError(f"r must be non-negative, got {r}")
-        return self.num_map_tasks * (
-            self.map_duration.mean + r * self.map_duration.std
-        ) + self.num_reduce_tasks * (
-            self.reduce_duration.mean + r * self.reduce_duration.std
-        )
+        if self.stages is None:
+            return self.num_map_tasks * (
+                self.map_duration.mean + r * self.map_duration.std
+            ) + self.num_reduce_tasks * (
+                self.reduce_duration.mean + r * self.reduce_duration.std
+            )
+        total = 0.0
+        for stage in self.stages:
+            if stage.num_tasks:
+                total += stage.num_tasks * (
+                    stage.duration.mean + r * stage.duration.std
+                )
+        return total
 
 
 class TaskCopy:
@@ -153,9 +343,9 @@ class TaskCopy:
     ----------
     start_time:
         Time at which the copy actually starts consuming CPU.  Equals
-        ``launch_time`` for map copies; for reduce copies it is
-        ``max(launch_time, map-phase completion)`` and stays ``None`` while
-        the copy is blocked behind unfinished map tasks.
+        ``launch_time`` for copies of ready stages; for copies parked
+        behind incomplete predecessor stages it is the readiness instant
+        and stays ``None`` while the copy is blocked.
     work:
         Raw work units of this copy (post straggler inflation, before the
         hosting machine's speed is applied).  Engine-managed; lets dynamic
@@ -232,7 +422,7 @@ class TaskCopy:
 
     @property
     def is_blocked(self) -> bool:
-        """True for a reduce copy parked behind an unfinished map phase."""
+        """True for a copy parked behind incomplete predecessor stages."""
         return self.is_active and self.start_time is None
 
     def start(self, time: float) -> None:
@@ -291,29 +481,43 @@ class TaskCopy:
 
 
 class Task:
-    """One logical map or reduce task ``delta_i^{c,j}``.
+    """One logical task ``delta_i^{c,j}`` of one stage.
 
     A task may have several :class:`TaskCopy` instances running at once;
     it completes when the first of them completes.  The active-copy count
     is maintained incrementally (see the module docstring) so that
     ``is_scheduled`` / ``num_active_copies`` are O(1).
+
+    ``checkpoint_work`` is the raw work durably saved by the checkpoint
+    redundancy policy: when a failure kills a copy, the engine rounds the
+    work it completed down to a checkpoint-interval multiple, and the next
+    launched copy of the task resumes from there instead of zero.
     """
 
-    __slots__ = ("job", "phase", "index", "copies", "completion_time", "_num_active")
+    __slots__ = (
+        "job",
+        "stage",
+        "index",
+        "copies",
+        "completion_time",
+        "checkpoint_work",
+        "_num_active",
+    )
 
     def __init__(
         self,
         job: "Job",
-        phase: Phase,
+        stage: int,
         index: int,
         copies: Optional[List[TaskCopy]] = None,
         completion_time: Optional[float] = None,
     ) -> None:
         self.job = job
-        self.phase = phase
+        self.stage = stage
         self.index = index
         self.copies: List[TaskCopy] = [] if copies is None else copies
         self.completion_time = completion_time
+        self.checkpoint_work = 0.0
         self._num_active = (
             sum(1 for copy in self.copies if copy.is_active) if self.copies else 0
         )
@@ -322,9 +526,24 @@ class Task:
         return f"Task({self.task_id!r}, copies={len(self.copies)})"
 
     @property
+    def phase(self) -> Phase:
+        """Two-phase summary view: stage 0 is ``MAP``, every later stage ``REDUCE``.
+
+        Keeps per-phase consumers (cluster occupancy counters, speculation
+        estimators, report slices) working unchanged on DAG jobs; for the
+        canonical 2-node DAG this is exactly the legacy phase.
+        """
+        return Phase.MAP if self.stage == 0 else Phase.REDUCE
+
+    @property
+    def stage_name(self) -> str:
+        """Name of the owning stage (from the job's stage DAG)."""
+        return self.job._stages[self.stage].name
+
+    @property
     def task_id(self) -> str:
         """Stable human-readable identifier, e.g. ``"7:map:3"``."""
-        return f"{self.job.job_id}:{self.phase.value}:{self.index}"
+        return f"{self.job.job_id}:{self.stage_name}:{self.index}"
 
     @property
     def status(self) -> TaskStatus:
@@ -359,8 +578,8 @@ class Task:
 
     @property
     def duration_distribution(self) -> DurationDistribution:
-        """The phase duration distribution of the owning job."""
-        return self.job.spec.duration(self.phase)
+        """The owning stage's task duration distribution."""
+        return self.job._stages[self.stage].duration
 
     def add_copy(self, copy: TaskCopy) -> None:
         """Attach a newly launched copy (engine-only)."""
@@ -370,7 +589,7 @@ class Task:
         job = self.job
         if self._num_active == 0:
             # PENDING -> RUNNING: the task leaves the unscheduled set.
-            job._unscheduled_delta(self.phase, -1)
+            job._unscheduled_delta(self.stage, -1)
         self._num_active += 1
         job._active_copies += 1
         job._copies_launched += 1
@@ -383,7 +602,7 @@ class Task:
         if self._num_active == 0 and self.completion_time is None:
             # All copies gone without completion (kill/preemption/failure):
             # the task reverts to unscheduled and may be re-dispatched.
-            job._unscheduled_delta(self.phase, 1)
+            job._unscheduled_delta(self.stage, 1)
 
     def complete(self, time: float) -> List[TaskCopy]:
         """Mark the task completed at ``time`` and kill surviving clones.
@@ -397,13 +616,13 @@ class Task:
         if self._num_active == 0:
             # The winning copy already deactivated (its finish re-entered the
             # task into the unscheduled count); completion removes it again.
-            self.job._unscheduled_delta(self.phase, -1)
+            self.job._unscheduled_delta(self.stage, -1)
         killed: List[TaskCopy] = []
         for copy in self.copies:
             if copy.is_active:
                 copy.kill(time)
                 killed.append(copy)
-        self.job._task_completed(self.phase)
+        self.job._task_completed(self.stage)
         return killed
 
     def first_launch_time(self) -> Optional[float]:
@@ -414,24 +633,30 @@ class Task:
 
 
 class Job:
-    """Runtime state of one job, owning its map and reduce tasks.
+    """Runtime state of one job, owning the task lists of its stage DAG.
 
     All scheduler-facing counters (``m_i(l)``, ``r_i(l)``, ``sigma_i(l)``,
-    incomplete tasks per phase) are maintained incrementally by the task /
-    copy state transitions, making every priority and allocation query O(1)
-    per job (see the module docstring for the invariant).
+    incomplete tasks per stage, ready-stage unscheduled tasks) are
+    maintained incrementally by the task / copy state transitions, making
+    every priority and allocation query O(1) per job (see the module
+    docstring for the invariant).
     """
 
     __slots__ = (
         "spec",
-        "map_tasks",
-        "reduce_tasks",
-        "map_phase_completion_time",
+        "stage_tasks",
         "completion_time",
-        "_unscheduled_map",
-        "_unscheduled_reduce",
-        "_incomplete_map",
-        "_incomplete_reduce",
+        "_stages",
+        "_dependents",
+        "_stage_completion",
+        "_stage_ready",
+        "_unscheduled",
+        "_incomplete",
+        "_unscheduled_ready",
+        "_unscheduled_total",
+        "_incomplete_total",
+        "_incomplete_stages",
+        "_newly_ready",
         "_active_copies",
         "_copies_launched",
     )
@@ -439,64 +664,89 @@ class Job:
     def __init__(
         self,
         spec: JobSpec,
-        map_tasks: Optional[List[Task]] = None,
-        reduce_tasks: Optional[List[Task]] = None,
-        map_phase_completion_time: Optional[float] = None,
         completion_time: Optional[float] = None,
     ) -> None:
         self.spec = spec
-        self.map_tasks: List[Task] = [] if map_tasks is None else map_tasks
-        self.reduce_tasks: List[Task] = [] if reduce_tasks is None else reduce_tasks
-        self.map_phase_completion_time = map_phase_completion_time
+        stages = spec.stage_specs
+        self._stages = stages
+        self._dependents = spec.stage_dependents
+        self.stage_tasks: List[List[Task]] = [[] for _ in stages]
+        self._stage_completion: List[Optional[float]] = [None] * len(stages)
         self.completion_time = completion_time
+        self._newly_ready: List[int] = []
         self._recount()
 
     def _recount(self) -> None:
-        """(Re)derive every incremental counter from the task lists."""
-        self._unscheduled_map = 0
-        self._unscheduled_reduce = 0
-        self._incomplete_map = 0
-        self._incomplete_reduce = 0
+        """(Re)derive every incremental counter from the task lists.
+
+        Idempotent: never mutates stage/job completion times, only the
+        counters derived from them and from the per-task copy state.
+        """
+        num_stages = len(self._stages)
+        self._unscheduled = [0] * num_stages
+        self._incomplete = [0] * num_stages
         self._active_copies = 0
         self._copies_launched = 0
-        if not self.map_tasks and not self.reduce_tasks:
-            return
-        for task in self.map_tasks:
-            if task.completion_time is None:
-                self._incomplete_map += 1
-                if task._num_active == 0:
-                    self._unscheduled_map += 1
-            self._active_copies += task._num_active
-            self._copies_launched += len(task.copies)
-        for task in self.reduce_tasks:
-            if task.completion_time is None:
-                self._incomplete_reduce += 1
-                if task._num_active == 0:
-                    self._unscheduled_reduce += 1
-            self._active_copies += task._num_active
-            self._copies_launched += len(task.copies)
+        for stage, tasks in enumerate(self.stage_tasks):
+            for task in tasks:
+                if task.completion_time is None:
+                    self._incomplete[stage] += 1
+                    if task._num_active == 0:
+                        self._unscheduled[stage] += 1
+                self._active_copies += task._num_active
+                self._copies_launched += len(task.copies)
+        completion = self._stage_completion
+        self._stage_ready = [
+            all(completion[dep] is not None for dep in self._stages[s].deps)
+            for s in range(num_stages)
+        ]
+        self._unscheduled_ready = sum(
+            count
+            for stage, count in enumerate(self._unscheduled)
+            if self._stage_ready[stage]
+        )
+        self._unscheduled_total = sum(self._unscheduled)
+        self._incomplete_total = sum(self._incomplete)
+        self._incomplete_stages = sum(1 for t in completion if t is None)
 
     @classmethod
     def from_spec(cls, spec: JobSpec) -> "Job":
         """Instantiate the runtime job and its task objects from a spec."""
         job = cls(spec=spec)
-        job.map_tasks = [
-            Task(job=job, phase=Phase.MAP, index=j)
-            for j in range(spec.num_map_tasks)
-        ]
-        job.reduce_tasks = [
-            Task(job=job, phase=Phase.REDUCE, index=j)
-            for j in range(spec.num_reduce_tasks)
-        ]
-        # Fresh tasks are pending with no copies: set the counters directly
-        # (the generic _recount scan is per-task work we can skip here).
-        job._unscheduled_map = job._incomplete_map = spec.num_map_tasks
-        job._unscheduled_reduce = job._incomplete_reduce = spec.num_reduce_tasks
+        arrival = spec.arrival_time
+        stages = job._stages
+        total = 0
+        for stage_index, stage in enumerate(stages):
+            job.stage_tasks[stage_index] = [
+                Task(job, stage_index, j) for j in range(stage.num_tasks)
+            ]
+            # Fresh tasks are pending with no copies: set the counters
+            # directly (the generic _recount scan is per-task work we skip).
+            job._unscheduled[stage_index] = stage.num_tasks
+            job._incomplete[stage_index] = stage.num_tasks
+            total += stage.num_tasks
+        job._unscheduled_total = job._incomplete_total = total
         job._active_copies = 0
         job._copies_launched = 0
-        if spec.num_map_tasks == 0:
-            # A job with no map tasks has a trivially completed map phase.
-            job.map_phase_completion_time = spec.arrival_time
+        # Settle readiness at arrival: sources are ready immediately, and an
+        # empty ready stage completes on the spot (a job with no map tasks
+        # has a trivially completed map phase).  Deps point at earlier
+        # stages, so one forward pass cascades through empty prefixes.
+        completion = job._stage_completion
+        ready = job._stage_ready
+        unscheduled_ready = 0
+        incomplete_stages = len(stages)
+        for stage_index, stage in enumerate(stages):
+            if all(completion[dep] is not None for dep in stage.deps):
+                ready[stage_index] = True
+                unscheduled_ready += job._unscheduled[stage_index]
+                if job._incomplete[stage_index] == 0:
+                    completion[stage_index] = arrival
+                    incomplete_stages -= 1
+            else:
+                ready[stage_index] = False
+        job._unscheduled_ready = unscheduled_ready
+        job._incomplete_stages = incomplete_stages
         return job
 
     # -- identity and static attributes ------------------------------------
@@ -516,23 +766,61 @@ class Job:
         """``w_i`` -- the job's weight in the flowtime objective."""
         return self.spec.weight
 
+    @property
+    def num_stages(self) -> int:
+        """Number of stages in the job's DAG (2 for legacy map→reduce)."""
+        return len(self._stages)
+
+    @property
+    def stage_specs(self) -> Tuple[StageSpec, ...]:
+        """The job's stage DAG (shared with the spec)."""
+        return self._stages
+
+    @property
+    def map_tasks(self) -> List[Task]:
+        """Stage 0's task list (the map phase of the 2-node DAG)."""
+        return self.stage_tasks[0]
+
+    @property
+    def reduce_tasks(self) -> List[Task]:
+        """Every non-stage-0 task (the reduce phase of the 2-node DAG)."""
+        if len(self.stage_tasks) == 2:
+            return self.stage_tasks[1]
+        result: List[Task] = []
+        for tasks in self.stage_tasks[1:]:
+            result.extend(tasks)
+        return result
+
     def tasks(self, phase: Phase) -> List[Task]:
-        """The task list of one phase."""
+        """The task list of one phase (summary view for DAG jobs)."""
         if phase is Phase.MAP:
-            return self.map_tasks
+            return self.stage_tasks[0]
         return self.reduce_tasks
 
     def all_tasks(self) -> Iterator[Task]:
-        """Iterate over map tasks then reduce tasks."""
-        yield from self.map_tasks
-        yield from self.reduce_tasks
+        """Iterate over every task in stage order."""
+        for tasks in self.stage_tasks:
+            yield from tasks
 
     # -- precedence state machine -------------------------------------------
 
     @property
+    def map_phase_completion_time(self) -> Optional[float]:
+        """Completion time of stage 0 (the map phase of the 2-node DAG)."""
+        return self._stage_completion[0]
+
+    @property
     def map_phase_complete(self) -> bool:
-        """True once every map task has completed (or there were none)."""
-        return self.map_phase_completion_time is not None
+        """True once every stage-0 task has completed (or there were none)."""
+        return self._stage_completion[0] is not None
+
+    def stage_is_ready(self, stage: int) -> bool:
+        """True once every predecessor of ``stage`` has completed (O(1))."""
+        return self._stage_ready[stage]
+
+    def stage_completion_time(self, stage: int) -> Optional[float]:
+        """Completion time of ``stage``, or ``None`` while incomplete."""
+        return self._stage_completion[stage]
 
     @property
     def is_complete(self) -> bool:
@@ -540,74 +828,137 @@ class Job:
         return self.completion_time is not None
 
     def notify_task_completion(self, task: Task, time: float) -> bool:
-        """Update phase/job completion after ``task`` finished at ``time``.
+        """Update stage/job completion after ``task`` finished at ``time``.
 
         Returns ``True`` when this completion finished the whole job.
-        The engine calls this exactly once per task completion.
+        The engine calls this exactly once per task completion.  Stages
+        that become *ready* as a consequence are buffered for
+        :meth:`take_newly_ready_stages` (the engine unparks their copies).
         """
         if task.job is not self:
             raise ValueError("task does not belong to this job")
         if self.is_complete:
             raise ValueError(f"job {self.job_id} already complete")
-        if task.phase is Phase.MAP:
-            if not self.map_phase_complete and self._incomplete_map == 0:
-                self.map_phase_completion_time = time
-                if not self.reduce_tasks:
-                    self.completion_time = time
-                    return True
-            return self.is_complete
-        # Reduce task: the job finishes when every reduce task has finished.
-        if self._incomplete_reduce == 0 and self.map_phase_complete:
+        stage = task.stage
+        if (
+            self._incomplete[stage] == 0
+            and self._stage_completion[stage] is None
+            and self._stage_ready[stage]
+        ):
+            self._complete_stage(stage, time)
+        return self.is_complete
+
+    def _complete_stage(self, stage: int, time: float) -> None:
+        """Mark ``stage`` complete and cascade readiness to its successors.
+
+        A successor whose predecessors are now all complete becomes ready
+        (recorded in the newly-ready buffer); if it is ready *and empty*
+        it completes immediately, continuing the cascade.  The job
+        completes when its last stage does.
+        """
+        pending = [stage]
+        completion = self._stage_completion
+        while pending:
+            current = pending.pop()
+            completion[current] = time
+            self._incomplete_stages -= 1
+            for successor in self._dependents[current]:
+                if self._stage_ready[successor]:
+                    continue
+                if all(
+                    completion[dep] is not None
+                    for dep in self._stages[successor].deps
+                ):
+                    self._stage_ready[successor] = True
+                    self._unscheduled_ready += self._unscheduled[successor]
+                    self._newly_ready.append(successor)
+                    if self._incomplete[successor] == 0:
+                        pending.append(successor)
+        if self._incomplete_stages == 0:
             self.completion_time = time
-            return True
-        return False
+
+    def take_newly_ready_stages(self) -> List[int]:
+        """Drain the stages that became ready since the last call (engine-only)."""
+        stages = self._newly_ready
+        if stages:
+            self._newly_ready = []
+        return stages
 
     # -- counter bookkeeping (task/copy transition hooks) ----------------------
 
-    def _unscheduled_delta(self, phase: Phase, delta: int) -> None:
-        """Adjust the unscheduled-task count of ``phase`` (transition hook)."""
-        if phase is Phase.MAP:
-            self._unscheduled_map += delta
-        else:
-            self._unscheduled_reduce += delta
+    def _unscheduled_delta(self, stage: int, delta: int) -> None:
+        """Adjust the unscheduled-task count of ``stage`` (transition hook)."""
+        self._unscheduled[stage] += delta
+        self._unscheduled_total += delta
+        if self._stage_ready[stage]:
+            self._unscheduled_ready += delta
 
-    def _task_completed(self, phase: Phase) -> None:
-        """Record one task of ``phase`` completing (transition hook)."""
-        if phase is Phase.MAP:
-            self._incomplete_map -= 1
-        else:
-            self._incomplete_reduce -= 1
+    def _task_completed(self, stage: int) -> None:
+        """Record one task of ``stage`` completing (transition hook)."""
+        self._incomplete[stage] -= 1
+        self._incomplete_total -= 1
 
     # -- scheduler-facing counters -------------------------------------------
 
-    def unscheduled_tasks(self, phase: Phase) -> List[Task]:
-        """Tasks of ``phase`` that are neither completed nor occupying machines."""
+    def unscheduled_stage_tasks(self, stage: int) -> List[Task]:
+        """Tasks of ``stage`` that are neither completed nor occupying machines."""
         return [
             task
-            for task in self.tasks(phase)
+            for task in self.stage_tasks[stage]
             if task.completion_time is None and task._num_active == 0
         ]
+
+    def unscheduled_tasks(self, phase: Phase) -> List[Task]:
+        """Unscheduled tasks of ``phase`` (summary view for DAG jobs)."""
+        if phase is Phase.MAP:
+            return self.unscheduled_stage_tasks(0)
+        result: List[Task] = []
+        for stage in range(1, len(self._stages)):
+            result.extend(self.unscheduled_stage_tasks(stage))
+        return result
 
     @property
     def num_unscheduled_map_tasks(self) -> int:
         """``m_i(l)`` in the paper's online-algorithm notation (O(1))."""
-        return self._unscheduled_map
+        return self._unscheduled[0]
 
     @property
     def num_unscheduled_reduce_tasks(self) -> int:
         """``r_i(l)`` in the paper's online-algorithm notation (O(1))."""
-        return self._unscheduled_reduce
+        return self._unscheduled_total - self._unscheduled[0]
+
+    def num_unscheduled_stage_tasks(self, stage: int) -> int:
+        """Unscheduled tasks of ``stage`` (O(1))."""
+        return self._unscheduled[stage]
+
+    @property
+    def num_unscheduled_tasks(self) -> int:
+        """Unscheduled tasks across every stage (O(1))."""
+        return self._unscheduled_total
+
+    @property
+    def num_unscheduled_ready_tasks(self) -> int:
+        """Unscheduled tasks whose stage is ready to run (O(1)).
+
+        The gating helpers' launchability test: positive exactly when the
+        job has work that could start making progress right now.
+        """
+        return self._unscheduled_ready
 
     def num_incomplete_tasks(self, phase: Phase) -> int:
         """Tasks of ``phase`` not yet completed (O(1))."""
         if phase is Phase.MAP:
-            return self._incomplete_map
-        return self._incomplete_reduce
+            return self._incomplete[0]
+        return self._incomplete_total - self._incomplete[0]
+
+    def num_incomplete_stage_tasks(self, stage: int) -> int:
+        """Tasks of ``stage`` not yet completed (O(1))."""
+        return self._incomplete[stage]
 
     @property
     def num_remaining_tasks(self) -> int:
-        """Tasks (either phase) not yet completed (O(1))."""
-        return self._incomplete_map + self._incomplete_reduce
+        """Tasks (any stage) not yet completed (O(1))."""
+        return self._incomplete_total
 
     @property
     def num_running_copies(self) -> int:
@@ -618,12 +969,14 @@ class Job:
         """``U_i(l)`` of Equation (4), based on *unscheduled* task counts."""
         if r < 0:
             raise ValueError(f"r must be non-negative, got {r}")
-        spec = self.spec
-        return self._unscheduled_map * (
-            spec.map_duration.mean + r * spec.map_duration.std
-        ) + self._unscheduled_reduce * (
-            spec.reduce_duration.mean + r * spec.reduce_duration.std
-        )
+        total = 0.0
+        unscheduled = self._unscheduled
+        for stage_index, stage in enumerate(self._stages):
+            count = unscheduled[stage_index]
+            if count:
+                duration = stage.duration
+                total += count * (duration.mean + r * duration.std)
+        return total
 
     # -- metrics ---------------------------------------------------------------
 
@@ -648,7 +1001,7 @@ class Job:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Job(id={self.job_id}, arrival={self.arrival_time:.1f}, "
-            f"weight={self.weight}, maps={self.spec.num_map_tasks}, "
-            f"reduces={self.spec.num_reduce_tasks}, "
+            f"weight={self.weight}, stages={self.num_stages}, "
+            f"tasks={self.spec.total_tasks}, "
             f"complete={self.is_complete})"
         )

@@ -46,7 +46,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 import numpy as np
 
 from repro.workload.distributions import Deterministic, LogNormal
-from repro.workload.job import JobSpec
+from repro.workload.job import JobSpec, StageSpec
 
 __all__ = [
     "StreamSpec",
@@ -54,6 +54,8 @@ __all__ = [
     "stream_uniform_jobs",
     "stream_poisson_jobs",
     "stream_heavy_tail_jobs",
+    "stream_dag_chain_jobs",
+    "stream_dag_diamond_jobs",
 ]
 
 #: Default number of job specs sampled per vectorised chunk.
@@ -262,6 +264,150 @@ def stream_poisson_jobs(
                 num_reduce_tasks=reduces,
                 map_duration=duration,
                 reduce_duration=duration,
+            )
+            job_id += 1
+
+
+def stream_dag_chain_jobs(
+    num_jobs: int,
+    *,
+    num_rounds: int = 3,
+    arrival_rate: float = 1.0,
+    mean_tasks_per_round: float = 4.0,
+    mean_duration: float = 10.0,
+    cv: float = 0.5,
+    max_weight: int = 4,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[JobSpec]:
+    """Multi-round jobs: a linear chain of ``num_rounds`` shuffle rounds.
+
+    Each job is a stage chain ``round0 -> round1 -> ... -> round{k-1}``
+    (every stage depends on the previous one), modelling iterative
+    MapReduce workloads where each round's output feeds the next round's
+    input.  ``num_rounds=2`` degenerates to the classic map->reduce shape.
+    Per-round task counts are geometric with mean ``mean_tasks_per_round``;
+    durations are log-normal around a per-job mean (shared across rounds).
+    Arrivals are Poisson; all sampling is chunked and seed-pure per the
+    stream-factory contract.
+    """
+    if num_jobs <= 0:
+        raise ValueError(f"num_jobs must be positive, got {num_jobs}")
+    if num_rounds < 1:
+        raise ValueError(f"num_rounds must be at least 1, got {num_rounds}")
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    if mean_tasks_per_round < 1:
+        raise ValueError("mean_tasks_per_round must be at least 1")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    job_id = 0
+    for size in _chunk_sizes(num_jobs, chunk_size):
+        inter_arrivals = rng.exponential(1.0 / arrival_rate, size)
+        # One vectorised draw per chunk: a (size, num_rounds) matrix of
+        # per-round task counts.
+        counts = rng.geometric(1.0 / mean_tasks_per_round, (size, num_rounds))
+        mean_factors = rng.uniform(0.5, 1.5, size)
+        weights = rng.integers(1, max_weight + 1, size)
+        for i in range(size):
+            clock += float(inter_arrivals[i])
+            job_mean = float(mean_duration * mean_factors[i])
+            if cv == 0:
+                duration = Deterministic(job_mean)
+            else:
+                duration = LogNormal(job_mean, cv * job_mean)
+            stages = tuple(
+                StageSpec(
+                    name=f"round{k}",
+                    num_tasks=int(counts[i, k]),
+                    duration=duration,
+                    deps=() if k == 0 else (k - 1,),
+                )
+                for k in range(num_rounds)
+            )
+            yield JobSpec.from_stages(
+                job_id=job_id,
+                arrival_time=clock,
+                weight=float(weights[i]),
+                stages=stages,
+            )
+            job_id += 1
+
+
+def stream_dag_diamond_jobs(
+    num_jobs: int,
+    *,
+    fan_out: int = 3,
+    arrival_rate: float = 1.0,
+    mean_tasks_per_branch: float = 4.0,
+    mean_duration: float = 10.0,
+    cv: float = 0.5,
+    max_weight: int = 4,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[JobSpec]:
+    """Fan-out/fan-in diamond jobs: split -> ``fan_out`` branches -> merge.
+
+    Each job is a diamond-shaped stage DAG: a single-task ``split`` stage,
+    ``fan_out`` independent branch stages that all depend on the split (and
+    can run concurrently once it completes), and a single-task ``merge``
+    stage depending on *every* branch -- the canonical fan-in precedence
+    that exercises multi-predecessor gating.  Branch task counts are
+    geometric with mean ``mean_tasks_per_branch``; durations are log-normal
+    around a per-job mean.  Arrivals are Poisson; all sampling is chunked
+    and seed-pure per the stream-factory contract.
+    """
+    if num_jobs <= 0:
+        raise ValueError(f"num_jobs must be positive, got {num_jobs}")
+    if fan_out < 1:
+        raise ValueError(f"fan_out must be at least 1, got {fan_out}")
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    if mean_tasks_per_branch < 1:
+        raise ValueError("mean_tasks_per_branch must be at least 1")
+    if cv < 0:
+        raise ValueError(f"cv must be non-negative, got {cv}")
+    rng = np.random.default_rng(seed)
+    clock = 0.0
+    job_id = 0
+    for size in _chunk_sizes(num_jobs, chunk_size):
+        inter_arrivals = rng.exponential(1.0 / arrival_rate, size)
+        counts = rng.geometric(1.0 / mean_tasks_per_branch, (size, fan_out))
+        mean_factors = rng.uniform(0.5, 1.5, size)
+        weights = rng.integers(1, max_weight + 1, size)
+        for i in range(size):
+            clock += float(inter_arrivals[i])
+            job_mean = float(mean_duration * mean_factors[i])
+            if cv == 0:
+                duration = Deterministic(job_mean)
+            else:
+                duration = LogNormal(job_mean, cv * job_mean)
+            branches = tuple(
+                StageSpec(
+                    name=f"branch{b}",
+                    num_tasks=int(counts[i, b]),
+                    duration=duration,
+                    deps=(0,),
+                )
+                for b in range(fan_out)
+            )
+            stages = (
+                StageSpec(name="split", num_tasks=1, duration=duration),
+                *branches,
+                StageSpec(
+                    name="merge",
+                    num_tasks=1,
+                    duration=duration,
+                    deps=tuple(range(1, fan_out + 1)),
+                ),
+            )
+            yield JobSpec.from_stages(
+                job_id=job_id,
+                arrival_time=clock,
+                weight=float(weights[i]),
+                stages=stages,
             )
             job_id += 1
 

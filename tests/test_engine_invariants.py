@@ -9,6 +9,11 @@ copy history:
 * reduce copies make no progress before their job's map phase completes;
 * a task's completion time equals that of its earliest-finishing copy;
 * killed clones release their machines (the cluster drains to fully free).
+
+The stage-DAG extension (PR 6) adds two more layers on multi-round jobs:
+the incremental per-job counters must match a full ``_recount`` rescan at
+every decision point, and a mid-DAG failure kill must be re-dispatched
+exactly once under single-copy redundancy policies.
 """
 
 from __future__ import annotations
@@ -16,11 +21,14 @@ from __future__ import annotations
 import pytest
 
 from repro.core.srptms_c import SRPTMSCScheduler
+from repro.scenarios import MachineFailures, ScenarioSpec
 from repro.schedulers import FIFOScheduler, MantriScheduler, SCAScheduler
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.scheduler_api import Scheduler
+from repro.simulation.scheduler_api import ComposedScheduler, Scheduler
 from repro.workload.generators import poisson_trace
 from repro.workload.job import Phase
+from repro.workload.stream import stream_dag_chain_jobs, stream_dag_diamond_jobs
+from repro.workload.trace import Trace
 
 NUM_MACHINES = 6
 
@@ -52,12 +60,15 @@ class InvariantCheckingScheduler(Scheduler):
         occupied = list(view.running_copies())
 
         # At most one active copy per machine, and occupancy must agree
-        # with the free-machine count.
+        # with the free-machine count (down machines are neither free nor
+        # occupied).
         machine_ids = [copy.machine_id for copy in occupied]
         assert len(machine_ids) == len(set(machine_ids)), (
             f"two active copies share a machine at t={view.time}"
         )
-        assert len(machine_ids) == view.num_machines - view.num_free_machines
+        assert len(machine_ids) == (
+            view.num_machines - view.num_free_machines - view.num_down_machines
+        )
 
         for copy in occupied:
             # Blocked copies are exactly the reduce copies whose map phase
@@ -177,3 +188,133 @@ def test_invariants_hold_under_heavy_cloning(trace_seed):
     assert result.total_copies > result.total_tasks, "expected cloning to happen"
     assert result.wasted_work > 0.0
     assert engine.cluster.num_free == machines
+
+
+# --------------------------------------------------------------------- stage DAGs
+
+#: Every incrementally-maintained Job counter (see Job.__slots__); the
+#: rescan invariant asserts each one equals a from-scratch recount.
+COUNTER_SLOTS = (
+    "_unscheduled",
+    "_incomplete",
+    "_stage_ready",
+    "_unscheduled_ready",
+    "_unscheduled_total",
+    "_incomplete_total",
+    "_incomplete_stages",
+    "_active_copies",
+    "_copies_launched",
+)
+
+
+def _counter_snapshot(job):
+    return {
+        slot: list(value) if isinstance(value, list) else value
+        for slot, value in ((slot, getattr(job, slot)) for slot in COUNTER_SLOTS)
+    }
+
+
+class CounterRescanScheduler(InvariantCheckingScheduler):
+    """Also asserts incremental counters == full rescan at every decision.
+
+    ``Job._recount`` rederives every counter from the task lists and is
+    idempotent, so snapshotting before and after it proves the
+    incrementally-maintained state never drifted from ground truth.
+    """
+
+    def schedule(self, view):
+        for job in view.alive_jobs:
+            before = _counter_snapshot(job)
+            job._recount()
+            after = _counter_snapshot(job)
+            assert before == after, (
+                f"incremental counters drifted from a full rescan for job "
+                f"{job.job_id} at t={view.time}: {before} != {after}"
+            )
+        return super().schedule(view)
+
+
+def _dag_trace(kind: str, seed: int) -> Trace:
+    if kind == "chain":
+        specs = stream_dag_chain_jobs(
+            10,
+            num_rounds=3,
+            arrival_rate=0.3,
+            mean_tasks_per_round=3.0,
+            mean_duration=6.0,
+            cv=0.6,
+            seed=seed,
+        )
+    else:
+        specs = stream_dag_diamond_jobs(
+            10,
+            fan_out=3,
+            arrival_rate=0.3,
+            mean_tasks_per_branch=2.0,
+            mean_duration=6.0,
+            cv=0.6,
+            seed=seed,
+        )
+    return Trace(tuple(specs), name=f"dag-{kind}")
+
+
+@pytest.mark.parametrize("kind", ["chain", "diamond"])
+@pytest.mark.parametrize("triple", ["fifo+greedy+none", "srpt+greedy+late"])
+@pytest.mark.parametrize("trace_seed", [5, 31])
+def test_incremental_counters_match_rescan_on_multi_round_jobs(
+    kind, triple, trace_seed
+):
+    trace = _dag_trace(kind, trace_seed)
+    ordering, allocation, redundancy = triple.split("+")
+    scheduler = CounterRescanScheduler(
+        ComposedScheduler(ordering, allocation, redundancy, r=3.0)
+    )
+    engine = SimulationEngine(
+        trace, scheduler, NUM_MACHINES, seed=trace_seed, check_invariants=True
+    )
+    result = engine.run()
+    assert scheduler.decision_points > 0
+    assert result.num_jobs == trace.num_jobs
+    assert engine.cluster.num_free == NUM_MACHINES
+    # The trace really exercised multi-round DAGs, not degenerate 2-stagers.
+    assert any(job.num_stages > 2 for job in engine._jobs)
+
+
+@pytest.mark.parametrize("redundancy", ["none", "checkpoint"])
+@pytest.mark.parametrize("trace_seed", [13, 29])
+def test_mid_dag_failure_kills_redispatched_exactly_once(redundancy, trace_seed):
+    """Under a single-copy policy every failure kill triggers exactly one
+    replacement launch: per task, copies == kills + 1 and one winner."""
+    trace = _dag_trace("chain", trace_seed)
+    scheduler = CounterRescanScheduler(
+        ComposedScheduler("fifo", "greedy", redundancy)
+    )
+    scenario = ScenarioSpec(failures=MachineFailures(rate=0.01, mean_repair=5.0))
+    engine = SimulationEngine(
+        trace,
+        scheduler,
+        NUM_MACHINES,
+        seed=trace_seed,
+        scenario=scenario,
+        check_invariants=True,
+    )
+    result = engine.run()
+    assert result.num_jobs == trace.num_jobs
+    assert result.copies_killed_by_failure > 0, "expected failures to kill copies"
+
+    total_killed = 0
+    mid_dag_kill = False
+    for job in engine._jobs:
+        assert job.is_complete
+        for task in job.all_tasks():
+            finished = [copy for copy in task.copies if copy.is_finished]
+            killed = [copy for copy in task.copies if copy.is_killed]
+            assert len(finished) == 1
+            # Exactly one replacement per kill, never more, never fewer.
+            assert len(task.copies) == len(killed) + 1
+            total_killed += len(killed)
+            if killed and task.stage > 0:
+                mid_dag_kill = True
+
+    assert total_killed == result.copies_killed_by_failure
+    assert mid_dag_kill, "expected at least one kill on a stage past the first"

@@ -15,10 +15,13 @@ from repro.core.effective_workload import (
 )
 from repro.core.speedup import LogSpeedup, ParetoSpeedup, PowerSpeedup
 from repro.core.srptms_c import SRPTMSCScheduler
+from repro.policies.redundancy import CheckpointRedundancy
+from repro.scenarios import MachineFailures, ScenarioSpec
 from repro.schedulers.fifo import FIFOScheduler
 from repro.simulation.engine import SimulationEngine
-from repro.workload.distributions import BoundedPareto, LogNormal
-from repro.workload.job import JobSpec
+from repro.simulation.scheduler_api import ComposedScheduler
+from repro.workload.distributions import BoundedPareto, Deterministic, LogNormal
+from repro.workload.job import JobSpec, StageSpec
 from repro.workload.trace import Trace
 
 
@@ -229,3 +232,134 @@ class TestSimulationProperties:
             if copy.is_finished
         )
         assert result.useful_work == pytest.approx(winning)
+
+
+# --------------------------------------------------------------------------- stage DAGs
+
+@st.composite
+def dag_stage_tuples(draw, duration):
+    """A random valid stage DAG: every dependency points at an earlier stage."""
+    num_stages = draw(st.integers(min_value=1, max_value=4))
+    stages = []
+    for index in range(num_stages):
+        deps = ()
+        if index > 0:
+            deps = tuple(sorted(draw(st.sets(
+                st.integers(min_value=0, max_value=index - 1),
+                min_size=0, max_size=index,
+            ))))
+        # Stage 0 carries at least one task; later stages may be empty
+        # (an empty stage completes the instant it becomes ready).
+        num_tasks = draw(
+            st.integers(min_value=1 if index == 0 else 0, max_value=3)
+        )
+        stages.append(StageSpec(name=f"s{index}", num_tasks=num_tasks,
+                                duration=duration, deps=deps))
+    return tuple(stages)
+
+
+@st.composite
+def dag_spec_lists(draw, deterministic=False):
+    n = draw(st.integers(min_value=1, max_value=4))
+    specs = []
+    for i in range(n):
+        if deterministic:
+            duration = Deterministic(draw(st.floats(min_value=2.0,
+                                                    max_value=20.0)))
+        else:
+            mean = draw(st.floats(min_value=1.0, max_value=30.0))
+            cv = draw(st.floats(min_value=0.0, max_value=1.0))
+            duration = LogNormal(mean, cv * mean)
+        specs.append(JobSpec.from_stages(
+            job_id=i,
+            arrival_time=draw(st.floats(min_value=0.0, max_value=20.0)),
+            weight=draw(st.floats(min_value=0.5, max_value=5.0)),
+            stages=draw(dag_stage_tuples(duration)),
+        ))
+    return specs
+
+
+class TestDagProperties:
+    """Random stage-DAG workloads through the composed policy kernel."""
+
+    @given(specs=dag_spec_lists(),
+           machines=st.integers(min_value=1, max_value=12),
+           use_srpt=st.booleans(),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_topological_order_respected(self, specs, machines, use_srpt, seed):
+        # No copy of a stage's task may start before every predecessor
+        # stage has completed -- the gating invariant of the DAG model.
+        trace = Trace(specs)
+        scheduler = ComposedScheduler(
+            "srpt" if use_srpt else "fifo", "greedy", "none", r=3.0
+        )
+        engine = SimulationEngine(trace, scheduler, num_machines=machines,
+                                  seed=seed, check_invariants=True)
+        result = engine.run()
+        assert result.num_jobs == len(specs)
+        for job in engine._jobs:
+            for stage, tasks in enumerate(job.stage_tasks):
+                gates = [
+                    job.stage_completion_time(dep)
+                    for dep in job.stage_specs[stage].deps
+                ]
+                for task in tasks:
+                    for copy in task.copies:
+                        assert copy.start_time is not None
+                        for gate in gates:
+                            assert gate is not None
+                            assert copy.start_time >= gate - 1e-9
+
+    @given(specs=dag_spec_lists(deterministic=True),
+           machines=st.integers(min_value=2, max_value=8),
+           interval=st.floats(min_value=0.5, max_value=7.0),
+           rate=st.floats(min_value=0.005, max_value=0.05),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_checkpoint_resume_conserves_work(self, specs, machines, interval,
+                                              rate, seed):
+        # With deterministic workloads on unit-speed machines, every task
+        # contributes exactly its workload W to useful_work no matter how
+        # often failures kill it: each kill's checkpointed increment counts
+        # as useful, and the winning copy runs W minus the saved total.
+        trace = Trace(specs)
+        scheduler = ComposedScheduler(
+            "fifo", "greedy", CheckpointRedundancy(interval=interval)
+        )
+        scenario = ScenarioSpec(
+            failures=MachineFailures(rate=rate, mean_repair=2.0)
+        )
+        engine = SimulationEngine(trace, scheduler, num_machines=machines,
+                                  seed=seed, scenario=scenario,
+                                  check_invariants=True)
+        result = engine.run()
+        assert result.num_jobs == len(specs)
+        expected = sum(
+            stage.num_tasks * stage.duration.mean
+            for spec in specs
+            for stage in spec.stages
+        )
+        assert result.useful_work == pytest.approx(expected)
+        if result.checkpoint_resumes:
+            assert result.work_saved_by_checkpointing > 0.0
+
+    @given(specs=dag_spec_lists(),
+           machines=st.integers(min_value=1, max_value=10),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_redundancy_none_never_launches_second_copy(self, specs, machines,
+                                                        seed):
+        trace = Trace(specs)
+        scheduler = ComposedScheduler("srpt", "greedy", "none", r=3.0)
+        engine = SimulationEngine(trace, scheduler, num_machines=machines,
+                                  seed=seed, check_invariants=True)
+        result = engine.run()
+        assert result.num_jobs == len(specs)
+        assert result.redundant_copies_launched == 0
+        for job in engine._jobs:
+            for task in job.all_tasks():
+                assert len(task.copies) == 1

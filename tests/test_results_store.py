@@ -182,6 +182,44 @@ class TestResultsStore:
         assert recomputed.fingerprint() == fresh.fingerprint()
         assert store.load(key).fingerprint() == fresh.fingerprint()
 
+    def test_v2_format_entries_are_stale_and_recomputed(self, tmp_path):
+        """FORMAT_VERSION 3 (stage-DAG fields): a v2 entry -- no per-record
+        ``num_stages`` column, no checkpoint counters -- is detected as
+        stale and recomputed, never rebuilt with silently-defaulted
+        fields."""
+        from repro.simulation.results_store import FORMAT_VERSION
+
+        assert FORMAT_VERSION == 3
+        store = ResultsStore(tmp_path)
+        spec = make_spec()
+        key = run_spec_fingerprint(spec)
+        fresh = spec.execute()
+        path = store.store(key, canonical_spec_description(spec), fresh)
+
+        # Rewrite the entry the way pre-DAG code would have written it:
+        # format 2, record rows without the trailing num_stages column,
+        # and no checkpoint counters in the payload.
+        entry = json.loads(path.read_text())
+        entry["format"] = 2
+        payload = entry["result"]
+        del payload["checkpoint_resumes"]
+        del payload["work_saved_by_checkpointing"]
+        payload["records"] = [row[:-1] for row in payload["records"]]
+        path.write_text(json.dumps(entry))
+
+        assert store.load(key) is None
+        assert store.corrupt == 1 and store.misses == 1 and store.hits == 0
+
+        # A cached runner recomputes the cell and heals it to v3.
+        runner = ExperimentRunner(workers=1, store=store)
+        (recomputed,) = runner.run([spec])
+        assert runner.last_run_stats["executed"] == 1
+        assert recomputed.fingerprint() == fresh.fingerprint()
+        healed = store.load(key)
+        assert healed is not None
+        assert healed.fingerprint() == fresh.fingerprint()
+        assert all(record.num_stages == 2 for record in healed.records)
+
 
 class TestCachedRunner:
     def test_second_sweep_performs_zero_engine_runs(self, tmp_path):

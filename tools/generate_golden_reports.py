@@ -15,6 +15,7 @@ from pathlib import Path
 
 from repro.experiments import (
     ExperimentConfig,
+    run_dag_redundancy,
     run_figure1,
     run_figure2,
     run_figure3,
@@ -56,6 +57,7 @@ def generate() -> dict:
             failure_rates=GOLDEN_SWEEP_RATES,
         ).render(),
         "policy_grid": run_policy_grid(config).render(),
+        "dag_redundancy": run_dag_redundancy(config).render(),
     }
     comparison = run_scheduler_comparison(config)
     reports["figure4"] = run_figure4(config, results=comparison).render()
