@@ -13,7 +13,7 @@ read-only view through
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.cluster.machine import Machine
 from repro.workload.job import Phase, TaskCopy
@@ -50,7 +50,6 @@ class ClusterState:
             Machine(machine_id=i, speed=per_machine[i]) for i in range(num_machines)
         ]
         self._free_ids: List[int] = list(range(num_machines - 1, -1, -1))
-        self._copy_to_machine: Dict[int, int] = {}
         # Plain int counters per phase (dict-of-Phase hashing is measurable
         # on the placement hot path).
         self._map_running = 0
@@ -139,8 +138,8 @@ class ClusterState:
             )
         machine = self._machines[machine_id]
         machine.assign(copy)
-        self._copy_to_machine[id(copy)] = machine_id
-        if copy.task.phase is Phase.MAP:
+        # Task.phase avoided (property call): stage 0 is the map phase.
+        if copy.task.stage == 0:
             self._map_running += 1
         else:
             self._reduce_running += 1
@@ -148,22 +147,31 @@ class ClusterState:
 
     def release(self, copy: TaskCopy, elapsed: float = 0.0) -> Machine:
         """Free the machine occupied by ``copy``."""
-        key = id(copy)
-        if key not in self._copy_to_machine:
+        machine_id = self.machine_of(copy)
+        if machine_id is None:
             raise ValueError("copy is not placed on any machine")
-        machine_id = self._copy_to_machine.pop(key)
         machine = self._machines[machine_id]
         machine.release(elapsed=elapsed)
         self._free_ids.append(machine_id)
-        if copy.task.phase is Phase.MAP:
+        if copy.task.stage == 0:
             self._map_running -= 1
         else:
             self._reduce_running -= 1
         return machine
 
     def machine_of(self, copy: TaskCopy) -> Optional[int]:
-        """Machine id currently hosting ``copy``, or ``None``."""
-        return self._copy_to_machine.get(id(copy))
+        """Machine id currently hosting ``copy``, or ``None``.
+
+        Placement is derived from the hosting machine's ``current_copy``
+        (the copy's ``machine_id`` names the only machine that could host
+        it), so no side table has to be maintained on the placement path.
+        """
+        machine_id = copy.machine_id
+        if machine_id is None or not 0 <= machine_id < len(self._machines):
+            return None
+        if self._machines[machine_id].current_copy is copy:
+            return machine_id
+        return None
 
     # -- failure state transitions ---------------------------------------------------
 
@@ -210,7 +218,6 @@ class ClusterState:
         down_machines = [m for m in self._machines if m.is_down]
         assert len(busy_machines) == self.num_busy, "free-list inconsistent"
         assert len(down_machines) == self.num_down, "down count inconsistent"
-        assert len(self._copy_to_machine) == self.num_busy, "copy map inconsistent"
         assert (
             self._map_running + self._reduce_running == self.num_busy
         ), "phase counts inconsistent"
@@ -221,4 +228,4 @@ class ClusterState:
         for machine in busy_machines:
             copy = machine.current_copy
             assert copy is not None
-            assert self._copy_to_machine.get(id(copy)) == machine.machine_id
+            assert copy.machine_id == machine.machine_id, "copy/machine id mismatch"

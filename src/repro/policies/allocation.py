@@ -100,19 +100,22 @@ class GreedyAllocation(AllocationPolicy):
     ) -> List[LaunchRequest]:
         """One pass over the fixed ranking, one copy per launchable task."""
         requests: List[LaunchRequest] = []
-        has_launchable = has_launchable_tasks
         launchable = launchable_tasks
         for job in ordering.order(view, view.alive_jobs):
             if free <= 0:
                 break
-            if not has_launchable(job, allow_early_reduce):
-                # O(1) skip: don't build a task list for a job with nothing
-                # launchable (the common case once a job is fully dispatched).
+            # O(1) skip on the raw counters (inlined has_launchable_tasks:
+            # this test runs once per alive job per decision point): don't
+            # build a task list for a job with nothing launchable (the
+            # common case once a job is fully dispatched).
+            if job._unscheduled_ready == 0 and not (
+                allow_early_reduce and job._unscheduled_total > 0
+            ):
                 continue
             for task in launchable(job, allow_early_reduce):
                 if free <= 0:
                     break
-                requests.append(LaunchRequest(task=task, num_copies=1))
+                requests.append(LaunchRequest(task))
                 free -= 1
         return requests
 

@@ -41,19 +41,41 @@ def launchable_tasks(job: Job, allow_early_reduce: bool = False) -> List[Task]:
     ``allow_early_reduce`` offer the unscheduled tasks of not-yet-ready
     stages (launched copies park on their machines without progressing).
     """
-    if job.num_unscheduled_ready_tasks > 0:
+    unscheduled = job._unscheduled
+    ready = job._stage_ready
+    stage_lists = job.stage_tasks
+    if job._unscheduled_ready > 0:
         tasks: List[Task] = []
-        for stage in range(job.num_stages):
-            if job.stage_is_ready(stage) and job.num_unscheduled_stage_tasks(stage):
-                tasks.extend(job.unscheduled_stage_tasks(stage))
+        for stage, stage_list in enumerate(stage_lists):
+            count = unscheduled[stage]
+            if count and ready[stage]:
+                if count == len(stage_list):
+                    # Every task of the stage is unscheduled (the common
+                    # case: a freshly arrived or freshly readied stage);
+                    # skip the per-task filter.
+                    tasks.extend(stage_list)
+                else:
+                    tasks.extend(
+                        task
+                        for task in stage_list
+                        if task.completion_time is None
+                        and task._num_active == 0
+                    )
         return tasks
-    if allow_early_reduce and job.num_unscheduled_tasks > 0:
+    if allow_early_reduce and job._unscheduled_total > 0:
         tasks = []
-        for stage in range(job.num_stages):
-            if not job.stage_is_ready(stage) and job.num_unscheduled_stage_tasks(
-                stage
-            ):
-                tasks.extend(job.unscheduled_stage_tasks(stage))
+        for stage, stage_list in enumerate(stage_lists):
+            count = unscheduled[stage]
+            if count and not ready[stage]:
+                if count == len(stage_list):
+                    tasks.extend(stage_list)
+                else:
+                    tasks.extend(
+                        task
+                        for task in stage_list
+                        if task.completion_time is None
+                        and task._num_active == 0
+                    )
         return tasks
     return []
 

@@ -207,6 +207,32 @@ class SimulationEngine:
         )
         self.straggler_model.prepare(num_machines, self.rng)
         self._view = SchedulerView(self)
+        # Resolved notification hooks, or None when the scheduler (or the
+        # policy an instance attribute delegates to) left the base no-op in
+        # place: the engine then skips the call entirely on its hot paths.
+        # ``__func__`` sees through both class overrides and instance-level
+        # rebinding (ComposedScheduler rebinds on_task_completion when its
+        # redundancy policy ignores completions).
+        self._notify_arrival = self._resolve_hook("on_job_arrival")
+        self._notify_task_completion = self._resolve_hook("on_task_completion")
+        self._notify_job_completion = self._resolve_hook("on_job_completion")
+
+    def _resolve_hook(self, name: str):
+        """The scheduler's ``name`` hook, or ``None`` if it is the base no-op.
+
+        A scheduler whose class overrides ``on_task_completion`` only to
+        forward to a policy that ignores completions declares that with
+        ``ignores_task_completions`` (see :class:`ComposedScheduler`).
+        """
+        if name == "on_task_completion" and getattr(
+            self.scheduler, "ignores_task_completions", False
+        ):
+            return None
+        hook = getattr(self.scheduler, name)
+        base = getattr(Scheduler, name)
+        if getattr(hook, "__func__", hook) is base:
+            return None
+        return hook
 
     # ------------------------------------------------------------------ public API
 
@@ -216,25 +242,97 @@ class SimulationEngine:
 
     def run(self) -> SimulationResult:
         """Run the simulation to completion and return the collected metrics."""
+        # The event loop allocates a handful of small objects per simulation
+        # step; at the default gen-0 threshold (700) a long run spends >15%
+        # of its wall clock in tens of thousands of young-generation
+        # collections that scan the ever-growing record list.  Raising the
+        # threshold for the duration of the run cuts the collection count by
+        # ~15x while still reclaiming the cyclic job graphs periodically
+        # (disabling GC outright would balloon RSS).  GC timing has no
+        # effect on simulation semantics, so results stay bit-identical.
+        import gc
+
+        old_thresholds = gc.get_threshold()
+        gc.set_threshold(10_000, old_thresholds[1], old_thresholds[2])
+        try:
+            return self._run()
+        finally:
+            gc.set_threshold(*old_thresholds)
+
+    def _run(self) -> SimulationResult:
+        """The actual event loop behind :meth:`run`."""
         self.scheduler.bind(self._view)
         self._push_next_arrival()
         self._schedule_initial_machine_events()
+        # Hoisted loop-invariant conditions: ``tick_interval`` is fixed at
+        # scheduler construction, so tickless runs (every policy but
+        # LATE/Mantri) skip the per-iteration tick bookkeeping entirely.
+        interval = self.scheduler.tick_interval
+        ticks = interval is not None and interval > 0
+        max_time = self.max_time
+        check = self.check_invariants
+        events = self._events
+        entries = events._entries
+        pop_next = events.pop_next
+        pop_at = events.pop_at
+        handle = self._handle_event
+        handle_finish = self._handle_copy_finish
+        handle_arrival = self._handle_arrival
+        pump = self._push_next_arrival
+        schedule = self.scheduler.schedule
+        view = self._view
+        dynamic = self._dynamic
+        total_jobs = self._total_jobs
+        arrival_type = EventType.JOB_ARRIVAL
+        finish_type = EventType.COPY_FINISH
 
+        # The batch loop of :meth:`_pop_simultaneous_events`, inlined and
+        # interleaved: each event is handled as it is popped instead of
+        # being buffered into a batch list first.  This is behaviourally
+        # identical -- handlers never push same-timestamp events (all
+        # workloads and scenario draws are strictly positive), stale
+        # finishes are rejected both in the heap and in the handler, and
+        # within every (time, priority) class the relative sequence order
+        # of pushes is preserved -- but it drops one list allocation and
+        # two method calls per simulation step.  The two dominant event
+        # types (one finish per copy, one arrival per job) dispatch
+        # directly to their handlers; everything else (machine events,
+        # ticks) goes through :meth:`_handle_event`.
         while True:
-            batch = self._pop_simultaneous_events()
-            if batch is None:
+            event = pop_next()
+            if event is None:
                 break
-            if self.max_time is not None and self.now > self.max_time:
+            now = self.now = event.time
+            if max_time is not None and now > max_time:
                 raise SimulationError(
-                    f"simulation exceeded max_time={self.max_time} at t={self.now}"
+                    f"simulation exceeded max_time={max_time} at t={now}"
                 )
-            for event in batch:
-                self._handle_event(event)
-            if self._completed == self._total_jobs:
+            while True:
+                event_type = event.event_type
+                if event_type is finish_type:
+                    handle_finish(event.copy, event.version)
+                elif event_type is arrival_type:
+                    pump()
+                    handle_arrival(event.job)
+                else:
+                    handle(event)
+                event = pop_at(now)
+                if event is None:
+                    break
+            if self._completed == total_jobs:
                 break
-            self._invoke_scheduler()
-            self._maybe_schedule_tick()
-            if self.check_invariants:
+            # Inlined _invoke_scheduler: one decision point per batch.
+            requests = schedule(view)
+            if requests:
+                self._apply_launches(requests)
+            if dynamic or not entries:
+                # Stuck-detection only matters when no future event could
+                # unstick the run: on the static path a non-empty heap
+                # proves progress (the check's own fast exit, hoisted).
+                self._check_progress_possible()
+            if ticks:
+                self._maybe_schedule_tick()
+            if check:
                 self.cluster.check_invariants()
 
         if self._completed != self._total_jobs:
@@ -281,39 +379,15 @@ class SimulationEngine:
         job = Job.from_spec(spec)
         if self._retain_jobs:
             self._jobs.append(job)
-        self._push(Event.arrival(job.arrival_time, next(self._sequence), job))
-
-    def _pop_simultaneous_events(self) -> Optional[List[Event]]:
-        """Pop every live event sharing the earliest timestamp.
-
-        Stale completions are dropped inside :class:`EventHeap`, so every
-        returned batch starts with a live event and the scheduler is never
-        consulted -- and its view never rebuilt -- for a timestamp at which
-        nothing can change.  Popping an arrival immediately pumps the next
-        one from the source (see :meth:`_push_next_arrival`).
-        """
-        events = self._events
-        first = events.pop_next()
-        if first is None:
-            return None
-        self.now = first.time
-        if first.event_type is EventType.JOB_ARRIVAL:
-            self._push_next_arrival()
-        batch = [first]
-        while True:
-            event = events.pop_at(self.now)
-            if event is None:
-                break
-            batch.append(event)
-            if event.event_type is EventType.JOB_ARRIVAL:
-                self._push_next_arrival()
-        return batch
+        self._events.push_arrival(job, spec.arrival_time, next(self._sequence))
 
     def _handle_event(self, event: Event) -> None:
-        if event.event_type is EventType.JOB_ARRIVAL:
-            self._handle_arrival(event.job)
-        elif event.event_type is EventType.COPY_FINISH:
+        # Dispatch by frequency: completions dominate (one per copy),
+        # arrivals come second (one per job); everything else is rare.
+        if event.event_type is EventType.COPY_FINISH:
             self._handle_copy_finish(event.copy, event.version)
+        elif event.event_type is EventType.JOB_ARRIVAL:
+            self._handle_arrival(event.job)
         elif event.event_type is EventType.MACHINE_FAILURE:
             self._handle_machine_failure(event.machine_id)
         elif event.event_type is EventType.MACHINE_REPAIR:
@@ -328,31 +402,35 @@ class SimulationEngine:
             raise SimulationError(f"unknown event type {event.event_type}")
 
     def _handle_arrival(self, job: Job) -> None:
-        if job.job_id in self._alive:
+        spec = job.spec
+        job_id = spec.job_id
+        alive = self._alive
+        if job_id in alive:
             # Trace.__init__ rejects duplicate ids up front; a stream factory
             # can only be checked as it yields.  A duplicate would corrupt
             # the job_id-keyed alive/buffer bookkeeping -- fail fast instead.
             raise SimulationError(
-                f"trace source yielded duplicate job_id {job.job_id} while "
+                f"trace source yielded duplicate job_id {job_id} while "
                 "the first job with that id is still alive"
             )
-        self._alive[job.job_id] = job
+        alive[job_id] = job
         self._arrived += 1
         if self._accumulate_tasks:
-            self.result.total_tasks += job.spec.total_tasks
-        self._presample_workloads(job)
-        self.scheduler.on_job_arrival(job, self.now)
-
-    def _presample_workloads(self, job: Job) -> None:
-        """Draw one workload per task of ``job``, one vectorised call per stage."""
-        for stage_index, stage in enumerate(job.stage_specs):
+            self.result.total_tasks += spec.num_map_tasks + spec.num_reduce_tasks
+        # Inlined _presample_workloads: one vectorised draw per stage.
+        rng = self.rng
+        buffers = self._workload_buffers
+        stage_index = 0
+        for stage in job._stages:
             count = stage.num_tasks
-            if count == 0:
-                continue
-            buffer = stage.duration.sample_list(self.rng, count)
-            # Reversed so pop() consumes values in draw order.
-            buffer.reverse()
-            self._workload_buffers[(job.job_id, stage_index)] = buffer
+            if count:
+                buffer = stage.duration.sample_list(rng, count)
+                # Reversed so pop() consumes values in draw order.
+                buffer.reverse()
+                buffers[(job_id, stage_index)] = buffer
+            stage_index += 1
+        if self._notify_arrival is not None:
+            self._notify_arrival(job, self.now)
 
     def _next_workload(self, task: Task) -> float:
         """Next pre-sampled workload for ``task``'s stage (refill on demand)."""
@@ -375,33 +453,88 @@ class SimulationEngine:
             # Re-estimated by an earlier event in this same batch.
             return
         task = copy.task
+        now = self.now
+        result = self.result
+        cluster = self.cluster
+        dynamic = self._dynamic
         # A finishing copy always started; elapsed = now - start (inlined
         # from TaskCopy.elapsed, which this hot path calls per completion).
-        elapsed = self.now - copy.start_time
-        copy.finish(self.now)
-        self.cluster.release(copy, elapsed=elapsed)
-        if self._dynamic:
-            self._running.pop(copy.machine_id, None)
-        self.result.useful_work += elapsed
-
-        killed = task.complete(self.now)
-        for clone in killed:
-            # Killed at now: elapsed = now - start, or 0 for a blocked copy.
-            clone_elapsed = (
-                0.0 if clone.start_time is None else self.now - clone.start_time
-            )
-            self.cluster.release(clone, elapsed=clone_elapsed)
-            if self._dynamic:
-                self._running.pop(clone.machine_id, None)
-            self.result.wasted_work += clone_elapsed
-
+        elapsed = now - copy.start_time
+        # Inlined TaskCopy.finish + Task.complete (+ the bookkeeping hooks
+        # they call) -- validation elided: the staleness tests above prove
+        # the copy is active and its task incomplete.  The winning copy's
+        # deactivation (+1 to the unscheduled counters, fires iff it was
+        # the last active copy) and the task's completion (-1, same
+        # condition) cancel exactly, so no unscheduled delta is applied on
+        # this path at all.
+        copy.finish_time = now
+        task.completion_time = now
         job = task.job
-        job_finished = job.notify_task_completion(task, self.now)
-        newly_ready = job.take_newly_ready_stages()
+        stage = task.stage
+        num_active = task._num_active - 1
+        task._num_active = num_active
+        job._active_copies -= 1
+        # Inlined ClusterState.release (a finishing copy is always placed
+        # on its own machine); Task.phase avoided -- stage 0 is the map
+        # phase.
+        machine_id = copy.machine_id
+        machine = cluster._machines[machine_id]
+        machine.current_copy = None
+        machine.busy_time += elapsed
+        cluster._free_ids.append(machine_id)
+        if stage == 0:
+            cluster._map_running -= 1
+        else:
+            cluster._reduce_running -= 1
+        if dynamic:
+            self._running.pop(copy.machine_id, None)
+        result.useful_work += elapsed
+
+        if num_active:
+            # Clones still occupy machines: kill and release them in copy
+            # order (inlined TaskCopy.kill; the task's completion_time is
+            # already set, so no unscheduled re-entry fires).
+            for clone in task.copies:
+                if clone.finish_time is None and clone.killed_at is None:
+                    clone.killed_at = now
+                    task._num_active -= 1
+                    job._active_copies -= 1
+                    clone_elapsed = (
+                        0.0
+                        if clone.start_time is None
+                        else now - clone.start_time
+                    )
+                    machine_id = clone.machine_id
+                    machine = cluster._machines[machine_id]
+                    machine.current_copy = None
+                    machine.busy_time += clone_elapsed
+                    cluster._free_ids.append(machine_id)
+                    if stage == 0:
+                        cluster._map_running -= 1
+                    else:
+                        cluster._reduce_running -= 1
+                    if dynamic:
+                        self._running.pop(clone.machine_id, None)
+                    result.wasted_work += clone_elapsed
+
+        # Inlined Job.notify_task_completion (the engine calls it exactly
+        # once per completion, so its ownership checks are elided).
+        incomplete = job._incomplete
+        incomplete[stage] -= 1
+        job._incomplete_total -= 1
+        if (
+            incomplete[stage] == 0
+            and job._stage_completion[stage] is None
+            and job._stage_ready[stage]
+        ):
+            job._complete_stage(stage, now)
+        newly_ready = job._newly_ready
         if newly_ready:
+            job._newly_ready = []
             self._unblock_parked_copies(job, newly_ready)
-        self.scheduler.on_task_completion(task, self.now)
-        if job_finished:
+        if self._notify_task_completion is not None:
+            self._notify_task_completion(task, now)
+        if job.completion_time is not None:
             self._finalize_job(job)
 
     def _unblock_parked_copies(self, job: Job, stages: Sequence[int]) -> None:
@@ -426,24 +559,34 @@ class SimulationEngine:
                         self._push_finish(copy, self.now + copy.workload)
 
     def _finalize_job(self, job: Job) -> None:
-        del self._alive[job.job_id]
+        spec = job.spec
+        job_id = spec.job_id
+        del self._alive[job_id]
         self._completed += 1
-        for stage_index in range(job.num_stages):
-            self._workload_buffers.pop((job.job_id, stage_index), None)
-        self.result.add_record(
-            JobRecord(
-                job_id=job.job_id,
-                arrival_time=job.arrival_time,
-                completion_time=job.completion_time,
-                weight=job.weight,
-                num_map_tasks=job.spec.num_map_tasks,
-                num_reduce_tasks=job.spec.num_reduce_tasks,
-                copies_launched=job.total_copies_launched(),
-                map_phase_completion_time=job.map_phase_completion_time,
-                num_stages=job.num_stages,
-            )
-        )
-        self.scheduler.on_job_completion(job, self.now)
+        buffers = self._workload_buffers
+        num_stages = len(job._stages)
+        for stage_index in range(num_stages):
+            buffers.pop((job_id, stage_index), None)
+        # Inlined JobRecord construction and SimulationResult.add_record
+        # (append plus metric-cache invalidation); runs once per completed
+        # job, and the record constructor is pure field assignment.
+        record = JobRecord.__new__(JobRecord)
+        record.job_id = job_id
+        record.arrival_time = spec.arrival_time
+        record.completion_time = job.completion_time
+        record.weight = spec.weight
+        record.num_map_tasks = spec.num_map_tasks
+        record.num_reduce_tasks = spec.num_reduce_tasks
+        record.copies_launched = job._copies_launched
+        record.map_phase_completion_time = job._stage_completion[0]
+        record.num_stages = num_stages
+        result = self.result
+        result.records.append(record)
+        result_dict = result.__dict__
+        result_dict.pop("_flowtimes_cache", None)
+        result_dict.pop("_weights_cache", None)
+        if self._notify_job_completion is not None:
+            self._notify_job_completion(job, self.now)
 
     # ------------------------------------------------------------------ machine events
 
@@ -630,38 +773,59 @@ class SimulationEngine:
 
     def _invoke_scheduler(self) -> None:
         requests = self.scheduler.schedule(self._view)
-        self._apply_launches(requests)
+        if requests:
+            self._apply_launches(requests)
         self._check_progress_possible()
 
     def _apply_launches(self, requests: Sequence[LaunchRequest]) -> None:
+        now = self.now + 1e-9
+        free_ids = self.cluster._free_ids
+        result = self.result
+        launch = self._launch_copy
         for request in requests:
             task = request.task
-            self._validate_request(task)
-            for _ in range(request.num_copies):
-                if not self.cluster.has_free_machine():
-                    self.result.over_requests += 1
+            job = task.job
+            # Combined guard over the three _validate_request conditions;
+            # the (cold) method re-runs them to raise the precise error.
+            if (
+                job.spec.arrival_time > now
+                or task.completion_time is not None
+                or job.completion_time is not None
+            ):
+                self._validate_request(task)
+            num_copies = request.num_copies
+            if num_copies == 1:
+                # The overwhelmingly common request shape.
+                if free_ids:
+                    launch(task)
+                else:
+                    result.over_requests += 1
+                continue
+            for _ in range(num_copies):
+                if not free_ids:
+                    result.over_requests += 1
                     continue
-                self._launch_copy(task)
+                launch(task)
 
     def _validate_request(self, task: Task) -> None:
         job = task.job
-        if job.arrival_time > self.now + 1e-9:
+        if job.spec.arrival_time > self.now + 1e-9:
             raise SimulationError(
                 f"scheduler launched task {task.task_id} before its job arrived"
             )
-        if task.is_completed:
+        if task.completion_time is not None:
             raise SimulationError(
                 f"scheduler launched already-completed task {task.task_id}"
             )
-        if job.is_complete:
+        if job.completion_time is not None:
             raise SimulationError(
                 f"scheduler launched a task of completed job {job.job_id}"
             )
 
     def _launch_copy(self, task: Task) -> TaskCopy:
         cluster = self.cluster
-        machine_id = cluster.peek_free_machine()
-        assert machine_id is not None
+        free_ids = cluster._free_ids
+        machine_id = free_ids[-1]
         raw_workload = self._next_workload(task)
         if self._inflate is not None:
             raw_workload = self._inflate(raw_workload, machine_id, self.rng)
@@ -671,40 +835,75 @@ class SimulationEngine:
             # deducted (with a tiny floor so the copy stays schedulable).
             raw_workload = max(raw_workload - task.checkpoint_work, 1e-9)
             self.result.checkpoint_resumes += 1
-        machine = cluster.machine(machine_id)
-        duration = machine.processing_time(raw_workload)
-        copy = TaskCopy(
-            next(self._copy_ids),
-            task,
-            machine_id,
-            self.now,
-            duration,
-            work=raw_workload,
-        )
-        if task.num_active_copies > 0:
+        now = self.now
+        result = self.result
+        machine = cluster._machines[machine_id]
+        # Inlined Machine.processing_time / effective_speed: a machine on
+        # the free list is up, so only the slowdown branch remains (the
+        # no-division path preserves pre-scenario results bit for bit).
+        if machine.slowdown == 1.0:
+            duration = raw_workload / machine.speed
+        else:
+            duration = raw_workload / (machine.speed / machine.slowdown)
+        # Inlined TaskCopy construction -- its validation cannot fire
+        # (raw_workload is floored strictly positive, now >= 0).
+        copy = TaskCopy.__new__(TaskCopy)
+        copy.copy_id = next(self._copy_ids)
+        copy.task = task
+        copy.machine_id = machine_id
+        copy.launch_time = now
+        copy.workload = duration
+        copy.start_time = None
+        copy.finish_time = None
+        copy.killed_at = None
+        copy.work = raw_workload
+        copy.finish_version = 0
+        job = task.job
+        stage = task.stage
+        num_active = task._num_active
+        if num_active > 0:
             # The task already occupies a machine: this launch is redundant
             # (a clone or a speculative duplicate).  Replacements of
             # failure-killed copies are not counted -- the killed copy no
             # longer holds a machine when the task is re-dispatched.
-            self.result.redundant_copies_launched += 1
-        task.add_copy(copy)
-        cluster.place(copy)
-        self.result.total_copies += 1
+            result.redundant_copies_launched += 1
+        # Inlined Task.add_copy (the task is not complete: _apply_launches
+        # validated the request) and ClusterState.place (the copy was just
+        # built for the peeked machine, so the id checks cannot fire; a
+        # free-listed machine is up and idle, covering Machine.assign).
+        task.copies.append(copy)
+        if num_active == 0:
+            job._unscheduled[stage] -= 1
+            job._unscheduled_total -= 1
+            if job._stage_ready[stage]:
+                job._unscheduled_ready -= 1
+        task._num_active = num_active + 1
+        job._active_copies += 1
+        job._copies_launched += 1
+        free_ids.pop()
+        machine.current_copy = copy
+        machine.copies_hosted += 1
+        if stage == 0:
+            cluster._map_running += 1
+        else:
+            cluster._reduce_running += 1
+        result.total_copies += 1
 
-        job = task.job
-        if not job.stage_is_ready(task.stage):
+        if not job._stage_ready[stage]:
             # Parked: occupies the machine, progresses only once every
             # predecessor stage completes (reduce-behind-map in the 2-node DAG).
             return copy
-        copy.start(self.now)
+        # Inlined TaskCopy.start: a just-launched copy is active, unstarted
+        # and launched at `now`, so its validation cannot fire.
+        copy.start_time = now
         if self._dynamic:
             self._running[machine_id] = _RunningCopy(
                 copy=copy,
                 work_remaining=raw_workload,
-                settled_at=self.now,
+                settled_at=now,
                 rate=machine.effective_speed,
             )
-        self._push_finish(copy, self.now + copy.workload)
+        self._events.push_finish(copy, now + duration, next(self._sequence))
         return copy
 
     def _maybe_schedule_tick(self) -> None:

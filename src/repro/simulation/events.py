@@ -170,6 +170,9 @@ class Event:
 _COPY_FINISH = int(EventType.COPY_FINISH)
 _JOB_ARRIVAL = int(EventType.JOB_ARRIVAL)
 _TICK = int(EventType.TICK)
+#: Enum members, bound once for the inlined Event construction above.
+_FINISH_TYPE = EventType.COPY_FINISH
+_ARRIVAL_TYPE = EventType.JOB_ARRIVAL
 
 
 class EventHeap:
@@ -200,6 +203,20 @@ class EventHeap:
             self._entries, (event.time, event.priority, event.sequence, event)
         )
 
+    def push_arrival(self, job: Job, time: float, sequence: int) -> None:
+        """Queue the arrival of ``job`` (Event construction inlined: this
+        runs once per job of the whole trace/stream)."""
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = _JOB_ARRIVAL
+        event.sequence = sequence
+        event.event_type = _ARRIVAL_TYPE
+        event.job = job
+        event.copy = None
+        event.machine_id = None
+        event.version = 0
+        heapq.heappush(self._entries, (time, _JOB_ARRIVAL, sequence, event))
+
     def push_finish(self, copy: TaskCopy, time: float, sequence: int) -> None:
         """Queue the (only currently valid) finish event of ``copy``.
 
@@ -210,10 +227,15 @@ class EventHeap:
         """
         version = copy.finish_version + 1
         copy.finish_version = version
-        event = Event(
-            time, _COPY_FINISH, sequence, EventType.COPY_FINISH, None, copy,
-            None, version,
-        )
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = _COPY_FINISH
+        event.sequence = sequence
+        event.event_type = _FINISH_TYPE
+        event.job = None
+        event.copy = copy
+        event.machine_id = None
+        event.version = version
         heapq.heappush(self._entries, (time, _COPY_FINISH, sequence, event))
 
     @staticmethod
@@ -236,19 +258,46 @@ class EventHeap:
 
     def pop_next(self) -> Optional[Event]:
         """Pop and return the earliest live event (``None`` when drained)."""
-        self._drop_stale()
-        if not self._entries:
-            return None
-        return heapq.heappop(self._entries)[3]
+        # Staleness test inlined (see _is_stale): this loop runs once per
+        # simulation step and the extra call frames are measurable.
+        entries = self._entries
+        pop = heapq.heappop
+        while entries:
+            head = entries[0][3]
+            if head.priority == _COPY_FINISH:
+                copy = head.copy
+                if (
+                    copy.finish_time is not None
+                    or copy.killed_at is not None
+                    or head.version != copy.finish_version
+                ):
+                    pop(entries)
+                    continue
+            return pop(entries)[3]
+        return None
 
     def pop_at(self, time: float) -> Optional[Event]:
         """Pop the earliest live event if it fires exactly at ``time``.
 
         One combined drop-stale/peek/pop call for the engine's
-        simultaneous-batch loop.
+        simultaneous-batch loop.  Stale entries later than ``time`` are
+        left in place -- :meth:`pop_next` drops them when reached.
         """
-        self._drop_stale()
         entries = self._entries
-        if entries and entries[0][0] == time:
-            return heapq.heappop(entries)[3]
+        pop = heapq.heappop
+        while entries:
+            first = entries[0]
+            if first[0] != time:
+                return None
+            head = first[3]
+            if head.priority == _COPY_FINISH:
+                copy = head.copy
+                if (
+                    copy.finish_time is not None
+                    or copy.killed_at is not None
+                    or head.version != copy.finish_version
+                ):
+                    pop(entries)
+                    continue
+            return pop(entries)[3]
         return None

@@ -405,6 +405,21 @@ def execute_run_spec(spec: RunSpec) -> SimulationResult:
     return spec.execute()
 
 
+def _execute_batch(
+    batch: List[RunSpec],
+) -> Tuple[int, List[SimulationResult]]:
+    """Pool entry point: run a whole batch of specs in one dispatch.
+
+    Returns the executing worker's PID alongside the results so the
+    parent can account dispatches per worker
+    (:attr:`ExperimentRunner.last_dispatch_stats`).  Shipping batches --
+    rather than relying on ``pool.map`` chunking of single specs --
+    keeps one IPC round-trip (and one results pickle) per *batch* of
+    small runs instead of per run.
+    """
+    return os.getpid(), [spec.execute() for spec in batch]
+
+
 class ExperimentRunner:
     """Executes batches of :class:`RunSpec` serially or on a process pool.
 
@@ -419,8 +434,9 @@ class ExperimentRunner:
         ``multiprocessing`` start-method name (``"fork"``/``"spawn"``) or
         context object; defaults to the platform default.
     chunksize:
-        Specs handed to a worker per dispatch; defaults to a heuristic
-        that balances scheduling overhead against load balance.
+        Specs batched into one worker dispatch; defaults to a heuristic
+        that balances scheduling overhead against load balance (see
+        :meth:`_execute`).
     cache_dir:
         Directory of a :class:`~repro.simulation.results_store.ResultsStore`.
         When set, every executed spec's result is persisted there and
@@ -460,6 +476,15 @@ class ExperimentRunner:
             "cache_hits": 0,
             "uncacheable": 0,
         }
+        #: Dispatch accounting of the most recent :meth:`_execute` that
+        #: actually ran specs: number of ``batches`` shipped, the
+        #: ``batch_size`` used, and ``per_worker`` -- batches handled per
+        #: worker PID (the parent's own PID on the serial path).
+        self.last_dispatch_stats: Dict[str, Any] = {
+            "batches": 0,
+            "batch_size": 0,
+            "per_worker": {},
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExperimentRunner(workers={self.workers})"
@@ -467,21 +492,50 @@ class ExperimentRunner:
     # -- execution -----------------------------------------------------------------
 
     def _execute(self, specs: List[RunSpec]) -> List[SimulationResult]:
-        """Run every spec (serially or on the pool), no cache involved."""
+        """Run every spec (serially or on the pool), no cache involved.
+
+        Pool dispatch is **batched**: specs are grouped into contiguous
+        batches of ``chunksize`` (default: a few batches per worker) and
+        each batch crosses the process boundary as one task, so a sweep
+        of many small runs pays one pickle/IPC round-trip per batch, not
+        per run.  Results come back in spec order either way;
+        :attr:`last_dispatch_stats` records the batch count and the
+        batches-per-worker distribution.
+        """
         if not specs:
             return []
         pool_size = min(self.workers, len(specs))
         if pool_size == 1:
+            self.last_dispatch_stats = {
+                "batches": 1,
+                "batch_size": len(specs),
+                "per_worker": {os.getpid(): 1},
+            }
             return [spec.execute() for spec in specs]
         context = self._mp_context
         if not isinstance(context, multiprocessing.context.BaseContext):
             context = multiprocessing.get_context(context)
-        chunksize = self._chunksize
-        if chunksize is None:
-            # A few chunks per worker: amortise IPC without starving anyone.
-            chunksize = max(1, len(specs) // (pool_size * 4))
+        batch_size = self._chunksize
+        if batch_size is None:
+            # A few batches per worker: amortise IPC without starving anyone.
+            batch_size = max(1, len(specs) // (pool_size * 4))
+        batches = [
+            specs[start : start + batch_size]
+            for start in range(0, len(specs), batch_size)
+        ]
         with context.Pool(processes=pool_size) as pool:
-            return pool.map(execute_run_spec, specs, chunksize=chunksize)
+            dispatched = pool.map(_execute_batch, batches, chunksize=1)
+        per_worker: Dict[int, int] = {}
+        results: List[SimulationResult] = []
+        for pid, batch_results in dispatched:
+            per_worker[pid] = per_worker.get(pid, 0) + 1
+            results.extend(batch_results)
+        self.last_dispatch_stats = {
+            "batches": len(batches),
+            "batch_size": batch_size,
+            "per_worker": per_worker,
+        }
+        return results
 
     def run(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
         """Execute every spec and return results in spec order.

@@ -67,7 +67,9 @@ class SchedulerView:
     @property
     def num_free_machines(self) -> int:
         """Machines idle (and up) at this instant."""
-        return self._engine.cluster.num_free
+        # Direct free-list length: this property runs once per decision
+        # point, so the num_free property hop is skipped.
+        return len(self._engine.cluster._free_ids)
 
     @property
     def num_down_machines(self) -> int:
@@ -248,6 +250,8 @@ class ComposedScheduler(Scheduler):
         # Scheduler/LaunchRequest contract, so importing it at module level
         # would be cyclic.
         from repro.policies import (
+            GreedyAllocation,
+            RedundancyPolicy,
             make_allocation,
             make_ordering,
             make_redundancy,
@@ -260,6 +264,26 @@ class ComposedScheduler(Scheduler):
         self.redundancy = make_redundancy(redundancy)
         self.allow_early_reduce = allow_early_reduce
         self.tick_interval = self.redundancy.tick_interval
+        # Hot-path gates, resolved once (plain bools so the scheduler stays
+        # picklable for pool dispatch): when the redundancy policy left the
+        # base no-op hooks in place, the per-completion forwarding and the
+        # per-decision finalize pass are skipped entirely.  The engine reads
+        # ``ignores_task_completions`` to elide its own notification call.
+        redundancy_cls = type(self.redundancy)
+        self.ignores_task_completions = (
+            redundancy_cls.on_task_completion
+            is RedundancyPolicy.on_task_completion
+        )
+        self._redundancy_finalizes = (
+            redundancy_cls.finalize is not RedundancyPolicy.finalize
+        )
+        # Static ordering + greedy allocation (the overwhelmingly common
+        # composition) dispatches straight to the static machine walk,
+        # skipping the allocate() indirection per decision point.
+        self._static_greedy = (
+            type(self.allocation) is GreedyAllocation
+            and not self.ordering.dynamic
+        )
         # The checkpoint redundancy policy carries the checkpoint interval;
         # the engine discovers it here and enables checkpoint-resume kills.
         self.checkpoint_interval = getattr(
@@ -279,13 +303,21 @@ class ComposedScheduler(Scheduler):
         free = view.num_free_machines
         if free <= 0:
             return []
-        planned, used = self.allocation.allocate(
-            view,
-            self.ordering,
-            self.redundancy,
-            self._rng,
-            self.allow_early_reduce,
-        )
+        if self._static_greedy:
+            planned = self.allocation._static_walk(
+                view, self.ordering, free, self.allow_early_reduce
+            )
+            used = len(planned)
+        else:
+            planned, used = self.allocation.allocate(
+                view,
+                self.ordering,
+                self.redundancy,
+                self._rng,
+                self.allow_early_reduce,
+            )
+        if not self._redundancy_finalizes:
+            return planned
         return self.redundancy.finalize(
             view,
             free - used,

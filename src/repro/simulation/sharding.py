@@ -1,0 +1,421 @@
+"""Time-epoch sharding: split one long streamed run into cacheable shards.
+
+A single million-job simulation is one monolithic engine run: it cannot be
+parallelised, and an interrupted run restarts from zero.  This module
+splits such a run into ``k`` contiguous **job-id windows** of its stream
+(the shard key is the arrival epoch: window ``i`` covers jobs
+``[start_i, start_i + count_i)``, arriving at ``job_id * inter_arrival``),
+simulates every window as an ordinary independent
+:class:`~repro.simulation.experiment_runner.RunSpec`, and merges the shard
+results into one :class:`~repro.simulation.metrics.SimulationResult` that
+is **bit-identical** to the unsharded run -- same fingerprint, same
+records, same counters.
+
+Because every shard is a plain ``RunSpec`` (its trace is a
+:func:`~repro.workload.stream.stream_uniform_window` recipe), shards flow
+through the existing content-addressed results store: each shard is
+fingerprinted by :func:`~repro.simulation.results_store.run_spec_fingerprint`
+and persisted individually, so an interrupted sharded run **resumes** --
+already-computed shards are cache hits and only the missing windows touch
+the engine.  Shards also fan out over the
+:class:`~repro.simulation.experiment_runner.ExperimentRunner` pool like any
+other spec batch.
+
+Soundness envelope
+------------------
+Bit-identity of the merge is *proved*, not hoped for, which restricts the
+supported runs.  Sharding applies only when (statically checked by
+:func:`plan_shards`):
+
+* the trace is a :class:`~repro.workload.stream.StreamSpec` over
+  :func:`~repro.workload.stream.stream_uniform_jobs` with
+  ``tasks_per_job=1``, ``reduce_tasks_per_job=0`` and ``inter_arrival > 0``
+  (deterministic durations: the engine's workload RNG is never consumed,
+  so a fresh per-shard generator changes nothing);
+* the scheduler launches single copies only (redundancy policy ``"none"``,
+  no ticks), so no clones race and no scheduler RNG is consumed;
+* there is no per-copy straggler model and no dynamic-straggler scenario
+  process (both consume RNG streams mid-run); heterogeneous machine
+  speeds and machine failures *are* supported -- their randomness comes
+  from dedicated per-``(seed, machine)`` streams that replay identically
+  in every shard; and ``max_time`` is unset.
+
+and only when (dynamically checked by replaying the merged records against
+the precomputed machine-event timeline, see ``_validate``):
+
+* the run **serializes**: every job completes before the next arrives, so
+  each shard window is an independent episode of the global run;
+* no machine repair fires while a job is busy and no failure kills a
+  running copy (idle-machine failures between jobs are fine: removing a
+  machine from the middle of the free list commutes with the balanced
+  pop/push of a serialized job, but a repair *appends* to the list and a
+  kill re-dispatches -- either one interleaved with a busy interval would
+  let shard-local free-list order diverge from the global run);
+* every job's completion time equals ``arrival + duration / speed(machine)``
+  for the machine the shared free-list replay assigns it (launches happen
+  at arrival, never queued).
+
+If any gate or validation fails, :func:`run_sharded` falls back to the
+unsharded run (still through the runner, so still cached) and reports the
+reason -- the caller always gets a correct result.
+
+Merge contract
+--------------
+Records are concatenated in shard order (== global completion order, by
+the serialization check).  Integer counters (``total_copies``,
+``total_tasks``, ``redundant_copies_launched``, ``over_requests``,
+``checkpoint_resumes``) are summed.  ``useful_work`` is re-accumulated by
+the same left-to-right float fold the engine performs -- one
+``completion - arrival`` term per record -- after checking that each
+shard's own fold reproduces its reported ``useful_work`` exactly (plain
+summing of shard totals would regroup the float additions and drift by
+ULPs).  ``wasted_work`` and ``copies_killed_by_failure`` must be zero in
+every shard.  ``makespan``, ``machine_failures`` and ``straggler_onsets``
+come from the **last** shard: it replays the full job-independent machine
+timeline up to the global makespan, exactly as the unsharded run does.
+``runtime_seconds`` (excluded from fingerprints) is summed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.scenarios import machine_process_rng
+from repro.simulation.experiment_runner import ExperimentRunner, RunSpec
+from repro.simulation.metrics import JobRecord, SimulationResult
+from repro.workload.stream import (
+    StreamSpec,
+    stream_uniform_jobs,
+    stream_uniform_window,
+)
+
+__all__ = ["ShardingUnsupported", "ShardedRun", "plan_shards", "run_sharded"]
+
+
+class ShardingUnsupported(ValueError):
+    """The run spec falls outside the sharding soundness envelope."""
+
+
+@dataclass
+class ShardedRun:
+    """Outcome of :func:`run_sharded`.
+
+    ``result`` is always a correct, complete simulation result;
+    ``sharded`` tells whether it came from the shard-and-merge path or
+    from the unsharded fallback (``fallback_reason`` says why).
+    ``run_stats`` accumulates the runner's executed/cache-hit counters
+    across every :meth:`~repro.simulation.experiment_runner
+    .ExperimentRunner.run` call this invocation made.
+    """
+
+    result: SimulationResult
+    sharded: bool
+    num_shards: int
+    fallback_reason: Optional[str]
+    run_stats: Dict[str, int]
+
+
+# ------------------------------------------------------------------ planning
+
+
+def _static_gate(spec: RunSpec, num_shards: int) -> Optional[str]:
+    """Reason the spec cannot be sharded, or ``None`` when the gates pass."""
+    if num_shards < 1:
+        return f"num_shards must be >= 1, got {num_shards}"
+    trace = spec.trace
+    if not isinstance(trace, StreamSpec):
+        return "trace is not a StreamSpec (sharding slices stream windows)"
+    if trace.factory is not stream_uniform_jobs:
+        return (
+            "stream factory is not stream_uniform_jobs (only deterministic "
+            "uniform streams keep the engine RNG unconsumed)"
+        )
+    kwargs = dict(trace.kwargs)
+    if kwargs.get("tasks_per_job", 10) != 1:
+        return "tasks_per_job != 1 (multi-task jobs break the exact merge)"
+    if kwargs.get("reduce_tasks_per_job", 2) != 0:
+        return "reduce_tasks_per_job != 0 (multi-stage jobs break the exact merge)"
+    if kwargs.get("inter_arrival", 0.0) <= 0:
+        return "inter_arrival must be positive (shards split arrival epochs)"
+    if spec.straggler_factory is not None:
+        return "per-copy straggler models consume the engine RNG"
+    if spec.max_time is not None:
+        return "max_time truncation does not decompose across shards"
+    scenario = spec.scenario
+    if scenario is not None and scenario.stragglers is not None:
+        return "dynamic-straggler scenarios are outside the sharding envelope"
+    try:
+        scheduler = spec.scheduler()
+    except Exception as exc:  # noqa: BLE001 - any build failure disqualifies
+        return f"could not build scheduler to inspect it: {exc}"
+    redundancy = getattr(scheduler, "redundancy", None)
+    if redundancy is None or getattr(redundancy, "name", None) != "none":
+        return "scheduler's redundancy policy is not 'none' (clones may race)"
+    if getattr(scheduler, "tick_interval", None) is not None:
+        return "tick-driven schedulers are outside the sharding envelope"
+    return None
+
+
+def plan_shards(spec: RunSpec, num_shards: int) -> List[RunSpec]:
+    """Split ``spec`` into contiguous-window shard specs (balanced sizes).
+
+    Each returned spec is identical to ``spec`` except that its trace is
+    the :func:`~repro.workload.stream.stream_uniform_window` recipe of one
+    job-id window (and its ``tag`` names the shard).  Raises
+    :class:`ShardingUnsupported` when ``spec`` fails the static gates of
+    the soundness envelope (see the module docstring).
+    """
+    reason = _static_gate(spec, num_shards)
+    if reason is not None:
+        raise ShardingUnsupported(reason)
+    stream = spec.trace
+    num_jobs = stream.num_jobs
+    num_shards = min(num_shards, num_jobs)
+    base, remainder = divmod(num_jobs, num_shards)
+    shards: List[RunSpec] = []
+    start = 0
+    for index in range(num_shards):
+        count = base + (1 if index < remainder else 0)
+        kwargs = dict(stream.kwargs)
+        kwargs["start"] = start
+        window = StreamSpec(
+            factory=stream_uniform_window,
+            num_jobs=count,
+            kwargs=kwargs,
+            name=f"{stream.name}[{start}:{start + count}]",
+        )
+        shards.append(
+            replace(spec, trace=window, tag=("shard", index, num_shards))
+        )
+        start += count
+    return shards
+
+
+# ------------------------------------------------------------------ validation
+
+#: Replay priorities, mirroring the engine's same-timestamp event order
+#: (finish < repair < failure < arrival; see repro.simulation.events).
+_FINISH, _REPAIR, _FAILURE, _ARRIVAL = 0, 1, 2, 5
+
+
+def _machine_speeds(spec: RunSpec) -> List[float]:
+    """Per-machine base speeds, exactly as the engine constructs them."""
+    scenario = spec.scenario
+    if scenario is not None:
+        sampled = scenario.machine_speeds(spec.num_machines, spec.seed)
+        if sampled is not None:
+            return [float(s) for s in sampled * spec.machine_speed]
+    return [spec.machine_speed] * spec.num_machines
+
+
+def _machine_events(spec: RunSpec, horizon: float) -> List[tuple]:
+    """Failure/repair timeline up to ``horizon``, replayed job-independently.
+
+    Each machine's events come from its dedicated
+    :func:`~repro.scenarios.machine_process_rng` stream in the engine's
+    fixed draw order (uptime, then repair, alternating), so the absolute
+    event times are identical in every shard and in the unsharded run.
+    """
+    scenario = spec.scenario
+    if scenario is None or scenario.failures is None:
+        return []
+    failures = scenario.failures
+    events: List[tuple] = []
+    for machine_id in range(spec.num_machines):
+        rng = machine_process_rng(spec.seed, machine_id)
+        time = failures.draw_uptime(rng)
+        while time <= horizon:
+            events.append((time, _FAILURE, machine_id))
+            repair_at = time + failures.draw_repair(rng)
+            if repair_at > horizon:
+                break
+            events.append((repair_at, _REPAIR, machine_id))
+            time = repair_at + failures.draw_uptime(rng)
+    return events
+
+
+def _validate(spec: RunSpec, shard_results: Sequence[SimulationResult]) -> Optional[str]:
+    """Reason the shard results cannot be merged exactly, or ``None``.
+
+    Performs the dynamic half of the soundness envelope: per-shard counter
+    and useful-work decomposition checks, global serialization, and the
+    shared free-list replay against the precomputed machine timeline.
+    """
+    for index, result in enumerate(shard_results):
+        if result.wasted_work != 0.0:
+            return f"shard {index} recorded wasted work (killed copies)"
+        if result.copies_killed_by_failure:
+            return f"shard {index}: a machine failure killed a running copy"
+        if result.redundant_copies_launched:
+            return f"shard {index} launched redundant copies"
+        if result.straggler_onsets:
+            return f"shard {index} recorded straggler onsets"
+        fold = 0.0
+        for record in result.records:
+            fold += record.completion_time - record.arrival_time
+        if fold != result.useful_work:
+            return (
+                f"shard {index}: useful work does not decompose per record "
+                "(a launch was queued past its arrival)"
+            )
+
+    records: List[JobRecord] = []
+    for result in shard_results:
+        records.extend(result.records)
+    for index, record in enumerate(records):
+        if record.job_id != index:
+            return "merged records are not the contiguous job-id sequence"
+    for previous, record in zip(records, records[1:]):
+        if previous.completion_time > record.arrival_time:
+            return (
+                f"run does not serialize: job {previous.job_id} completes at "
+                f"{previous.completion_time} after job {record.job_id} "
+                f"arrives at {record.arrival_time}"
+            )
+
+    # Shared free-list replay: machine events and job arrivals/completions
+    # interleaved in the engine's (time, priority) order.  This is the one
+    # state all shards implicitly share; any interleaving that could make
+    # a shard-local free list diverge from the global run is rejected.
+    horizon = records[-1].completion_time if records else 0.0
+    events = _machine_events(spec, horizon)
+    for index, record in enumerate(records):
+        events.append((record.arrival_time, _ARRIVAL, index))
+        events.append((record.completion_time, _FINISH, index))
+    events.sort()
+    speeds = _machine_speeds(spec)
+    mean_duration = float(dict(spec.trace.kwargs).get("mean_duration", 10.0))
+    free = list(range(spec.num_machines - 1, -1, -1))
+    busy_index: Optional[int] = None
+    busy_machine: Optional[int] = None
+    for time, priority, payload in events:
+        if priority == _FINISH:
+            if busy_index != payload:
+                return "replay desynchronized: completion of a job not running"
+            free.append(busy_machine)
+            busy_index = None
+            busy_machine = None
+        elif priority == _REPAIR:
+            if busy_index is not None:
+                return (
+                    f"machine {payload} repaired at t={time} while job "
+                    f"{records[busy_index].job_id} was busy (free-list order "
+                    "would diverge between shards)"
+                )
+            free.append(payload)
+        elif priority == _FAILURE:
+            if payload == busy_machine:
+                return (
+                    f"machine {payload} failed at t={time} under job "
+                    f"{records[busy_index].job_id}"
+                )
+            if payload not in free:
+                return "replay desynchronized: failure of a machine not free"
+            free.remove(payload)
+        else:  # _ARRIVAL
+            if busy_index is not None:
+                return "replay desynchronized: arrival while a job was busy"
+            if not free:
+                return (
+                    f"no free machine at job {records[payload].job_id}'s "
+                    "arrival (launch would queue)"
+                )
+            machine_id = free.pop()
+            record = records[payload]
+            expected = record.arrival_time + mean_duration / speeds[machine_id]
+            if record.completion_time != expected:
+                return (
+                    f"job {record.job_id} on machine {machine_id}: completion "
+                    f"{record.completion_time} != expected {expected}"
+                )
+            busy_index = payload
+            busy_machine = machine_id
+    if busy_index is not None:
+        return "replay desynchronized: run ended with a job still busy"
+    return None
+
+
+# ------------------------------------------------------------------ merge
+
+
+def _merge(spec: RunSpec, shard_results: Sequence[SimulationResult]) -> SimulationResult:
+    """Combine validated shard results per the module's merge contract."""
+    last = shard_results[-1]
+    merged = SimulationResult(
+        scheduler_name=last.scheduler_name,
+        num_machines=last.num_machines,
+        total_copies=sum(r.total_copies for r in shard_results),
+        total_tasks=sum(r.total_tasks for r in shard_results),
+        redundant_copies_launched=sum(
+            r.redundant_copies_launched for r in shard_results
+        ),
+        wasted_work=0.0,
+        makespan=last.makespan,
+        over_requests=sum(r.over_requests for r in shard_results),
+        machine_failures=last.machine_failures,
+        copies_killed_by_failure=0,
+        checkpoint_resumes=sum(r.checkpoint_resumes for r in shard_results),
+        work_saved_by_checkpointing=0.0,
+        straggler_onsets=last.straggler_onsets,
+        runtime_seconds=sum(r.runtime_seconds for r in shard_results),
+        seed=spec.seed,
+    )
+    # Re-accumulate useful work with the engine's own left-to-right fold
+    # over per-record terms; summing shard totals would regroup the float
+    # additions (validation proved each shard's fold matches its total).
+    useful = 0.0
+    records = merged.records
+    for result in shard_results:
+        for record in result.records:
+            records.append(record)
+            useful += record.completion_time - record.arrival_time
+    merged.useful_work = useful
+    return merged
+
+
+# ------------------------------------------------------------------ driver
+
+
+def run_sharded(
+    spec: RunSpec,
+    num_shards: int,
+    *,
+    runner: Optional[ExperimentRunner] = None,
+) -> ShardedRun:
+    """Execute ``spec`` as ``num_shards`` independent windows and merge.
+
+    Shard specs run through ``runner`` (default: a serial
+    :class:`~repro.simulation.experiment_runner.ExperimentRunner`), so
+    they inherit its pool fan-out, batched dispatch and results cache --
+    with a cache configured, a re-run (or a partially interrupted run)
+    serves finished shards from disk and executes only the rest.  On any
+    gate or validation failure the unsharded spec is executed instead
+    (also through ``runner``) and the reason is reported; the returned
+    result is correct either way and, on the sharded path, bit-identical
+    to the unsharded run (equal
+    :meth:`~repro.simulation.metrics.SimulationResult.fingerprint`).
+    """
+    if runner is None:
+        runner = ExperimentRunner(workers=1)
+    stats = {"executed": 0, "cache_hits": 0, "uncacheable": 0}
+
+    def _accumulate() -> None:
+        for key in stats:
+            stats[key] += runner.last_run_stats.get(key, 0)
+
+    try:
+        shard_specs = plan_shards(spec, num_shards)
+    except ShardingUnsupported as exc:
+        result = runner.run([spec])[0]
+        _accumulate()
+        return ShardedRun(result, False, num_shards, str(exc), stats)
+    shard_results = runner.run(shard_specs)
+    _accumulate()
+    reason = _validate(spec, shard_results)
+    if reason is not None:
+        result = runner.run([spec])[0]
+        _accumulate()
+        return ShardedRun(result, False, len(shard_specs), reason, stats)
+    merged = _merge(spec, shard_results)
+    return ShardedRun(merged, True, len(shard_specs), None, stats)

@@ -54,6 +54,7 @@ per-event scheduler consultations affordable at million-job scale.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -120,6 +121,108 @@ class StageSpec:
             raise ValueError(f"stage {self.name!r}: num_tasks must be >= 0")
         if len(set(self.deps)) != len(self.deps):
             raise ValueError(f"stage {self.name!r}: duplicate dependencies")
+
+
+#: Successor adjacency of the canonical 2-node map→reduce DAG: the map
+#: stage feeds the reduce stage, which feeds nothing.
+_LEGACY_DEPENDENTS: Tuple[Tuple[int, ...], ...] = ((1,), ())
+
+#: Bounded memo of derived legacy 2-node stage tuples, keyed by
+#: ``(num_map, num_reduce, map_duration, reduce_duration)``.  Duration
+#: objects hash by identity; a live memo entry references them through its
+#: StageSpecs, so an id can never be recycled while its key is cached.
+#: Streams that build a fresh distribution per job (e.g. lognormal task
+#: durations resampled per arrival) would grow this without bound, hence
+#: the LRU cap.
+_LEGACY_STAGES_MEMO: "OrderedDict[Tuple[int, int, DurationDistribution, DurationDistribution], Tuple[StageSpec, ...]]" = OrderedDict()
+_LEGACY_STAGES_MEMO_MAX = 512
+
+
+def _legacy_stage_specs(spec: "JobSpec") -> Tuple[StageSpec, ...]:
+    """The canonical 2-node map→reduce DAG of a legacy (stage-less) spec.
+
+    The derived tuple reuses the spec's duration distribution objects, so
+    sampling through the DAG path consumes RNG state identically to the
+    pre-DAG engine; specs sharing duration objects share one tuple.
+    """
+    key = (
+        spec.num_map_tasks,
+        spec.num_reduce_tasks,
+        spec.map_duration,
+        spec.reduce_duration,
+    )
+    memo = _LEGACY_STAGES_MEMO
+    cached = memo.get(key)
+    if cached is not None:
+        memo.move_to_end(key)
+        return cached
+    cached = (
+        StageSpec(
+            name="map",
+            num_tasks=spec.num_map_tasks,
+            duration=spec.map_duration,
+            deps=(),
+        ),
+        StageSpec(
+            name="reduce",
+            num_tasks=spec.num_reduce_tasks,
+            duration=spec.reduce_duration,
+            deps=(0,),
+        ),
+    )
+    memo[key] = cached
+    if len(memo) > _LEGACY_STAGES_MEMO_MAX:
+        memo.popitem(last=False)
+    return cached
+
+
+def _new_task(job: "Job", stage: int, index: int) -> "Task":
+    """Build a fresh :class:`Task` without constructor overhead.
+
+    Pure field assignment -- equivalent to ``Task(job, stage, index)`` for
+    a task with no copies; used on the job-materialisation hot path.
+    """
+    task = Task.__new__(Task)
+    task.job = job
+    task.stage = stage
+    task.index = index
+    task.copies = []
+    task.completion_time = None
+    task.checkpoint_work = 0.0
+    task._num_active = 0
+    return task
+
+
+def _fast_legacy_spec(
+    job_id: int,
+    arrival_time: float,
+    weight: float,
+    num_map_tasks: int,
+    num_reduce_tasks: int,
+    map_duration: DurationDistribution,
+    reduce_duration: DurationDistribution,
+) -> "JobSpec":
+    """Construct a legacy :class:`JobSpec` bypassing dataclass ``__init__``.
+
+    The frozen-dataclass constructor routes every field through
+    ``object.__setattr__`` and re-validates; stream factories construct
+    millions of specs from parameters they have already validated, so they
+    use this direct-``__dict__`` path instead.  Semantically identical to
+    ``JobSpec(...)`` with ``stages=None`` for valid inputs (equality, hash
+    and repr all read the same fields).
+    """
+    spec = object.__new__(JobSpec)
+    spec.__dict__.update(
+        job_id=job_id,
+        arrival_time=arrival_time,
+        weight=weight,
+        num_map_tasks=num_map_tasks,
+        num_reduce_tasks=num_reduce_tasks,
+        map_duration=map_duration,
+        reduce_duration=reduce_duration,
+        stages=None,
+    )
+    return spec
 
 
 @dataclass(frozen=True)
@@ -238,35 +341,20 @@ class JobSpec:
     def stage_specs(self) -> Tuple[StageSpec, ...]:
         """The job's stage DAG; legacy specs compile to the 2-node map→reduce DAG.
 
-        Cached per instance: the derived tuple reuses the spec's duration
-        distribution objects, so sampling through the DAG path consumes RNG
-        state identically to the pre-DAG engine.
+        Legacy tuples come from a module-level memo shared across specs
+        (see :func:`_legacy_stage_specs`); the derived tuple reuses the
+        spec's duration distribution objects, so sampling through the DAG
+        path consumes RNG state identically to the pre-DAG engine.
         """
-        cached = self.__dict__.get("_stage_specs_cache")
-        if cached is None:
-            if self.stages is not None:
-                cached = self.stages
-            else:
-                cached = (
-                    StageSpec(
-                        name="map",
-                        num_tasks=self.num_map_tasks,
-                        duration=self.map_duration,
-                        deps=(),
-                    ),
-                    StageSpec(
-                        name="reduce",
-                        num_tasks=self.num_reduce_tasks,
-                        duration=self.reduce_duration,
-                        deps=(0,),
-                    ),
-                )
-            self.__dict__["_stage_specs_cache"] = cached
-        return cached
+        if self.stages is not None:
+            return self.stages
+        return _legacy_stage_specs(self)
 
     @property
     def stage_dependents(self) -> Tuple[Tuple[int, ...], ...]:
         """Adjacency of the stage DAG: for each stage, its successor stages."""
+        if self.stages is None:
+            return _LEGACY_DEPENDENTS
         cached = self.__dict__.get("_stage_dependents_cache")
         if cached is None:
             stages = self.stage_specs
@@ -711,42 +799,93 @@ class Job:
 
     @classmethod
     def from_spec(cls, spec: JobSpec) -> "Job":
-        """Instantiate the runtime job and its task objects from a spec."""
-        job = cls(spec=spec)
-        arrival = spec.arrival_time
-        stages = job._stages
-        total = 0
-        for stage_index, stage in enumerate(stages):
-            job.stage_tasks[stage_index] = [
-                Task(job, stage_index, j) for j in range(stage.num_tasks)
+        """Instantiate the runtime job and its task objects from a spec.
+
+        Bypasses ``__init__``/``_recount``: fresh tasks are pending with no
+        copies, so every counter is known in one forward pass over the
+        stages.  Readiness settles in the same pass -- sources are ready
+        immediately, an empty ready stage completes on the spot (a job with
+        no map tasks has a trivially completed map phase), and deps point
+        at earlier stages, so the pass cascades through empty prefixes.
+        """
+        job = cls.__new__(cls)
+        job.spec = spec
+        if spec.stages is None:
+            # Legacy 2-node fast path: the readiness pass collapses to "is
+            # the map stage empty?" (stage 0 is a source; stage 1 depends
+            # only on it, and JobSpec validation guarantees at least one
+            # task overall).
+            job._stages = _legacy_stage_specs(spec)
+            job._dependents = _LEGACY_DEPENDENTS
+            job.completion_time = None
+            job._newly_ready = []
+            num_map = spec.num_map_tasks
+            num_reduce = spec.num_reduce_tasks
+            job.stage_tasks = [
+                [_new_task(job, 0, j) for j in range(num_map)] if num_map else [],
+                [_new_task(job, 1, j) for j in range(num_reduce)]
+                if num_reduce
+                else [],
             ]
-            # Fresh tasks are pending with no copies: set the counters
-            # directly (the generic _recount scan is per-task work we skip).
-            job._unscheduled[stage_index] = stage.num_tasks
-            job._incomplete[stage_index] = stage.num_tasks
-            total += stage.num_tasks
-        job._unscheduled_total = job._incomplete_total = total
-        job._active_copies = 0
-        job._copies_launched = 0
-        # Settle readiness at arrival: sources are ready immediately, and an
-        # empty ready stage completes on the spot (a job with no map tasks
-        # has a trivially completed map phase).  Deps point at earlier
-        # stages, so one forward pass cascades through empty prefixes.
-        completion = job._stage_completion
-        ready = job._stage_ready
+            job._unscheduled = [num_map, num_reduce]
+            job._incomplete = [num_map, num_reduce]
+            job._unscheduled_total = job._incomplete_total = num_map + num_reduce
+            if num_map:
+                job._stage_completion = [None, None]
+                job._stage_ready = [True, False]
+                job._unscheduled_ready = num_map
+                job._incomplete_stages = 2
+            else:
+                # An empty map phase completes at arrival; the reduce stage
+                # is ready immediately.
+                job._stage_completion = [spec.arrival_time, None]
+                job._stage_ready = [True, True]
+                job._unscheduled_ready = num_reduce
+                job._incomplete_stages = 1
+            job._active_copies = 0
+            job._copies_launched = 0
+            return job
+        stages = spec.stages
+        dependents = spec.stage_dependents
+        num_stages = len(stages)
+        arrival = spec.arrival_time
+        job._stages = stages
+        job._dependents = dependents
+        job.completion_time = None
+        job._newly_ready = []
+        stage_tasks: List[List[Task]] = []
+        unscheduled = [0] * num_stages
+        incomplete = [0] * num_stages
+        completion: List[Optional[float]] = [None] * num_stages
+        ready = [False] * num_stages
+        total = 0
         unscheduled_ready = 0
-        incomplete_stages = len(stages)
+        incomplete_stages = num_stages
         for stage_index, stage in enumerate(stages):
+            count = stage.num_tasks
+            stage_tasks.append(
+                [_new_task(job, stage_index, j) for j in range(count)]
+            )
+            unscheduled[stage_index] = count
+            incomplete[stage_index] = count
+            total += count
             if all(completion[dep] is not None for dep in stage.deps):
                 ready[stage_index] = True
-                unscheduled_ready += job._unscheduled[stage_index]
-                if job._incomplete[stage_index] == 0:
+                unscheduled_ready += count
+                if count == 0:
                     completion[stage_index] = arrival
                     incomplete_stages -= 1
-            else:
-                ready[stage_index] = False
+        job.stage_tasks = stage_tasks
+        job._stage_completion = completion
+        job._stage_ready = ready
+        job._unscheduled = unscheduled
+        job._incomplete = incomplete
         job._unscheduled_ready = unscheduled_ready
+        job._unscheduled_total = total
+        job._incomplete_total = total
         job._incomplete_stages = incomplete_stages
+        job._active_copies = 0
+        job._copies_launched = 0
         return job
 
     # -- identity and static attributes ------------------------------------
@@ -837,7 +976,7 @@ class Job:
         """
         if task.job is not self:
             raise ValueError("task does not belong to this job")
-        if self.is_complete:
+        if self.completion_time is not None:
             raise ValueError(f"job {self.job_id} already complete")
         stage = task.stage
         if (
@@ -846,7 +985,7 @@ class Job:
             and self._stage_ready[stage]
         ):
             self._complete_stage(stage, time)
-        return self.is_complete
+        return self.completion_time is not None
 
     def _complete_stage(self, stage: int, time: float) -> None:
         """Mark ``stage`` complete and cascade readiness to its successors.
@@ -856,24 +995,39 @@ class Job:
         it completes immediately, continuing the cascade.  The job
         completes when its last stage does.
         """
-        pending = [stage]
         completion = self._stage_completion
-        while pending:
-            current = pending.pop()
+        stages = self._stages
+        dependents = self._dependents
+        ready = self._stage_ready
+        # The pending list is allocated lazily: most completions cascade
+        # through at most one empty successor (the 2-node DAG's empty
+        # reduce stage), walked with a plain local instead.
+        pending = None
+        current = stage
+        while True:
             completion[current] = time
             self._incomplete_stages -= 1
-            for successor in self._dependents[current]:
-                if self._stage_ready[successor]:
+            for successor in dependents[current]:
+                if ready[successor]:
                     continue
-                if all(
-                    completion[dep] is not None
-                    for dep in self._stages[successor].deps
-                ):
-                    self._stage_ready[successor] = True
+                # for/else instead of all(<genexpr>): this cascade runs on
+                # every stage completion, and the generator frame dominates
+                # it for the typical 1-2 dependency case.
+                for dep in stages[successor].deps:
+                    if completion[dep] is None:
+                        break
+                else:
+                    ready[successor] = True
                     self._unscheduled_ready += self._unscheduled[successor]
                     self._newly_ready.append(successor)
                     if self._incomplete[successor] == 0:
-                        pending.append(successor)
+                        if pending is None:
+                            pending = [successor]
+                        else:
+                            pending.append(successor)
+            if not pending:
+                break
+            current = pending.pop()
         if self._incomplete_stages == 0:
             self.completion_time = time
 

@@ -1,0 +1,228 @@
+"""Sharded-simulation equivalence: merged results are bit-identical.
+
+The core property: for a run inside the sharding soundness envelope,
+:func:`repro.simulation.run_sharded` produces a
+:class:`~repro.simulation.metrics.SimulationResult` whose fingerprint
+equals the unsharded run's -- for random shard counts, serially and on a
+pool, under heterogeneous speeds and machine failures.  Runs outside the
+envelope (or whose dynamics violate it) must *fall back* and still return
+the bit-identical unsharded result with an explanatory reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios import MachineFailures, ScenarioSpec, ZipfSpeeds
+from repro.schedulers.fifo import FIFOScheduler
+from repro.simulation import (
+    ExperimentRunner,
+    RunSpec,
+    SchedulerSpec,
+    ShardingUnsupported,
+    plan_shards,
+    run_sharded,
+)
+from repro.simulation.scheduler_api import ComposedScheduler
+from repro.workload.stream import StreamSpec, stream_uniform_jobs
+
+NUM_JOBS = 60
+
+SCENARIOS = {
+    "homogeneous": None,
+    "zipf-hetero": ScenarioSpec(speeds=ZipfSpeeds()),
+    "zipf-failures": ScenarioSpec(
+        speeds=ZipfSpeeds(),
+        failures=MachineFailures(rate=2e-5, mean_repair=50.0),
+    ),
+}
+
+
+def make_spec(scenario=None, seed=3, **stream_overrides) -> RunSpec:
+    kwargs = dict(
+        tasks_per_job=1,
+        reduce_tasks_per_job=0,
+        mean_duration=8.0,
+        inter_arrival=30.0,
+    )
+    kwargs.update(stream_overrides)
+    return RunSpec(
+        trace=StreamSpec(
+            factory=stream_uniform_jobs,
+            num_jobs=NUM_JOBS,
+            kwargs=kwargs,
+            name="shard-prop",
+        ),
+        scheduler=SchedulerSpec(FIFOScheduler),
+        num_machines=20,
+        seed=seed,
+        scenario=scenario,
+    )
+
+
+class TestMergedFingerprintProperty:
+    """Merged fingerprint == unsharded fingerprint, whatever happens."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+    def test_random_shard_counts(self, scenario_name, workers):
+        scenario = SCENARIOS[scenario_name]
+        rng = np.random.default_rng(42)
+        shard_counts = sorted({int(k) for k in rng.integers(2, 13, size=4)})
+        sharded_at_least_once = False
+        for seed in (0, 3, 4):
+            spec = make_spec(scenario, seed=seed)
+            base = ExperimentRunner(workers=1).run([spec])[0]
+            for num_shards in shard_counts:
+                runner = ExperimentRunner(workers=workers)
+                outcome = run_sharded(spec, num_shards, runner=runner)
+                assert outcome.result.fingerprint() == base.fingerprint(), (
+                    f"{scenario_name} seed={seed} k={num_shards} "
+                    f"workers={workers}: sharded={outcome.sharded} "
+                    f"reason={outcome.fallback_reason}"
+                )
+                sharded_at_least_once |= outcome.sharded
+                if outcome.sharded:
+                    assert outcome.num_shards == min(num_shards, NUM_JOBS)
+                    assert outcome.fallback_reason is None
+        # The property must not pass vacuously: some combination has to
+        # exercise the genuine shard-and-merge path.
+        assert sharded_at_least_once, (
+            f"{scenario_name}: every combination fell back"
+        )
+
+    def test_failure_scenario_actually_shards_for_some_seed(self):
+        scenario = SCENARIOS["zipf-failures"]
+        sharded = []
+        for seed in range(6):
+            spec = make_spec(scenario, seed=seed)
+            outcome = run_sharded(spec, 4)
+            base = ExperimentRunner(workers=1).run([spec])[0]
+            assert outcome.result.fingerprint() == base.fingerprint()
+            if outcome.sharded and base.machine_failures > 0:
+                sharded.append(seed)
+        assert sharded, "no seed sharded a run that saw machine failures"
+
+    def test_merged_records_equal_not_just_fingerprint(self):
+        spec = make_spec(SCENARIOS["zipf-hetero"])
+        base = ExperimentRunner(workers=1).run([spec])[0]
+        outcome = run_sharded(spec, 5)
+        assert outcome.sharded
+        assert outcome.result.canonical_dict() == base.canonical_dict()
+
+
+class TestGatesAndFallback:
+    def test_multi_task_jobs_are_gated(self):
+        spec = make_spec(tasks_per_job=4)
+        with pytest.raises(ShardingUnsupported, match="tasks_per_job"):
+            plan_shards(spec, 4)
+        outcome = run_sharded(spec, 4)
+        assert not outcome.sharded
+        assert "tasks_per_job" in outcome.fallback_reason
+        base = ExperimentRunner(workers=1).run([spec])[0]
+        assert outcome.result.fingerprint() == base.fingerprint()
+
+    def test_redundancy_scheduler_is_gated(self):
+        spec = make_spec()
+        spec = RunSpec(
+            trace=spec.trace,
+            scheduler=SchedulerSpec(
+                ComposedScheduler, {"redundancy": "clone"}
+            ),
+            num_machines=spec.num_machines,
+            seed=spec.seed,
+        )
+        outcome = run_sharded(spec, 4)
+        assert not outcome.sharded
+        assert "redundancy" in outcome.fallback_reason
+
+    def test_zero_inter_arrival_is_gated(self):
+        spec = make_spec(inter_arrival=0.0)
+        with pytest.raises(ShardingUnsupported, match="inter_arrival"):
+            plan_shards(spec, 2)
+
+    def test_non_serialized_run_falls_back(self):
+        # inter_arrival < duration: every job overlaps the next, the
+        # dynamic validator must reject the merge.
+        spec = make_spec(inter_arrival=2.0)
+        outcome = run_sharded(spec, 4)
+        assert not outcome.sharded
+        assert "serialize" in outcome.fallback_reason
+        base = ExperimentRunner(workers=1).run([spec])[0]
+        assert outcome.result.fingerprint() == base.fingerprint()
+
+    def test_plan_shards_windows_are_balanced_and_contiguous(self):
+        spec = make_spec()
+        shards = plan_shards(spec, 7)
+        counts = [s.trace.num_jobs for s in shards]
+        starts = [dict(s.trace.kwargs)["start"] for s in shards]
+        assert sum(counts) == NUM_JOBS
+        assert max(counts) - min(counts) <= 1
+        assert starts == [
+            sum(counts[:i]) for i in range(len(counts))
+        ]
+
+
+class TestCacheResume:
+    def test_second_sharded_run_is_all_cache_hits(self, tmp_path):
+        spec = make_spec(SCENARIOS["zipf-hetero"])
+        cold = run_sharded(
+            spec, 6, runner=ExperimentRunner(workers=1, cache_dir=tmp_path)
+        )
+        assert cold.sharded and cold.run_stats["executed"] == 6
+        warm = run_sharded(
+            spec, 6, runner=ExperimentRunner(workers=1, cache_dir=tmp_path)
+        )
+        assert warm.sharded
+        assert warm.run_stats == {
+            "executed": 0, "cache_hits": 6, "uncacheable": 0,
+        }
+        assert warm.result.fingerprint() == cold.result.fingerprint()
+
+    def test_interrupted_run_resumes_missing_shards_only(self, tmp_path):
+        spec = make_spec()
+        shards = plan_shards(spec, 6)
+        # Simulate an interrupted run: only the first two shards finished.
+        ExperimentRunner(workers=1, cache_dir=tmp_path).run(shards[:2])
+        resumed = run_sharded(
+            spec, 6, runner=ExperimentRunner(workers=1, cache_dir=tmp_path)
+        )
+        assert resumed.sharded
+        assert resumed.run_stats["cache_hits"] == 2
+        assert resumed.run_stats["executed"] == 4
+        base = ExperimentRunner(workers=1).run([spec])[0]
+        assert resumed.result.fingerprint() == base.fingerprint()
+
+    def test_shard_counts_key_distinct_cache_entries(self, tmp_path):
+        spec = make_spec()
+        runner = ExperimentRunner(workers=1, cache_dir=tmp_path)
+        a = run_sharded(spec, 3, runner=runner)
+        b = run_sharded(spec, 4, runner=runner)
+        assert a.sharded and b.sharded
+        # Different windows -> different fingerprints -> no false hits.
+        assert b.run_stats["cache_hits"] == 0
+        assert a.result.fingerprint() == b.result.fingerprint()
+
+
+class TestBatchedDispatch:
+    def test_pool_dispatch_is_batched_and_accounted(self):
+        specs = [make_spec(seed=s) for s in range(8)]
+        runner = ExperimentRunner(workers=2, chunksize=2)
+        pooled = runner.run(specs)
+        stats = runner.last_dispatch_stats
+        assert stats["batches"] == 4
+        assert stats["batch_size"] == 2
+        assert sum(stats["per_worker"].values()) == 4
+        serial = ExperimentRunner(workers=1).run(specs)
+        for a, b in zip(pooled, serial):
+            assert a.fingerprint() == b.fingerprint()
+
+    def test_serial_dispatch_records_one_in_process_batch(self):
+        import os
+
+        runner = ExperimentRunner(workers=1)
+        runner.run([make_spec()])
+        stats = runner.last_dispatch_stats
+        assert stats["batches"] == 1
+        assert stats["per_worker"] == {os.getpid(): 1}

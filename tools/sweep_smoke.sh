@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Cold+warm sweep smoke shared by the CI benchmark job.
+#
+# Runs a declarative study spec end to end through `repro-mapreduce sweep`
+# twice against the same results cache -- first cold (every run executes),
+# then warm (every run must be served from the cache) -- and requires the
+# two CSV exports to be byte-identical: cache hits are byte-equal replays
+# with zero engine runs.
+#
+# Usage: tools/sweep_smoke.sh <spec.toml> <artifact-name>
+#   <spec.toml>      study spec file (examples/studies/*.toml)
+#   <artifact-name>  basename for the CSV exports and the cache dir;
+#                    the cold CSV lands at <artifact-name>.csv for upload.
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 <spec.toml> <artifact-name>" >&2
+    exit 2
+fi
+
+spec="$1"
+name="$2"
+
+python -m repro sweep --spec "$spec" --cache-dir ".${name}-cache" --csv "${name}.csv"
+python -m repro sweep --spec "$spec" --cache-dir ".${name}-cache" --csv "${name}-warm.csv"
+cmp "${name}.csv" "${name}-warm.csv"
+echo "sweep smoke OK: ${name}.csv byte-identical cold vs warm"
