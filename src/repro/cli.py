@@ -15,6 +15,9 @@ Examples::
     repro-mapreduce sweep --spec study.toml --csv results.csv
     repro-mapreduce policy --ordering srpt --allocation share --redundancy late
     repro-mapreduce policy-grid --scale 0.01 --workers 0
+    repro-mapreduce figure6 --racks 4 --remote-slowdown 2
+    repro-mapreduce policy --allocation delay --racks 4 --locality-wait 5
+    repro-mapreduce locality --scale 0.01
 
 Each experiment subcommand prints the plain-text report of the
 corresponding experiment; ``--scale`` shrinks the trace and the cluster
@@ -64,6 +67,7 @@ from repro.experiments import (
     run_figure5,
     run_figure6,
     run_dag_redundancy,
+    run_locality,
     run_offline_bound,
     run_policy_grid,
     run_scenario_sweep,
@@ -72,12 +76,15 @@ from repro.experiments import (
 )
 from repro.experiments.report import render_resultset
 from repro.scenarios import (
+    DEFAULT_LOCALITY_WAIT,
     DEFAULT_MEAN_REPAIR,
+    DEFAULT_REMOTE_SLOWDOWN,
     DEFAULT_SLOWDOWN_DURATION,
     DEFAULT_SLOWDOWN_FACTOR,
     SCENARIO_PRESETS,
     MachineFailures,
     ScenarioSpec,
+    TopologySpec,
     UniformSpeeds,
     scenario_preset,
 )
@@ -117,14 +124,16 @@ def build_parser() -> argparse.ArgumentParser:
             "policy",
             "policy-grid",
             "dag-redundancy",
+            "locality",
             "sweep",
             "all",
         ],
         help=(
             "which table/figure to regenerate, 'sweep' for a spec-file "
             "study, 'policy' for one policy-kernel composition, "
-            "'policy-grid' for the composition sweep, or 'dag-redundancy' "
-            "for the redundancy sweep on stage-DAG workloads"
+            "'policy-grid' for the composition sweep, 'dag-redundancy' "
+            "for the redundancy sweep on stage-DAG workloads, or "
+            "'locality' for the placement sweep on a rack topology"
         ),
     )
     parser.add_argument(
@@ -241,6 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="redundancy policy (default: none)",
     )
+    policy.add_argument(
+        "--locality-wait",
+        type=float,
+        default=None,
+        metavar="W",
+        help=(
+            "delay-scheduling wait in simulated seconds for the 'delay' "
+            f"allocation (default {_DEFAULT_LOCALITY_WAIT:g})"
+        ),
+    )
     scenario = parser.add_argument_group(
         "scenario",
         "cluster environment the experiment runs under (repro.scenarios); "
@@ -298,6 +317,26 @@ def build_parser() -> argparse.ArgumentParser:
             f"(default {_DEFAULT_SLOW_FACTOR:g})"
         ),
     )
+    scenario.add_argument(
+        "--racks",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "spread the machines over N racks (task inputs get preferred "
+            "racks; 1 restores the flat cluster)"
+        ),
+    )
+    scenario.add_argument(
+        "--remote-slowdown",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "effective-rate divisor for copies running off their preferred "
+            f"rack (default {_DEFAULT_REMOTE_SLOWDOWN:g}; needs --racks > 1)"
+        ),
+    )
     return parser
 
 
@@ -306,6 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
 _DEFAULT_REPAIR = DEFAULT_MEAN_REPAIR
 _DEFAULT_SLOW_DURATION = DEFAULT_SLOWDOWN_DURATION
 _DEFAULT_SLOW_FACTOR = DEFAULT_SLOWDOWN_FACTOR
+_DEFAULT_REMOTE_SLOWDOWN = DEFAULT_REMOTE_SLOWDOWN
+_DEFAULT_LOCALITY_WAIT = DEFAULT_LOCALITY_WAIT
 
 #: Experiments that simulate under ``ExperimentConfig.scenario``.  The others
 #: reject scenario flags instead of silently ignoring them: table2 is pure
@@ -383,6 +424,27 @@ def _compose_scenario(args: argparse.Namespace) -> Optional[ScenarioSpec]:
             ),
         )
 
+    topology = base.topology
+    if args.remote_slowdown is not None and args.racks is None:
+        raise SystemExit(
+            "--remote-slowdown needs a rack topology to price; pass "
+            "--racks N with N > 1"
+        )
+    if args.racks is not None:
+        if args.racks < 1:
+            raise SystemExit(f"--racks must be >= 1, got {args.racks}")
+        if args.racks == 1:
+            topology = None
+        else:
+            topology = TopologySpec(
+                racks=args.racks,
+                remote_slowdown=(
+                    args.remote_slowdown
+                    if args.remote_slowdown is not None
+                    else _DEFAULT_REMOTE_SLOWDOWN
+                ),
+            )
+
     failures = base.failures
     if args.failure_rate is not None:
         if args.failure_rate == 0.0:
@@ -408,6 +470,7 @@ def _compose_scenario(args: argparse.Namespace) -> Optional[ScenarioSpec]:
         normalize_mean_speed=normalize,
         stragglers=stragglers,
         failures=failures,
+        topology=topology,
     )
     return None if spec.is_default else spec
 
@@ -427,9 +490,9 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         raise SystemExit(
             f"scenario flags do not apply to {args.experiment!r}: table2 is "
             "pure trace statistics, offline-bound validates the "
-            "homogeneous-cluster bounds, scenario-sweep, policy-grid and "
-            "dag-redundancy define their own scenario axes (only "
-            "--repair-time applies to scenario-sweep), 'sweep' takes its "
+            "homogeneous-cluster bounds, scenario-sweep, policy-grid, "
+            "dag-redundancy and locality define their own scenario axes "
+            "(only --repair-time applies to scenario-sweep), 'sweep' takes its "
             "scenarios from the spec file, and 'all' mixes both kinds -- "
             "run the figure commands individually instead"
         )
@@ -497,9 +560,14 @@ def _run_policy(args: argparse.Namespace, config: ExperimentConfig) -> str:
         args.allocation or "greedy",
         args.redundancy or "none",
     )
+    composition: object = name
+    if args.locality_wait is not None:
+        # Scheduler tables forward extra kwargs into ComposedScheduler
+        # (repro.study.core), exactly like a spec-file scheduler table.
+        composition = {"name": name, "locality_wait": args.locality_wait}
     study = Study(
         name="policy",
-        schedulers=(name, "SRPTMS+C"),
+        schedulers=(composition, "SRPTMS+C"),
         **config.study_kwargs(),
     )
     results = study.run(runner=config.make_runner())
@@ -535,6 +603,8 @@ def _run_one(
         return run_policy_grid(config).render()
     if name == "dag-redundancy":
         return run_dag_redundancy(config).render()
+    if name == "locality":
+        return run_locality(config).render()
     if name == "scenario-sweep":
         if repair_time is not None:
             return run_scenario_sweep(config, mean_repair=repair_time).render()
@@ -553,6 +623,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--ordering", args.ordering),
         ("--allocation", args.allocation),
         ("--redundancy", args.redundancy),
+        ("--locality-wait", args.locality_wait),
     ):
         if value is not None and args.experiment != "policy":
             raise SystemExit(
@@ -560,6 +631,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "policy-grid sweep and spec files declare compositions "
                 "through the scheduler axis)"
             )
+    if args.locality_wait is not None and args.allocation != "delay":
+        raise SystemExit(
+            "--locality-wait parameterises the 'delay' allocation; pass "
+            "--allocation delay"
+        )
     if args.experiment == "sweep":
         return _run_sweep(args, parser)
     config = _config_from_args(args)

@@ -55,6 +55,10 @@ class ClusterState:
         self._map_running = 0
         self._reduce_running = 0
         self._num_down = 0
+        # Rack topology (None unless configure_topology() was called):
+        # machine -> rack, and running-copy counts per rack.
+        self._rack_of: Optional[List[int]] = None
+        self._rack_running: Optional[List[int]] = None
 
     # -- basic accessors ---------------------------------------------------------
 
@@ -110,6 +114,46 @@ class ClusterState:
         """Fraction of machines currently occupied."""
         return self.num_busy / self.num_machines
 
+    # -- topology ------------------------------------------------------------------
+
+    def configure_topology(self, rack_of: Sequence[int]) -> None:
+        """Install a machine→rack map and start per-rack occupancy counts.
+
+        Called once by the engine before any placement when a
+        non-degenerate :class:`~repro.scenarios.TopologySpec` is active;
+        without it every rack query answers as if the cluster were flat.
+        """
+        rack_map = [int(r) for r in rack_of]
+        if len(rack_map) != self.num_machines:
+            raise ValueError(
+                f"rack_of has {len(rack_map)} entries for "
+                f"{self.num_machines} machines"
+            )
+        num_racks = max(rack_map) + 1 if rack_map else 0
+        if any(r < 0 for r in rack_map):
+            raise ValueError("rack ids must be non-negative")
+        self._rack_of = rack_map
+        self._rack_running = [0] * num_racks
+
+    @property
+    def num_racks(self) -> int:
+        """Number of racks (1 when no topology is configured)."""
+        if self._rack_running is None:
+            return 1
+        return len(self._rack_running)
+
+    def rack_of(self, machine_id: int) -> int:
+        """Rack hosting ``machine_id`` (0 when no topology is configured)."""
+        if self._rack_of is None:
+            return 0
+        return self._rack_of[machine_id]
+
+    def num_running_on_rack(self, rack: int) -> int:
+        """Copies currently occupying machines of ``rack`` (O(1))."""
+        if self._rack_running is None:
+            return self.num_busy if rack == 0 else 0
+        return self._rack_running[rack]
+
     # -- placement -----------------------------------------------------------------
 
     def has_free_machine(self) -> bool:
@@ -143,6 +187,8 @@ class ClusterState:
             self._map_running += 1
         else:
             self._reduce_running += 1
+        if self._rack_of is not None:
+            self._rack_running[self._rack_of[machine_id]] += 1
         return machine
 
     def release(self, copy: TaskCopy, elapsed: float = 0.0) -> Machine:
@@ -157,6 +203,8 @@ class ClusterState:
             self._map_running -= 1
         else:
             self._reduce_running -= 1
+        if self._rack_of is not None:
+            self._rack_running[self._rack_of[machine_id]] -= 1
         return machine
 
     def machine_of(self, copy: TaskCopy) -> Optional[int]:
@@ -229,3 +277,9 @@ class ClusterState:
             copy = machine.current_copy
             assert copy is not None
             assert copy.machine_id == machine.machine_id, "copy/machine id mismatch"
+        if self._rack_of is not None:
+            recount = [0] * len(self._rack_running)
+            for machine in busy_machines:
+                recount[self._rack_of[machine.machine_id]] += 1
+            assert recount == self._rack_running, "rack occupancy inconsistent"
+            assert sum(self._rack_running) == self.num_busy

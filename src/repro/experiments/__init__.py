@@ -22,6 +22,7 @@ from repro.experiments.dag_redundancy import (
     DagRedundancyResult,
     run_dag_redundancy,
 )
+from repro.experiments.locality import LocalityResult, run_locality
 from repro.experiments.scenario_sweep import ScenarioSweepResult, run_scenario_sweep
 
 __all__ = [
@@ -31,6 +32,8 @@ __all__ = [
     "run_policy_grid",
     "DagRedundancyResult",
     "run_dag_redundancy",
+    "LocalityResult",
+    "run_locality",
     "ExperimentConfig",
     "run_scheduler_comparison",
     "Table2Result",

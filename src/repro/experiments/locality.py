@@ -1,0 +1,203 @@
+"""Locality experiment: delay scheduling vs greedy placement on racks.
+
+The rack topology (PR 8) gives placement a cost model the flat cluster
+could not express: a copy launched off its task's preferred rack reads its
+input over the core switch and runs slower by the scenario's
+``remote_slowdown`` factor.  This driver sweeps the allocation axis --
+placement-blind ``greedy`` vs delay-scheduling ``delay`` -- with and
+without the paper's cloning, on a flat cluster and on a multi-rack
+topology under failures, and reports mean flowtimes plus the locality
+accounting (local/remote launches).  The sweep itself is the ``locality``
+:class:`~repro.study.core.Study` preset, so spec files and the results
+cache apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_columns
+
+__all__ = [
+    "LocalityResult",
+    "run_locality",
+    "DEFAULT_LOCALITY_SCHEDULERS",
+    "DEFAULT_LOCALITY_WORKLOADS",
+    "DEFAULT_TOPOLOGY_SCENARIOS",
+    "BASELINE_SCHEDULER",
+]
+
+#: The scheduler axis: the allocation policy (placement-blind greedy vs
+#: delay scheduling) is the varying factor, each with and without the
+#: paper's cloning, over the same SRPT ordering.
+DEFAULT_LOCALITY_SCHEDULERS: Tuple[str, ...] = (
+    "srpt+greedy+none",
+    "srpt+delay+none",
+    "srpt+greedy+clone",
+    "srpt+delay+clone",
+)
+
+#: The baseline the locality verdict is measured against.
+BASELINE_SCHEDULER = "srpt+greedy+none"
+
+#: One Poisson stream workload (labelled knob table over
+#: :data:`repro.study.core.STREAM_FACTORIES`), small enough for
+#: smoke-scale goldens.
+DEFAULT_LOCALITY_WORKLOADS: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    (
+        "poisson",
+        {
+            "kind": "stream",
+            "factory": "poisson",
+            "num_jobs": 20,
+            "arrival_rate": 0.05,
+            "mean_tasks_per_job": 4.0,
+            "mean_duration": 15.0,
+            "cv": 0.3,
+            "seed": 3,
+        },
+    ),
+)
+
+#: The topology axis: the same failure process on a flat cluster and on a
+#: four-rack topology with a 2x remote-read slowdown, so the topology is
+#: the only varying factor (and the failure kills exercise the delay
+#: policy's per-task blacklists).
+DEFAULT_TOPOLOGY_SCENARIOS: Tuple[Tuple[str, Dict[str, float]], ...] = (
+    ("flat", {"failure_rate": 0.002, "mean_repair": 10.0}),
+    (
+        "racks",
+        {
+            "racks": 4,
+            "remote_slowdown": 2.0,
+            "failure_rate": 0.002,
+            "mean_repair": 10.0,
+        },
+    ),
+)
+
+#: Cluster size of the sweep (fixed: the stream workload does not scale
+#: with the google-trace ``scale`` knob).  A multiple of the rack count so
+#: racks come out equally sized.
+DEFAULT_LOCALITY_MACHINES = 12
+
+
+@dataclass(frozen=True)
+class LocalityResult:
+    """Per-scenario flowtimes and locality counters of every scheduler."""
+
+    scenarios: Tuple[str, ...]
+    schedulers: Tuple[str, ...]
+    baseline: str
+    #: ``mean_flowtimes[scenario][scheduler]``.
+    mean_flowtimes: Dict[str, Dict[str, float]]
+    #: ``local_launches[scenario][scheduler]`` -- replication-mean copies
+    #: launched on their preferred rack (0 on the flat scenario).
+    local_launches: Dict[str, Dict[str, float]]
+    #: ``remote_launches[scenario][scheduler]`` -- replication-mean copies
+    #: launched off their preferred rack (these pay the slowdown).
+    remote_launches: Dict[str, Dict[str, float]]
+
+    def advantage(self, scenario: str, scheduler: str) -> float:
+        """Percent mean-flowtime reduction of ``scheduler`` vs the baseline."""
+        baseline = self.mean_flowtimes[scenario][self.baseline]
+        value = self.mean_flowtimes[scenario][scheduler]
+        return 100.0 * (baseline - value) / baseline
+
+    def locality_fraction(self, scenario: str, scheduler: str) -> float:
+        """Fraction of topology-priced launches that ran rack-local."""
+        local = self.local_launches[scenario][scheduler]
+        remote = self.remote_launches[scenario][scheduler]
+        total = local + remote
+        return local / total if total > 0 else 0.0
+
+    def render(self) -> str:
+        """Human-readable report of this experiment's results."""
+        blocks: List[str] = []
+        for scenario in self.scenarios:
+            series: Dict[str, Sequence[float]] = {
+                "mean flowtime": [
+                    self.mean_flowtimes[scenario][name]
+                    for name in self.schedulers
+                ],
+                "vs greedy (%)": [
+                    self.advantage(scenario, name) for name in self.schedulers
+                ],
+                "local launches": [
+                    self.local_launches[scenario][name]
+                    for name in self.schedulers
+                ],
+                "remote launches": [
+                    self.remote_launches[scenario][name]
+                    for name in self.schedulers
+                ],
+                "local (%)": [
+                    100.0 * self.locality_fraction(scenario, name)
+                    for name in self.schedulers
+                ],
+            }
+            table = render_columns(
+                "scheduler",
+                list(self.schedulers),
+                series,
+                title=f"Locality -- scenario: {scenario}",
+                precision=1,
+                column_width=18,
+                x_width=18,
+            )
+            blocks.append(table)
+        delay = next(
+            (n for n in self.schedulers if n.split("+")[1] == "delay"), None
+        )
+        if delay is not None and len(self.scenarios) > 1:
+            rack_scenario = self.scenarios[-1]
+            verdict = (
+                f"delay scheduling local fraction on '{rack_scenario}': "
+                f"{100.0 * self.locality_fraction(rack_scenario, delay):.1f}% "
+                f"(greedy: "
+                f"{100.0 * self.locality_fraction(rack_scenario, self.baseline):.1f}%)"
+            )
+            blocks.append(verdict)
+        footer = (
+            "allocation policy composed as srpt+<allocation>+<redundancy> "
+            "(repro.policies); vs greedy (%) = mean-flowtime reduction "
+            "relative to srpt+greedy+none, positive is better; local/remote "
+            "launches count copies on/off their preferred rack (zero on the "
+            "flat scenario by construction)"
+        )
+        blocks.append(footer)
+        return "\n\n".join(blocks)
+
+
+def run_locality(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    schedulers: Sequence[str] = DEFAULT_LOCALITY_SCHEDULERS,
+    scenarios: Sequence[Tuple[str, Dict[str, float]]] = DEFAULT_TOPOLOGY_SCENARIOS,
+    workloads: Sequence[Tuple[str, Dict[str, object]]] = DEFAULT_LOCALITY_WORKLOADS,
+) -> LocalityResult:
+    """Sweep placement policies over a flat and a multi-rack scenario.
+
+    A thin wrapper over the ``locality`` :class:`~repro.study.core.Study`
+    preset (:mod:`repro.study.presets`): one axes product of
+    ``schedulers x workloads x scenarios x seeds`` through a single
+    :meth:`~repro.study.core.Study.run` call, so ``config.workers`` and
+    the results cache apply with bit-identical results.
+    """
+    from repro.study.presets import compute_locality
+
+    config = config if config is not None else ExperimentConfig.default_bench()
+    if not schedulers:
+        raise ValueError("at least one scheduler is required")
+    if not scenarios:
+        raise ValueError("at least one scenario is required")
+    if not workloads:
+        raise ValueError("at least one workload is required")
+    return compute_locality(
+        config,
+        schedulers=tuple(schedulers),
+        scenarios=tuple(scenarios),
+        workloads=tuple(workloads),
+    )

@@ -9,7 +9,7 @@ pluggable:
   to jobs?  (``fifo`` / ``fair`` / ``srpt``)
 * :mod:`~repro.policies.allocation` -- how are free machines distributed
   over that order?  (``greedy`` one-per-task / ``share`` epsilon-fraction
-  shares)
+  shares / ``delay`` rack-locality delay scheduling)
 * :mod:`~repro.policies.redundancy` -- when is a second copy of a task
   worth a machine?  (``none`` / ``checkpoint`` opportunistic
   checkpointing / ``clone`` paper cloning / ``sca`` marginal-gain
@@ -34,7 +34,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple, Type, Union
 
 from repro.policies.allocation import (
+    LOCALITY_WAIT,
     AllocationPolicy,
+    DelayScheduling,
     EpsilonShareAllocation,
     GreedyAllocation,
 )
@@ -68,6 +70,8 @@ __all__ = [
     "AllocationPolicy",
     "GreedyAllocation",
     "EpsilonShareAllocation",
+    "DelayScheduling",
+    "LOCALITY_WAIT",
     "RedundancyPolicy",
     "NoRedundancy",
     "CheckpointRedundancy",
@@ -101,6 +105,7 @@ ORDERING_POLICIES: Dict[str, Type[OrderingPolicy]] = {
 ALLOCATION_POLICIES: Dict[str, Type[AllocationPolicy]] = {
     "greedy": GreedyAllocation,
     "share": EpsilonShareAllocation,
+    "delay": DelayScheduling,
 }
 
 #: The redundancy axis, by registry name.
@@ -178,17 +183,24 @@ def make_ordering(
 
 
 def make_allocation(
-    spec: Union[str, AllocationPolicy], *, epsilon: float = 0.6
+    spec: Union[str, AllocationPolicy],
+    *,
+    epsilon: float = 0.6,
+    locality_wait: Optional[float] = None,
 ) -> AllocationPolicy:
     """Resolve an allocation name (or pass an instance through).
 
     ``epsilon`` parameterises the ``share`` allocation (the machine-sharing
-    fraction of Section V-A); the greedy allocation ignores it.
+    fraction of Section V-A) and ``locality_wait`` the ``delay`` allocation
+    (how long a task holds out for its preferred rack; ``None`` keeps the
+    :data:`LOCALITY_WAIT` default); the other allocations ignore them.
     """
     if isinstance(spec, AllocationPolicy):
         return spec
     if spec == "share":
         return EpsilonShareAllocation(epsilon=epsilon)
+    if spec == "delay" and locality_wait is not None:
+        return DelayScheduling(locality_wait=locality_wait)
     try:
         return ALLOCATION_POLICIES[spec]()
     except KeyError:

@@ -19,17 +19,25 @@ extra copies.
   newly available machines are spent through the redundancy policy's
   :meth:`~repro.policies.redundancy.RedundancyPolicy.expand_grant` hook
   (cloning when the policy says so, single copies otherwise).
+* :class:`DelayScheduling` -- the greedy walk made placement-aware (delay
+  scheduling, after the Spark/dpark ``LOCALITY_WAIT`` rule): a task whose
+  preferred rack has no free machine *waits* up to :data:`LOCALITY_WAIT`
+  simulated seconds for a local slot before accepting a remote one, and a
+  machine whose copy of the task was killed by a failure is blacklisted
+  for that task.  Without an active topology it is exactly the greedy
+  allocation.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.allocation import epsilon_shares_from_ordered
+from repro.scenarios import DEFAULT_LOCALITY_WAIT
 from repro.policies.gating import (
     has_launchable_tasks,
     launchable_tasks,
@@ -38,9 +46,20 @@ from repro.policies.gating import (
 from repro.policies.ordering import OrderingPolicy
 from repro.policies.redundancy import RedundancyPolicy
 from repro.simulation.scheduler_api import LaunchRequest, SchedulerView
-from repro.workload.job import Job
+from repro.workload.job import Job, Task
 
-__all__ = ["AllocationPolicy", "GreedyAllocation", "EpsilonShareAllocation"]
+__all__ = [
+    "AllocationPolicy",
+    "GreedyAllocation",
+    "EpsilonShareAllocation",
+    "DelayScheduling",
+    "LOCALITY_WAIT",
+]
+
+#: Default delay-scheduling wait (simulated seconds): how long a task holds
+#: out for a slot on its preferred rack before accepting a remote one.
+#: One constant, shared with the CLI flag via ``repro.scenarios``.
+LOCALITY_WAIT = DEFAULT_LOCALITY_WAIT
 
 
 class AllocationPolicy:
@@ -52,6 +71,14 @@ class AllocationPolicy:
     #: through ``RedundancyPolicy.expand_grant`` (the epsilon-share rule);
     #: redundancy policies use this to avoid double-cloning in ``finalize``.
     shares_machines: bool = False
+    #: Engine wake-up request, mirroring ``Scheduler.tick_interval``: an
+    #: allocation that defers launches (delay scheduling) asks for a tick so
+    #: its deadline is a decision point.  Policies with ``dynamic_tick``
+    #: refresh this inside ``allocate()``; the composed scheduler re-reads
+    #: it after every decision.
+    tick_interval: Optional[float] = None
+    #: True when ``tick_interval`` is refreshed per decision point.
+    dynamic_tick: bool = False
 
     def allocate(
         self,
@@ -242,3 +269,203 @@ class EpsilonShareAllocation(AllocationPolicy):
             available -= used
             used_total += used
         return requests, used_total
+
+
+class DelayScheduling(AllocationPolicy):
+    """Greedy allocation with delay scheduling on the rack topology.
+
+    The walk visits jobs in ranking order like :class:`GreedyAllocation`,
+    but each launchable task now has a *placement opinion*:
+
+    * a free machine on the task's preferred rack (and not blacklisted for
+      the task) -> launch immediately, locally;
+    * only remote machines free -> the task *defers*: it waits until it
+      has been deferred for ``locality_wait`` simulated seconds, then
+      accepts the remote slot.  The wait clock starts the first time the
+      task is considered without a local slot;
+    * machines whose copy of this task was killed by a failure are
+      *blacklisted* for the task and never receive a re-dispatched copy.
+      While every free machine is blacklisted the task simply waits for a
+      different machine (this wait is exempt from the ``locality_wait``
+      bound -- there is no acceptable slot to accept).
+
+    The policy keeps the engine alive across pure-deferral decisions by
+    publishing the earliest pending deadline through ``tick_interval``
+    (``dynamic_tick`` contract); deadlines are monotone (first-seen time
+    plus a constant), so the engine's pending tick is never too late.
+
+    With no active topology the walk degenerates to exactly the greedy
+    allocation, which keeps ``topology=None`` runs bit-identical.
+    """
+
+    name = "delay"
+    dynamic_tick = True
+
+    def __init__(self, locality_wait: float = LOCALITY_WAIT) -> None:
+        if locality_wait < 0:
+            raise ValueError(
+                f"locality_wait must be non-negative, got {locality_wait}"
+            )
+        self.locality_wait = float(locality_wait)
+        #: Earliest pending deferral deadline, as a delay from "now";
+        #: refreshed by every allocate() call (None = nothing deferred).
+        self.tick_interval: Optional[float] = (
+            self.locality_wait if self.locality_wait > 0 else None
+        )
+        # (job_id, stage, index) -> time the task first failed to find a
+        # local slot; cleared when the task launches.
+        self._first_seen: Dict[Tuple[int, int, int], float] = {}
+        #: Longest any task had already waited at a moment the policy chose
+        #: to keep deferring (instrumentation; < locality_wait by design).
+        self.max_deferred_wait = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DelayScheduling(locality_wait={self.locality_wait})"
+
+    @staticmethod
+    def _blacklist(task: Task) -> Optional[Set[int]]:
+        """Machines that failure-killed a copy of ``task`` (None if none).
+
+        For an incomplete task every killed copy is a failure kill (clone
+        kills only happen when a sibling *finishes*, completing the task),
+        so the kill ledger on ``task.copies`` is exactly the blacklist.
+        """
+        hosts: Optional[Set[int]] = None
+        for copy in task.copies:
+            if copy.killed_at is not None:
+                if hosts is None:
+                    hosts = set()
+                hosts.add(copy.machine_id)
+        return hosts
+
+    @staticmethod
+    def _take_machine(
+        free_pool: List[int],
+        rack_of: List[int],
+        preferred: Optional[int],
+        blacklist: Optional[Set[int]],
+    ) -> int:
+        """Pop the machine the engine's placement rule would choose.
+
+        Mirrors ``SimulationEngine._place_for_locality`` on the policy's
+        private pool copy so launch requests issued in one batch account
+        for the machines consumed by the requests before them.
+        """
+        top = len(free_pool) - 1
+        choice = -1
+        fallback = -1
+        for i in range(top, -1, -1):
+            machine_id = free_pool[i]
+            if blacklist is not None and machine_id in blacklist:
+                continue
+            if rack_of[machine_id] == preferred:
+                choice = i
+                break
+            if fallback < 0:
+                fallback = i
+        if choice < 0:
+            choice = fallback if fallback >= 0 else top
+        if choice != top:
+            free_pool[choice], free_pool[top] = free_pool[top], free_pool[choice]
+        return free_pool.pop()
+
+    def allocate(
+        self,
+        view: SchedulerView,
+        ordering: OrderingPolicy,
+        redundancy: RedundancyPolicy,
+        rng: np.random.Generator,
+        allow_early_reduce: bool = False,
+    ) -> Tuple[List[LaunchRequest], int]:
+        """Placement-aware walk; defers off-rack launches within the wait."""
+        free = view.num_free_machines
+        if free <= 0:
+            return [], 0
+        if not view.topology_active or self.locality_wait <= 0.0:
+            # Flat cluster (or zero wait): exactly the greedy allocation.
+            self.tick_interval = None
+            if ordering.dynamic:
+                requests = GreedyAllocation._water_fill(
+                    view, ordering, free, allow_early_reduce
+                )
+            else:
+                requests = GreedyAllocation._static_walk(
+                    view, ordering, free, allow_early_reduce
+                )
+            return requests, len(requests)
+
+        now = view.time
+        wait = self.locality_wait
+        rack_of = view.machine_racks
+        num_machines = view.num_machines
+        free_pool = view.free_machine_ids()
+        requests: List[LaunchRequest] = []
+        first_seen = self._first_seen
+        next_deadline: Optional[float] = None
+        launchable = launchable_tasks
+        # Note: one ranked pass even under dynamic orderings -- deferral
+        # does not compose with per-machine water-filling, and the ranking
+        # is refreshed every decision point anyway.
+        for job in ordering.order(view, view.alive_jobs):
+            if not free_pool:
+                break
+            if job._unscheduled_ready == 0 and not (
+                allow_early_reduce and job._unscheduled_total > 0
+            ):
+                continue
+            for task in launchable(job, allow_early_reduce):
+                if not free_pool:
+                    break
+                blacklist = self._blacklist(task)
+                if blacklist is not None and len(blacklist) >= num_machines:
+                    # The task has died on every machine in the cluster;
+                    # refusing all of them forever would deadlock the run.
+                    # Forgive the blacklist (the engine's placement rule
+                    # applies the same forgiveness).
+                    blacklist = None
+                preferred = task.preferred_rack
+                have_local = False
+                have_eligible = False
+                for machine_id in free_pool:
+                    if blacklist is not None and machine_id in blacklist:
+                        continue
+                    have_eligible = True
+                    if rack_of[machine_id] == preferred:
+                        have_local = True
+                        break
+                if have_local:
+                    self._take_machine(free_pool, rack_of, preferred, blacklist)
+                    first_seen.pop((job.job_id, task.stage, task.index), None)
+                    requests.append(LaunchRequest(task))
+                    continue
+                key = (job.job_id, task.stage, task.index)
+                seen = first_seen.get(key)
+                if seen is None:
+                    first_seen[key] = now
+                    seen = now
+                if not have_eligible:
+                    # Every free machine is blacklisted for this task: hold
+                    # the copy back regardless of how long it has waited,
+                    # and poll again one wait from now (keeps the run alive
+                    # until a non-blacklisted machine frees up or repairs).
+                    deadline = now + wait
+                    if next_deadline is None or deadline < next_deadline:
+                        next_deadline = deadline
+                    continue
+                waited = now - seen
+                if waited < wait:
+                    if waited > self.max_deferred_wait:
+                        self.max_deferred_wait = waited
+                    deadline = seen + wait
+                    if next_deadline is None or deadline < next_deadline:
+                        next_deadline = deadline
+                    continue
+                # Wait exhausted: accept the remote (non-blacklisted) slot.
+                self._take_machine(free_pool, rack_of, preferred, blacklist)
+                first_seen.pop(key, None)
+                requests.append(LaunchRequest(task))
+        if next_deadline is None:
+            self.tick_interval = None
+        else:
+            self.tick_interval = max(next_deadline - now, 0.0)
+        return requests, len(requests)

@@ -28,7 +28,10 @@ streams that never touch the engine's workload-sampling generator:
 
 * machine speeds come from ``default_rng([_SPEED_STREAM, seed])``;
 * each machine's failure/slowdown event times come from
-  ``default_rng([_PROCESS_STREAM, seed, machine_id])``.
+  ``default_rng([_PROCESS_STREAM, seed, machine_id])``;
+* per-job input placement (the preferred rack of a job's tasks under a
+  :class:`TopologySpec`) comes from ``default_rng([_PLACEMENT_STREAM,
+  seed])``, consumed in job-arrival order.
 
 Two consequences: (1) enabling a scenario never perturbs the task workloads
 sampled for the equivalent homogeneous run, and (2) every scenario run is a
@@ -50,27 +53,36 @@ __all__ = [
     "DEFAULT_MEAN_REPAIR",
     "DEFAULT_SLOWDOWN_DURATION",
     "DEFAULT_SLOWDOWN_FACTOR",
+    "DEFAULT_REMOTE_SLOWDOWN",
+    "DEFAULT_LOCALITY_WAIT",
     "SpeedDistribution",
     "UniformSpeeds",
     "BimodalSpeeds",
     "ZipfSpeeds",
     "MachineFailures",
+    "TopologySpec",
     "ScenarioSpec",
     "SCENARIO_PRESETS",
     "scenario_preset",
     "speed_rng",
     "machine_process_rng",
+    "placement_rng",
 ]
 
 #: Seed-stream tags keeping scenario randomness off the workload stream.
 _SPEED_STREAM = 0x535044  # "SPD"
 _PROCESS_STREAM = 0x50524F43  # "PROC"
+_PLACEMENT_STREAM = 0x504C43  # "PLC"
 
 #: Defaults shared by the presets, the CLI fallbacks and the scenario
 #: sweep's failure axis -- one constant each, no drift.
 DEFAULT_MEAN_REPAIR = 300.0
 DEFAULT_SLOWDOWN_DURATION = 200.0
 DEFAULT_SLOWDOWN_FACTOR = 4.0
+DEFAULT_REMOTE_SLOWDOWN = 2.0
+#: Default delay-scheduling wait, re-exported so the CLI and the Study
+#: layer share one constant with the ``delay`` allocation policy.
+DEFAULT_LOCALITY_WAIT = 3.0
 
 
 def speed_rng(seed: int) -> np.random.Generator:
@@ -81,6 +93,17 @@ def speed_rng(seed: int) -> np.random.Generator:
 def machine_process_rng(seed: int, machine_id: int) -> np.random.Generator:
     """The dedicated generator for one machine's failure/slowdown timeline."""
     return np.random.default_rng([_PROCESS_STREAM, seed, machine_id])
+
+
+def placement_rng(seed: int) -> np.random.Generator:
+    """The dedicated generator per-job input placement is drawn from.
+
+    One stream per run, consumed in job-arrival order (one draw per
+    arriving job), so placement depends only on ``(seed, arrival index)``
+    -- never on the scheduler or on pool sharding -- and pooled execution
+    stays bit-identical to serial.
+    """
+    return np.random.default_rng([_PLACEMENT_STREAM, seed])
 
 
 # ---------------------------------------------------------------- speed models
@@ -212,6 +235,47 @@ class MachineFailures:
         return float(rng.exponential(self.mean_repair))
 
 
+# ---------------------------------------------------------------- topology
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A rack topology with remote-read penalties.
+
+    Machines are assigned to racks round-robin (machine ``m`` lives on
+    rack ``m % racks``), every arriving job draws one *preferred rack*
+    (the rack holding its input splits) from the dedicated
+    :func:`placement_rng` stream, and a copy launched off its task's
+    preferred rack pays ``remote_slowdown`` on its wall-clock duration
+    (its effective processing rate is divided by the factor, composing
+    multiplicatively with machine speeds, dynamic stragglers and
+    checkpoint resumes).
+
+    The degenerate topology -- one rack, or a unit slowdown factor --
+    is behaviourally indistinguishable from no topology at all, and the
+    engine treats it identically (bit-identical results, locality
+    counters stay zero); ``tests/test_topology.py`` pins this.
+    """
+
+    racks: int = 1
+    remote_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.racks, int) or isinstance(self.racks, bool):
+            raise TypeError(f"racks must be an int, got {self.racks!r}")
+        if self.racks < 1:
+            raise ValueError(f"racks must be >= 1, got {self.racks}")
+        if self.remote_slowdown < 1.0:
+            raise ValueError(
+                f"remote_slowdown must be >= 1.0, got {self.remote_slowdown}"
+            )
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the topology cannot affect any run (single rack or no penalty)."""
+        return self.racks == 1 or self.remote_slowdown == 1.0
+
+
 # ---------------------------------------------------------------- the scenario
 
 
@@ -235,14 +299,22 @@ class ScenarioSpec:
         ``RunSpec.straggler_factory``.
     failures:
         Machine failure/restart process; ``None`` disables it.
+    topology:
+        Rack topology with remote-read penalties; ``None`` keeps the
+        paper's flat (placement-insensitive) cluster.
     """
 
     speeds: Optional[SpeedDistribution] = None
     normalize_mean_speed: bool = False
     stragglers: Optional[DynamicStragglers] = None
     failures: Optional[MachineFailures] = None
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
+        if self.topology is not None and not isinstance(self.topology, TopologySpec):
+            raise TypeError(
+                f"topology must be a TopologySpec, got {self.topology!r}"
+            )
         if self.speeds is not None and not isinstance(self.speeds, SpeedDistribution):
             raise TypeError(
                 f"speeds must be a SpeedDistribution, got {self.speeds!r}"
@@ -268,7 +340,9 @@ class ScenarioSpec:
     @property
     def is_default(self) -> bool:
         """True when the scenario is the paper's homogeneous static cluster."""
-        return self.speeds is None and not self.is_dynamic
+        return (
+            self.speeds is None and not self.is_dynamic and self.topology is None
+        )
 
     def machine_speeds(self, num_machines: int, seed: int) -> Optional[np.ndarray]:
         """Sample per-machine speeds for one run (``None`` when homogeneous).

@@ -63,7 +63,7 @@ import numpy as np
 
 from repro.cluster.state import ClusterState
 from repro.cluster.stragglers import NoStragglers, StragglerModel
-from repro.scenarios import ScenarioSpec, machine_process_rng
+from repro.scenarios import ScenarioSpec, machine_process_rng, placement_rng
 from repro.simulation.events import Event, EventHeap, EventType
 from repro.simulation.metrics import JobRecord, SimulationResult
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
@@ -197,6 +197,23 @@ class SimulationEngine:
             self._machine_rngs = [
                 machine_process_rng(seed, m) for m in range(num_machines)
             ]
+        # Rack topology & locality.  Only a *non-degenerate* topology
+        # activates any of it: the degenerate (single-rack or unit-penalty)
+        # case takes the exact legacy code path, so its results are
+        # bit-identical to topology=None and the locality counters stay
+        # zero (pinned by tests/test_topology.py).
+        topology = scenario.topology if scenario is not None else None
+        self._topology_active = topology is not None and not topology.is_degenerate
+        self._rack_of: Optional[List[int]] = None
+        self._placement_rng: Optional[np.random.Generator] = None
+        self._remote_slowdown = 1.0
+        self._num_racks = 1
+        if self._topology_active:
+            self._num_racks = topology.racks
+            self._rack_of = [m % topology.racks for m in range(num_machines)]
+            self._remote_slowdown = topology.remote_slowdown
+            self._placement_rng = placement_rng(seed)
+            self.cluster.configure_topology(self._rack_of)
         declared_tasks = trace.total_tasks
         self._accumulate_tasks = declared_tasks is None
         self.result = SimulationResult(
@@ -325,13 +342,17 @@ class SimulationEngine:
             requests = schedule(view)
             if requests:
                 self._apply_launches(requests)
+            if ticks:
+                # Ticks go into the heap before stuck-detection runs: an
+                # allocation policy deferring its launches (delay
+                # scheduling) keeps the run alive through its wake-up
+                # tick, which the check must see.
+                self._maybe_schedule_tick()
             if dynamic or not entries:
                 # Stuck-detection only matters when no future event could
                 # unstick the run: on the static path a non-empty heap
                 # proves progress (the check's own fast exit, hoisted).
                 self._check_progress_possible()
-            if ticks:
-                self._maybe_schedule_tick()
             if check:
                 self.cluster.check_invariants()
 
@@ -429,6 +450,14 @@ class SimulationEngine:
                 buffer.reverse()
                 buffers[(job_id, stage_index)] = buffer
             stage_index += 1
+        if self._topology_active:
+            # One preferred-rack draw per job, in arrival order, from the
+            # dedicated placement stream (see the seeding contract in
+            # repro.scenarios): the rack holding the job's input splits.
+            rack = int(self._placement_rng.integers(self._num_racks))
+            for tasks in job.stage_tasks:
+                for task in tasks:
+                    task.preferred_rack = rack
         if self._notify_arrival is not None:
             self._notify_arrival(job, self.now)
 
@@ -457,6 +486,7 @@ class SimulationEngine:
         result = self.result
         cluster = self.cluster
         dynamic = self._dynamic
+        topology = self._topology_active
         # A finishing copy always started; elapsed = now - start (inlined
         # from TaskCopy.elapsed, which this hot path calls per completion).
         elapsed = now - copy.start_time
@@ -486,6 +516,8 @@ class SimulationEngine:
             cluster._map_running -= 1
         else:
             cluster._reduce_running -= 1
+        if topology:
+            cluster._rack_running[self._rack_of[machine_id]] -= 1
         if dynamic:
             self._running.pop(copy.machine_id, None)
         result.useful_work += elapsed
@@ -513,6 +545,8 @@ class SimulationEngine:
                         cluster._map_running -= 1
                     else:
                         cluster._reduce_running -= 1
+                    if topology:
+                        cluster._rack_running[self._rack_of[machine_id]] -= 1
                     if dynamic:
                         self._running.pop(clone.machine_id, None)
                     result.wasted_work += clone_elapsed
@@ -547,14 +581,17 @@ class SimulationEngine:
                         if self._dynamic:
                             # The machine's effective speed may have changed
                             # since launch; price the parked work at the
-                            # current rate.
+                            # current rate (remote-read penalty included).
                             machine = self.cluster.machine(copy.machine_id)
-                            copy.workload = copy.work / machine.effective_speed
+                            rate = machine.effective_speed
+                            if copy.remote_penalty != 1.0:
+                                rate /= copy.remote_penalty
+                            copy.workload = copy.work / rate
                             self._running[copy.machine_id] = _RunningCopy(
                                 copy=copy,
                                 work_remaining=copy.work,
                                 settled_at=self.now,
-                                rate=machine.effective_speed,
+                                rate=rate,
                             )
                         self._push_finish(copy, self.now + copy.workload)
 
@@ -761,9 +798,12 @@ class SimulationEngine:
         if entry is None:
             return
         machine = self.cluster.machine(machine_id)
-        entry.rate = machine.effective_speed
-        remaining_wall = entry.work_remaining / entry.rate
         copy = entry.copy
+        rate = machine.effective_speed
+        if copy.remote_penalty != 1.0:
+            rate /= copy.remote_penalty
+        entry.rate = rate
+        remaining_wall = entry.work_remaining / rate
         # Keep the wall-clock workload estimate coherent so progress scores
         # (LATE/Mantri) and remaining-work queries stay meaningful.
         copy.workload = copy.elapsed(self.now) + remaining_wall
@@ -822,9 +862,57 @@ class SimulationEngine:
                 f"scheduler launched a task of completed job {job.job_id}"
             )
 
+    def _place_for_locality(self, task: Task) -> None:
+        """Swap the best free machine for ``task`` to the top of the free list.
+
+        Preference order: a free non-blacklisted machine on the task's
+        preferred rack, else any free non-blacklisted machine, else
+        whatever sits on top (every free machine hosted a failure-killed
+        copy of this task -- the engine still honours the launch request).
+        The blacklist is the set of machines whose copy of this task was
+        killed; for an incomplete task those are exactly the failure
+        kills, since clone-race kills only happen at task completion.  A
+        blacklist covering the whole cluster is forgiven (mirroring
+        ``DelayScheduling``): the task has died everywhere, and refusing
+        every machine forever would deadlock the run.  Scanning starts
+        from the list top so that with no blacklist and a local (or no
+        local) machine at the top, the legacy LIFO choice is unchanged.
+        """
+        free_ids = self.cluster._free_ids
+        rack_of = self._rack_of
+        preferred = task.preferred_rack
+        blacklist = None
+        for copy in task.copies:
+            if copy.killed_at is not None:
+                if blacklist is None:
+                    blacklist = {copy.machine_id}
+                else:
+                    blacklist.add(copy.machine_id)
+        if blacklist is not None and len(blacklist) >= self.cluster.num_machines:
+            blacklist = None
+        top = len(free_ids) - 1
+        choice = -1
+        fallback = -1
+        for i in range(top, -1, -1):
+            machine_id = free_ids[i]
+            if blacklist is not None and machine_id in blacklist:
+                continue
+            if rack_of[machine_id] == preferred:
+                choice = i
+                break
+            if fallback < 0:
+                fallback = i
+        if choice < 0:
+            choice = fallback if fallback >= 0 else top
+        if choice != top:
+            free_ids[choice], free_ids[top] = free_ids[top], free_ids[choice]
+
     def _launch_copy(self, task: Task) -> TaskCopy:
         cluster = self.cluster
         free_ids = cluster._free_ids
+        topology = self._topology_active
+        if topology:
+            self._place_for_locality(task)
         machine_id = free_ids[-1]
         raw_workload = self._next_workload(task)
         if self._inflate is not None:
@@ -845,6 +933,18 @@ class SimulationEngine:
             duration = raw_workload / machine.speed
         else:
             duration = raw_workload / (machine.speed / machine.slowdown)
+        penalty = 1.0
+        if topology:
+            # Remote-read penalty: a copy off its preferred rack processes
+            # at effective_speed / remote_slowdown for its whole life (its
+            # input does not move), composing multiplicatively with static
+            # speeds and dynamic slowdowns.
+            if self._rack_of[machine_id] == task.preferred_rack:
+                result.local_launches += 1
+            else:
+                penalty = self._remote_slowdown
+                duration *= penalty
+                result.remote_launches += 1
         # Inlined TaskCopy construction -- its validation cannot fire
         # (raw_workload is floored strictly positive, now >= 0).
         copy = TaskCopy.__new__(TaskCopy)
@@ -858,6 +958,7 @@ class SimulationEngine:
         copy.killed_at = None
         copy.work = raw_workload
         copy.finish_version = 0
+        copy.remote_penalty = penalty
         job = task.job
         stage = task.stage
         num_active = task._num_active
@@ -887,6 +988,8 @@ class SimulationEngine:
             cluster._map_running += 1
         else:
             cluster._reduce_running += 1
+        if topology:
+            cluster._rack_running[self._rack_of[machine_id]] += 1
         result.total_copies += 1
 
         if not job._stage_ready[stage]:
@@ -897,11 +1000,14 @@ class SimulationEngine:
         # and launched at `now`, so its validation cannot fire.
         copy.start_time = now
         if self._dynamic:
+            rate = machine.effective_speed
+            if penalty != 1.0:
+                rate /= penalty
             self._running[machine_id] = _RunningCopy(
                 copy=copy,
                 work_remaining=raw_workload,
                 settled_at=now,
-                rate=machine.effective_speed,
+                rate=rate,
             )
         self._events.push_finish(copy, now + duration, next(self._sequence))
         return copy

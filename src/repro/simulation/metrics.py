@@ -125,6 +125,12 @@ class SimulationResult:
     work_saved_by_checkpointing: float = 0.0
     #: Dynamic straggler slowdown periods that began during the run.
     straggler_onsets: int = 0
+    #: Copies launched on a machine of their task's preferred rack (only
+    #: counted while a non-degenerate topology is active; 0 on flat runs).
+    local_launches: int = 0
+    #: Copies launched off their task's preferred rack (these pay the
+    #: topology's remote-read slowdown on their effective rate).
+    remote_launches: int = 0
     #: Wall-clock seconds the simulation took (filled by the runner).
     runtime_seconds: float = 0.0
     #: Seed used for the run (filled by the runner).
@@ -234,6 +240,14 @@ class SimulationResult:
         """Jobs whose flowtime falls in ``[low, high]`` (Figure 4/5 slices)."""
         return [r for r in self.records if low <= r.flowtime <= high]
 
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of topology-priced launches that ran rack-local."""
+        total = self.local_launches + self.remote_launches
+        if total == 0:
+            return 0.0
+        return self.local_launches / total
+
     # -- cloning / efficiency accounting ------------------------------------------------------
 
     @property
@@ -287,6 +301,8 @@ class SimulationResult:
             "checkpoint_resumes": self.checkpoint_resumes,
             "work_saved_by_checkpointing": self.work_saved_by_checkpointing,
             "straggler_onsets": self.straggler_onsets,
+            "local_launches": self.local_launches,
+            "remote_launches": self.remote_launches,
             "records": [
                 (
                     r.job_id,
@@ -338,6 +354,8 @@ class SimulationResult:
             "checkpoint_resumes": self.checkpoint_resumes,
             "work_saved_by_checkpointing": self.work_saved_by_checkpointing,
             "straggler_onsets": self.straggler_onsets,
+            "local_launches": self.local_launches,
+            "remote_launches": self.remote_launches,
         }
 
     @staticmethod

@@ -66,7 +66,10 @@ __all__ = [
 #: record row, ``checkpoint_resumes`` and ``work_saved_by_checkpointing``)
 #: to ``canonical_dict``; v2 entries are detected as stale and recomputed
 #: rather than rebuilt with silently-defaulted fields.
-FORMAT_VERSION = 3
+#: Version 4 added the rack-locality counters (``local_launches`` and
+#: ``remote_launches``) for topology-aware runs; pre-topology v3 entries
+#: are likewise stale.
+FORMAT_VERSION = 4
 
 
 class UncacheableSpecError(ValueError):
@@ -222,6 +225,8 @@ def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
         checkpoint_resumes=payload["checkpoint_resumes"],
         work_saved_by_checkpointing=payload["work_saved_by_checkpointing"],
         straggler_onsets=payload["straggler_onsets"],
+        local_launches=payload["local_launches"],
+        remote_launches=payload["remote_launches"],
         runtime_seconds=payload["runtime_seconds"],
         seed=payload["seed"],
     )

@@ -84,6 +84,67 @@ class SchedulerView:
         """Base speed of one machine (heterogeneous scenarios expose these)."""
         return self._engine.cluster.speed_of(machine_id)
 
+    # -- topology (rack locality) -------------------------------------------------
+
+    @property
+    def topology_active(self) -> bool:
+        """True when a non-degenerate rack topology shapes this run.
+
+        Degenerate topologies (one rack, or no remote slowdown) answer
+        False so that placement-aware policies fall back to their flat
+        behaviour and stay bit-identical to ``topology=None`` runs.
+        """
+        return self._engine._topology_active
+
+    @property
+    def num_racks(self) -> int:
+        """Number of racks (1 when no topology is active)."""
+        return self._engine._num_racks
+
+    @property
+    def machine_racks(self) -> List[int]:
+        """The machine->rack map (schedulers must not mutate it).
+
+        Only valid while :attr:`topology_active`; flat runs raise rather
+        than hand out a fabricated map.
+        """
+        rack_of = self._engine._rack_of
+        if rack_of is None:
+            raise RuntimeError("machine_racks queried without an active topology")
+        return rack_of
+
+    def rack_of(self, machine_id: int) -> int:
+        """Rack hosting ``machine_id`` (0 when no topology is active)."""
+        rack_of = self._engine._rack_of
+        return 0 if rack_of is None else rack_of[machine_id]
+
+    def free_machine_ids(self) -> List[int]:
+        """Snapshot of the free machines, in engine placement order.
+
+        The engine serves placements from the *end* of this list; policies
+        that simulate placement (delay scheduling) copy it and drain it the
+        same way.
+        """
+        return list(self._engine.cluster._free_ids)
+
+    def locality_hint(self, task: Task) -> Optional[bool]:
+        """Whether ``task`` could launch on its preferred rack right now.
+
+        ``None`` when no topology is active (placement has no locality
+        dimension), otherwise True iff some free machine sits on the
+        task's preferred rack.  Redundancy policies use this to steer
+        clones towards local slots.
+        """
+        engine = self._engine
+        if not engine._topology_active:
+            return None
+        preferred = task.preferred_rack
+        rack_of = engine._rack_of
+        for machine_id in engine.cluster._free_ids:
+            if rack_of[machine_id] == preferred:
+                return True
+        return False
+
     # -- jobs ---------------------------------------------------------------------
 
     @property
@@ -220,6 +281,9 @@ class ComposedScheduler(Scheduler):
         non-default parameters.
     epsilon:
         Machine-sharing fraction consumed by the ``share`` allocation.
+    locality_wait:
+        Delay-scheduling wait (simulated seconds) consumed by the
+        ``delay`` allocation; ``None`` keeps the policy default.
     r:
         Standard-deviation weight consumed by the ``srpt`` ordering.
     seed:
@@ -241,6 +305,7 @@ class ComposedScheduler(Scheduler):
         redundancy: Union[str, "RedundancyPolicy"] = "none",
         *,
         epsilon: float = 0.6,
+        locality_wait: Optional[float] = None,
         r: float = 0.0,
         seed: int = 0,
         allow_early_reduce: bool = False,
@@ -260,10 +325,19 @@ class ComposedScheduler(Scheduler):
         import numpy as np
 
         self.ordering = make_ordering(ordering, r=r)
-        self.allocation = make_allocation(allocation, epsilon=epsilon)
+        self.allocation = make_allocation(
+            allocation, epsilon=epsilon, locality_wait=locality_wait
+        )
         self.redundancy = make_redundancy(redundancy)
         self.allow_early_reduce = allow_early_reduce
-        self.tick_interval = self.redundancy.tick_interval
+        # The engine's wake-up request combines both tick sources: the
+        # redundancy policy's fixed speculation cadence and the allocation
+        # policy's (possibly dynamic) deferral deadline.  Dynamic-tick
+        # allocations refresh their interval inside allocate(); schedule()
+        # re-derives the combined value after every decision.
+        self._redundancy_tick = self.redundancy.tick_interval
+        self._allocation_ticks = getattr(self.allocation, "dynamic_tick", False)
+        self.tick_interval = self._combined_tick()
         # Hot-path gates, resolved once (plain bools so the scheduler stays
         # picklable for pool dispatch): when the redundancy policy left the
         # base no-op hooks in place, the per-completion forwarding and the
@@ -294,6 +368,16 @@ class ComposedScheduler(Scheduler):
             f"{self.ordering.name}+{self.allocation.name}+{self.redundancy.name}"
         )
 
+    def _combined_tick(self) -> Optional[float]:
+        """Min of the redundancy cadence and the allocation's deadline hint."""
+        allocation_tick = getattr(self.allocation, "tick_interval", None)
+        redundancy_tick = self._redundancy_tick
+        if allocation_tick is None:
+            return redundancy_tick
+        if redundancy_tick is None or allocation_tick < redundancy_tick:
+            return allocation_tick
+        return redundancy_tick
+
     def on_task_completion(self, task: Task, time: float) -> None:
         """Forward completion observations to the redundancy policy."""
         self.redundancy.on_task_completion(task, time)
@@ -316,6 +400,10 @@ class ComposedScheduler(Scheduler):
                 self._rng,
                 self.allow_early_reduce,
             )
+            if self._allocation_ticks:
+                # The engine reads tick_interval right after this call, so
+                # refreshing the attribute is enough to move the wake-up.
+                self.tick_interval = self._combined_tick()
         if not self._redundancy_finalizes:
             return planned
         return self.redundancy.finalize(

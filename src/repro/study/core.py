@@ -63,10 +63,12 @@ from typing import (
 from repro.policies import parse_composition
 from repro.scenarios import (
     DEFAULT_MEAN_REPAIR,
+    DEFAULT_REMOTE_SLOWDOWN,
     DEFAULT_SLOWDOWN_DURATION,
     DEFAULT_SLOWDOWN_FACTOR,
     MachineFailures,
     ScenarioSpec,
+    TopologySpec,
     UniformSpeeds,
     scenario_preset,
 )
@@ -265,6 +267,8 @@ _SCENARIO_TABLE_KEYS = frozenset(
         "slowdown_rate",
         "slowdown_duration",
         "slowdown_factor",
+        "racks",
+        "remote_slowdown",
         "label",
     }
 )
@@ -291,6 +295,9 @@ def _scenario_from_table(data: Mapping[str, float]) -> Optional[ScenarioSpec]:
         "slowdown_duration" in data or "slowdown_factor" in data
     ) and slowdown_rate == 0.0:
         raise ValueError("slowdown_duration/slowdown_factor need slowdown_rate > 0")
+    racks = int(data.get("racks", 1))
+    if "remote_slowdown" in data and racks <= 1:
+        raise ValueError("remote_slowdown needs racks > 1")
     speeds = None
     normalize = False
     if speed_spread > 0.0:
@@ -311,11 +318,20 @@ def _scenario_from_table(data: Mapping[str, float]) -> Optional[ScenarioSpec]:
             ),
             factor=float(data.get("slowdown_factor", DEFAULT_SLOWDOWN_FACTOR)),
         )
+    topology = None
+    if racks > 1:
+        topology = TopologySpec(
+            racks=racks,
+            remote_slowdown=float(
+                data.get("remote_slowdown", DEFAULT_REMOTE_SLOWDOWN)
+            ),
+        )
     spec = ScenarioSpec(
         speeds=speeds,
         normalize_mean_speed=normalize,
         stragglers=stragglers,
         failures=failures,
+        topology=topology,
     )
     return None if spec.is_default else spec
 

@@ -54,6 +54,8 @@ __all__ = [
     "compute_policy_grid",
     "dag_redundancy_study",
     "compute_dag_redundancy",
+    "locality_study",
+    "compute_locality",
 ]
 
 
@@ -675,6 +677,102 @@ def compute_dag_redundancy(
     )
 
 
+# ----------------------------------------------------------------- locality
+
+
+def locality_study(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    schedulers: Optional[Sequence[str]] = None,
+    scenarios: Optional[Sequence] = None,
+    workloads: Optional[Sequence] = None,
+) -> Study:
+    """Placement policies on a flat cluster vs a multi-rack topology.
+
+    The scheduler axis varies the allocation policy (placement-blind
+    ``greedy`` vs delay-scheduling ``delay``, each with and without
+    cloning) over a fixed SRPT ordering; the scenario axis holds the same
+    failure process with and without a rack topology; the workload axis
+    holds a Poisson stream recipe.  All axes are declarative, so the study
+    round-trips through spec files.
+    """
+    from repro.experiments.locality import (
+        DEFAULT_LOCALITY_MACHINES,
+        DEFAULT_LOCALITY_SCHEDULERS,
+        DEFAULT_LOCALITY_WORKLOADS,
+        DEFAULT_TOPOLOGY_SCENARIOS,
+    )
+
+    config = _config(config)
+    schedulers = (
+        tuple(schedulers)
+        if schedulers is not None
+        else DEFAULT_LOCALITY_SCHEDULERS
+    )
+    scenarios = (
+        tuple(scenarios) if scenarios is not None else DEFAULT_TOPOLOGY_SCENARIOS
+    )
+    workloads = (
+        tuple(workloads) if workloads is not None else DEFAULT_LOCALITY_WORKLOADS
+    )
+    return Study(
+        name="locality",
+        schedulers=schedulers,
+        scenarios=scenarios,
+        workloads=workloads,
+        seeds=config.seeds,
+        scale=config.scale,
+        r=config.r,
+        epsilon=config.epsilon,
+        machines=DEFAULT_LOCALITY_MACHINES,
+    )
+
+
+def compute_locality(
+    config: ExperimentConfig,
+    *,
+    schedulers: Sequence[str],
+    scenarios: Sequence,
+    workloads: Sequence,
+):
+    """Run the locality study and assemble its result object."""
+    from repro.experiments.locality import BASELINE_SCHEDULER, LocalityResult
+
+    study = locality_study(
+        config,
+        schedulers=schedulers,
+        scenarios=scenarios,
+        workloads=workloads,
+    )
+    results = _run(study, config)
+    scenario_labels = tuple(ref.label for ref in study.scenarios)
+    means: Dict[str, Dict[str, float]] = {}
+    local: Dict[str, Dict[str, float]] = {}
+    remote: Dict[str, Dict[str, float]] = {}
+    for scenario in scenario_labels:
+        means[scenario] = {}
+        local[scenario] = {}
+        remote[scenario] = {}
+        for name in schedulers:
+            group = results.filter(scenario=scenario, scheduler=name)
+            replicated = _replicated(group)
+            means[scenario][name] = replicated.mean_flowtime
+            local[scenario][name] = float(
+                np.mean([r.local_launches for r in group.results])
+            )
+            remote[scenario][name] = float(
+                np.mean([r.remote_launches for r in group.results])
+            )
+    return LocalityResult(
+        scenarios=scenario_labels,
+        schedulers=tuple(schedulers),
+        baseline=BASELINE_SCHEDULER,
+        mean_flowtimes=means,
+        local_launches=local,
+        remote_launches=remote,
+    )
+
+
 # ------------------------------------------------------------------- registry
 
 
@@ -751,6 +849,12 @@ def _dag_redundancy_report(config: Optional[ExperimentConfig] = None) -> str:
     return run_dag_redundancy(config).render()
 
 
+def _locality_report(config: Optional[ExperimentConfig] = None) -> str:
+    from repro.experiments.locality import run_locality
+
+    return run_locality(config).render()
+
+
 def _default_figure1_study(config: Optional[ExperimentConfig] = None) -> Study:
     from repro.experiments.figure1 import DEFAULT_EPSILONS
 
@@ -815,6 +919,7 @@ STUDY_PRESETS: Dict[str, StudyPreset] = {
     "dag-redundancy": StudyPreset(
         "dag-redundancy", dag_redundancy_study, _dag_redundancy_report
     ),
+    "locality": StudyPreset("locality", locality_study, _locality_report),
 }
 
 

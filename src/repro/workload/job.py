@@ -189,6 +189,7 @@ def _new_task(job: "Job", stage: int, index: int) -> "Task":
     task.copies = []
     task.completion_time = None
     task.checkpoint_work = 0.0
+    task.preferred_rack = None
     task._num_active = 0
     return task
 
@@ -443,6 +444,11 @@ class TaskCopy:
         Version of the copy's currently valid finish event
         (engine-managed).  A queued finish event with a smaller version is
         stale.
+    remote_penalty:
+        Remote-read slowdown factor priced into this copy's rate: 1.0 for
+        a copy on its task's preferred rack (or when no topology is
+        active), the scenario's ``remote_slowdown`` otherwise.  Fixed at
+        launch -- the copy's data does not move.
     """
 
     __slots__ = (
@@ -456,6 +462,7 @@ class TaskCopy:
         "killed_at",
         "work",
         "finish_version",
+        "remote_penalty",
     )
 
     def __init__(
@@ -470,6 +477,7 @@ class TaskCopy:
         killed_at: Optional[float] = None,
         work: Optional[float] = None,
         finish_version: int = 0,
+        remote_penalty: float = 1.0,
     ) -> None:
         if workload <= 0:
             raise ValueError(f"copy workload must be positive, got {workload}")
@@ -485,6 +493,7 @@ class TaskCopy:
         self.killed_at = killed_at
         self.work = work
         self.finish_version = finish_version
+        self.remote_penalty = remote_penalty
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -580,6 +589,11 @@ class Task:
     redundancy policy: when a failure kills a copy, the engine rounds the
     work it completed down to a checkpoint-interval multiple, and the next
     launched copy of the task resumes from there instead of zero.
+
+    ``preferred_rack`` is the rack holding the task's input split under an
+    active :class:`~repro.scenarios.TopologySpec` (engine-assigned at job
+    arrival from the placement stream); ``None`` when no topology is
+    active, i.e. any slot is as good as any other.
     """
 
     __slots__ = (
@@ -589,6 +603,7 @@ class Task:
         "copies",
         "completion_time",
         "checkpoint_work",
+        "preferred_rack",
         "_num_active",
     )
 
@@ -606,6 +621,7 @@ class Task:
         self.copies: List[TaskCopy] = [] if copies is None else copies
         self.completion_time = completion_time
         self.checkpoint_work = 0.0
+        self.preferred_rack: Optional[int] = None
         self._num_active = (
             sum(1 for copy in self.copies if copy.is_active) if self.copies else 0
         )

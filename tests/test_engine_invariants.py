@@ -14,6 +14,12 @@ The stage-DAG extension (PR 6) adds two more layers on multi-round jobs:
 the incremental per-job counters must match a full ``_recount`` rescan at
 every decision point, and a mid-DAG failure kill must be re-dispatched
 exactly once under single-copy redundancy policies.
+
+The rack topology (PR 8) adds one more: under an active topology the
+per-rack occupancy counters must match a from-scratch recount of the
+running copies at every decision point, and every launched copy must be
+priced exactly once (``local_launches + remote_launches`` equals the
+total copy count).
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.srptms_c import SRPTMSCScheduler
-from repro.scenarios import MachineFailures, ScenarioSpec
+from repro.scenarios import MachineFailures, ScenarioSpec, TopologySpec
 from repro.schedulers import FIFOScheduler, MantriScheduler, SCAScheduler
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.scheduler_api import ComposedScheduler, Scheduler
@@ -80,7 +86,11 @@ class InvariantCheckingScheduler(Scheduler):
             else:
                 assert not copy.is_blocked
 
-        return self._base.schedule(view)
+        requests = self._base.schedule(view)
+        # Keep dynamic tick hints (e.g. delay-scheduling deadlines) visible
+        # through the wrapper: the engine reads the outermost scheduler.
+        self.tick_interval = self._base.tick_interval
+        return requests
 
 
 def _policies():
@@ -318,3 +328,76 @@ def test_mid_dag_failure_kills_redispatched_exactly_once(redundancy, trace_seed)
 
     assert total_killed == result.copies_killed_by_failure
     assert mid_dag_kill, "expected at least one kill on a stage past the first"
+
+# --------------------------------------------------------------------- topology
+
+class RackOccupancyRescanScheduler(CounterRescanScheduler):
+    """Also asserts per-rack occupancy == a from-scratch recount.
+
+    The cluster maintains ``_rack_running`` incrementally on every place
+    and release; recounting the running copies by the rack of their
+    machine proves the ledger never drifts -- through launches, clone
+    kills, failure kills and repairs alike.
+    """
+
+    def schedule(self, view):
+        if view.topology_active:
+            cluster = view._engine.cluster
+            recount = [0] * view.num_racks
+            for copy in view.running_copies():
+                recount[view.rack_of(copy.machine_id)] += 1
+            incremental = [
+                cluster.num_running_on_rack(rack)
+                for rack in range(view.num_racks)
+            ]
+            assert incremental == recount, (
+                f"per-rack occupancy drifted from a recount at "
+                f"t={view.time}: {incremental} != {recount}"
+            )
+        return super().schedule(view)
+
+
+@pytest.mark.parametrize(
+    "triple", ["srpt+delay+none", "srpt+delay+clone", "srpt+greedy+clone"]
+)
+@pytest.mark.parametrize("trace_seed", [17, 41])
+def test_rack_occupancy_and_launch_accounting_under_topology(triple, trace_seed):
+    trace = poisson_trace(
+        num_jobs=15,
+        arrival_rate=0.4,
+        mean_tasks_per_job=5,
+        mean_duration=8.0,
+        cv=0.8,
+        seed=trace_seed,
+    )
+    ordering, allocation, redundancy = triple.split("+")
+    scheduler = RackOccupancyRescanScheduler(
+        ComposedScheduler(ordering, allocation, redundancy, epsilon=0.6, r=3.0)
+    )
+    scenario = ScenarioSpec(
+        failures=MachineFailures(rate=0.005, mean_repair=5.0),
+        topology=TopologySpec(racks=3, remote_slowdown=2.0),
+    )
+    engine = SimulationEngine(
+        trace,
+        scheduler,
+        NUM_MACHINES,
+        seed=trace_seed,
+        scenario=scenario,
+        check_invariants=True,
+    )
+    result = engine.run()
+    assert scheduler.decision_points > 0
+    assert result.num_jobs == trace.num_jobs
+    assert engine.cluster.num_free == NUM_MACHINES
+    engine.cluster.check_invariants()
+
+    # Every copy launched under an active topology lands on exactly one
+    # side of the local/remote ledger -- kills and relaunches included.
+    assert (
+        result.local_launches + result.remote_launches == result.total_copies
+    )
+    assert result.total_copies == sum(
+        len(task.copies) for job in engine._jobs for task in job.all_tasks()
+    )
+    assert 0.0 <= result.locality_fraction <= 1.0

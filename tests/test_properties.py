@@ -16,7 +16,7 @@ from repro.core.effective_workload import (
 from repro.core.speedup import LogSpeedup, ParetoSpeedup, PowerSpeedup
 from repro.core.srptms_c import SRPTMSCScheduler
 from repro.policies.redundancy import CheckpointRedundancy
-from repro.scenarios import MachineFailures, ScenarioSpec
+from repro.scenarios import MachineFailures, ScenarioSpec, TopologySpec
 from repro.schedulers.fifo import FIFOScheduler
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.scheduler_api import ComposedScheduler
@@ -363,3 +363,120 @@ class TestDagProperties:
         for job in engine._jobs:
             for task in job.all_tasks():
                 assert len(task.copies) == 1
+
+
+# --------------------------------------------------------------------------- topology
+
+class TestTopologyProperties:
+    """Rack locality (PR 8): delay scheduling and remote pricing."""
+
+    @given(specs=job_spec_lists(),
+           racks=st.integers(min_value=2, max_value=4),
+           machines=st.integers(min_value=4, max_value=16),
+           locality_wait=st.floats(min_value=0.1, max_value=10.0),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_delay_never_waits_longer_than_locality_wait(self, specs, racks,
+                                                         machines,
+                                                         locality_wait, seed):
+        # The delay policy's own instrumentation: the longest any deferred
+        # task sat waiting for a local slot before dispatch is bounded by
+        # the configured wait.
+        trace = Trace(specs)
+        scheduler = ComposedScheduler("srpt", "delay", "none", r=3.0,
+                                      locality_wait=locality_wait)
+        scenario = ScenarioSpec(
+            topology=TopologySpec(racks=racks, remote_slowdown=2.0)
+        )
+        engine = SimulationEngine(trace, scheduler, num_machines=machines,
+                                  seed=seed, scenario=scenario,
+                                  check_invariants=True)
+        result = engine.run()
+        assert result.num_jobs == len(specs)
+        assert scheduler.allocation.max_deferred_wait <= locality_wait + 1e-9
+
+    @given(specs=job_spec_lists(),
+           racks=st.integers(min_value=2, max_value=4),
+           machines=st.integers(min_value=4, max_value=12),
+           rate=st.floats(min_value=0.005, max_value=0.05),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_failed_host_never_rehosts_the_same_task(self, specs, racks,
+                                                     machines, rate, seed):
+        # With redundancy 'none' every killed copy is a failure kill, so
+        # the delay policy's per-task blacklist must keep every relaunch
+        # off the machines the task already died on -- unless the task
+        # has died on *every* machine, in which case the blacklist is
+        # forgiven (refusing the whole cluster forever would deadlock).
+        trace = Trace(specs)
+        scheduler = ComposedScheduler("srpt", "delay", "none", r=3.0)
+        scenario = ScenarioSpec(
+            failures=MachineFailures(rate=rate, mean_repair=5.0),
+            topology=TopologySpec(racks=racks, remote_slowdown=2.0),
+        )
+        engine = SimulationEngine(trace, scheduler, num_machines=machines,
+                                  seed=seed, scenario=scenario,
+                                  check_invariants=True)
+        result = engine.run()
+        assert result.num_jobs == len(specs)
+        for job in engine._jobs:
+            for task in job.all_tasks():
+                for copy in task.copies:
+                    blacklisted = {
+                        other.machine_id
+                        for other in task.copies
+                        if other is not copy
+                        and other.killed_at is not None
+                        and other.killed_at <= copy.start_time
+                    }
+                    assert (
+                        copy.machine_id not in blacklisted
+                        or len(blacklisted) >= machines
+                    )
+
+    @given(specs=dag_spec_lists(deterministic=True),
+           racks=st.integers(min_value=2, max_value=4),
+           machines=st.integers(min_value=4, max_value=12),
+           slowdown=st.floats(min_value=1.0, max_value=4.0),
+           use_delay=st.booleans(),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_remote_slowdown_never_raises_the_effective_rate(self, specs,
+                                                             racks, machines,
+                                                             slowdown,
+                                                             use_delay, seed):
+        # On a quiet homogeneous cluster with deterministic workloads, a
+        # copy on its preferred rack runs for exactly its workload W and a
+        # remote copy for exactly W * remote_slowdown -- the penalty can
+        # only ever stretch a copy, never shrink it.
+        trace = Trace(specs)
+        scheduler = ComposedScheduler(
+            "srpt", "delay" if use_delay else "greedy", "none", r=3.0
+        )
+        scenario = ScenarioSpec(
+            topology=TopologySpec(racks=racks, remote_slowdown=slowdown)
+        )
+        engine = SimulationEngine(trace, scheduler, num_machines=machines,
+                                  seed=seed, scenario=scenario,
+                                  check_invariants=True)
+        result = engine.run()
+        assert result.num_jobs == len(specs)
+        topology_active = slowdown > 1.0
+        for job in engine._jobs:
+            for stage, tasks in enumerate(job.stage_tasks):
+                workload = job.stage_specs[stage].duration.mean
+                for task in tasks:
+                    for copy in task.copies:
+                        if not copy.is_finished:
+                            continue
+                        local = (
+                            not topology_active
+                            or copy.machine_id % racks == task.preferred_rack
+                        )
+                        expected = workload if local else workload * slowdown
+                        duration = copy.finish_time - copy.start_time
+                        assert duration == pytest.approx(expected)
+                        assert duration >= workload - 1e-9

@@ -183,13 +183,12 @@ class TestResultsStore:
         assert store.load(key).fingerprint() == fresh.fingerprint()
 
     def test_v2_format_entries_are_stale_and_recomputed(self, tmp_path):
-        """FORMAT_VERSION 3 (stage-DAG fields): a v2 entry -- no per-record
-        ``num_stages`` column, no checkpoint counters -- is detected as
-        stale and recomputed, never rebuilt with silently-defaulted
-        fields."""
+        """Pre-DAG (v2) entries -- no per-record ``num_stages`` column, no
+        checkpoint counters -- are detected as stale and recomputed, never
+        rebuilt with silently-defaulted fields."""
         from repro.simulation.results_store import FORMAT_VERSION
 
-        assert FORMAT_VERSION == 3
+        assert FORMAT_VERSION == 4
         store = ResultsStore(tmp_path)
         spec = make_spec()
         key = run_spec_fingerprint(spec)
@@ -210,7 +209,8 @@ class TestResultsStore:
         assert store.load(key) is None
         assert store.corrupt == 1 and store.misses == 1 and store.hits == 0
 
-        # A cached runner recomputes the cell and heals it to v3.
+        # A cached runner recomputes the cell and heals it to the current
+        # format.
         runner = ExperimentRunner(workers=1, store=store)
         (recomputed,) = runner.run([spec])
         assert runner.last_run_stats["executed"] == 1
@@ -219,6 +219,39 @@ class TestResultsStore:
         assert healed is not None
         assert healed.fingerprint() == fresh.fingerprint()
         assert all(record.num_stages == 2 for record in healed.records)
+
+    def test_v3_format_entries_are_stale_and_recomputed(self, tmp_path):
+        """FORMAT_VERSION 4 (rack-locality counters): a pre-topology v3
+        entry -- no ``local_launches``/``remote_launches`` in the payload
+        -- is detected as stale and recomputed, never rebuilt with
+        silently-defaulted counters."""
+        store = ResultsStore(tmp_path)
+        spec = make_spec()
+        key = run_spec_fingerprint(spec)
+        fresh = spec.execute()
+        path = store.store(key, canonical_spec_description(spec), fresh)
+
+        # Rewrite the entry the way pre-topology code would have written
+        # it: format 3 and no locality counters in the payload.
+        entry = json.loads(path.read_text())
+        entry["format"] = 3
+        payload = entry["result"]
+        del payload["local_launches"]
+        del payload["remote_launches"]
+        path.write_text(json.dumps(entry))
+
+        assert store.load(key) is None
+        assert store.corrupt == 1 and store.misses == 1 and store.hits == 0
+
+        # A cached runner recomputes the cell and heals it to v4.
+        runner = ExperimentRunner(workers=1, store=store)
+        (recomputed,) = runner.run([spec])
+        assert runner.last_run_stats["executed"] == 1
+        assert recomputed.fingerprint() == fresh.fingerprint()
+        healed = store.load(key)
+        assert healed is not None
+        assert healed.fingerprint() == fresh.fingerprint()
+        assert healed.local_launches == 0 and healed.remote_launches == 0
 
 
 class TestCachedRunner:

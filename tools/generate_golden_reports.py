@@ -16,6 +16,7 @@ from pathlib import Path
 from repro.experiments import (
     ExperimentConfig,
     run_dag_redundancy,
+    run_locality,
     run_figure1,
     run_figure2,
     run_figure3,
@@ -58,6 +59,7 @@ def generate() -> dict:
         ).render(),
         "policy_grid": run_policy_grid(config).render(),
         "dag_redundancy": run_dag_redundancy(config).render(),
+        "locality": run_locality(config).render(),
     }
     comparison = run_scheduler_comparison(config)
     reports["figure4"] = run_figure4(config, results=comparison).render()
