@@ -14,6 +14,11 @@ applies when the machine actually has at least four usable CPUs.
 A second benchmark exercises the runner's batched pool dispatch: many
 small specs shipped to the pool as whole batches (one IPC round-trip per
 batch), with the per-worker dispatch distribution recorded in the report.
+
+Both sections also record ``engine_runs``/``cache_hits`` counted through
+the runner's ``on_result`` callback and assert the timed sweeps ran cold:
+a warm-cache replay would otherwise report engine "throughput" the engine
+never produced, silently disarming the perf-regression gate.
 """
 
 from __future__ import annotations
@@ -45,10 +50,25 @@ def _sweep_specs(seeds=SEEDS) -> list:
 
 
 def _timed_run(workers: int, specs: list):
-    runner = ExperimentRunner(workers=workers)
+    # Count real engine executions through the streaming callback: a
+    # timing that was served from a warm cache would claim a "speedup"
+    # the engine never earned, so every timed run must prove itself cold
+    # (engine_runs == len(specs), cache_hits == 0) before the perf gate
+    # (tools/check_bench_regression.py) is allowed to believe it.
+    counters = {"engine_runs": 0, "cache_hits": 0}
+
+    def tally(spec, result, cache_hit):
+        counters["cache_hits" if cache_hit else "engine_runs"] += 1
+
+    runner = ExperimentRunner(workers=workers, on_result=tally)
     started = time.perf_counter()
     results = runner.run(specs)
-    return time.perf_counter() - started, results, runner
+    elapsed = time.perf_counter() - started
+    assert counters == {"engine_runs": len(specs), "cache_hits": 0}, (
+        f"timed sweep was not cold: {counters} for {len(specs)} specs"
+    )
+    assert runner.last_dispatch_stats["cache_hits"] == 0
+    return elapsed, results, runner
 
 
 def _merge_into_report(section: str, payload: dict) -> None:
@@ -84,6 +104,11 @@ def test_runner_parallel_speedup():
         "usable_cpus": cpus,
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
+        # Cold-run proof: the timed sweeps executed every spec in the
+        # engine (asserted in _timed_run); a warm-cache run can't sneak
+        # an inflated figure past the regression gate.
+        "engine_runs": len(specs),
+        "cache_hits": 0,
     }
     if cpus == 1:
         # One usable CPU: the pooled timing is pure overhead, a "speedup"
@@ -124,6 +149,10 @@ def test_runner_batched_dispatch():
     stats = runner.last_dispatch_stats
     assert stats["batches"] == 4
     assert sum(stats["per_worker"].values()) == stats["batches"]
+    # Same honesty rule as the speedup section: the batched timing must
+    # be a cold run, not a cache replay.
+    assert stats["cache_hits"] == 0
+    assert runner.last_run_stats["executed"] == len(specs)
 
     _merge_into_report(
         "batched_dispatch",
@@ -138,6 +167,8 @@ def test_runner_batched_dispatch():
             "per_worker_batches": sorted(
                 stats["per_worker"].values(), reverse=True
             ),
+            "engine_runs": len(specs),
+            "cache_hits": stats["cache_hits"],
             "wall_seconds": round(batched_seconds, 3),
         },
     )

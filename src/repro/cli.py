@@ -18,6 +18,10 @@ Examples::
     repro-mapreduce figure6 --racks 4 --remote-slowdown 2
     repro-mapreduce policy --allocation delay --racks 4 --locality-wait 5
     repro-mapreduce locality --scale 0.01
+    repro-mapreduce serve --cache-dir ~/.cache/repro-mapreduce
+    repro-mapreduce submit --spec study.toml --csv results.csv
+    repro-mapreduce cache stats --cache-dir ~/.cache/repro-mapreduce
+    repro-mapreduce cache prune --stale --cache-dir ~/.cache/repro-mapreduce
 
 Each experiment subcommand prints the plain-text report of the
 corresponding experiment; ``--scale`` shrinks the trace and the cluster
@@ -49,6 +53,11 @@ Worker counts (one mapping, everywhere): ``--workers 1`` runs serially
 (the default), ``--workers N`` uses ``N`` worker processes, and
 ``--workers 0`` -- like ``workers=None`` in the library -- uses every
 usable CPU.  Results are bit-identical for any value.
+
+Three subcommands dispatch before the experiment parser: ``serve`` runs
+the sweep-service daemon and ``submit`` sends a spec file to it
+(:mod:`repro.service`); ``cache`` inspects and prunes a results-cache
+directory (``stats`` / ``prune --stale``).
 """
 
 from __future__ import annotations
@@ -612,8 +621,81 @@ def _run_one(
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def _main_cache(argv: Sequence[str]) -> int:
+    """The ``cache`` maintenance subcommand: ``stats`` and ``prune``."""
+    from repro.simulation.results_store import FORMAT_VERSION, cache_stats, prune_stale
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mapreduce cache",
+        description=(
+            "Inspect and maintain a results-cache directory "
+            "(repro.simulation.results_store)."
+        ),
+    )
+    parser.add_argument(
+        "action",
+        choices=["stats", "prune"],
+        help=(
+            "'stats' prints entry count, total bytes and a format-version "
+            "histogram; 'prune --stale' removes entries whose format "
+            f"differs from the current FORMAT_VERSION ({FORMAT_VERSION})"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="results-cache directory to inspect/maintain",
+    )
+    parser.add_argument(
+        "--stale",
+        action="store_true",
+        help="for 'prune': remove stale-format and unreadable entries",
+    )
+    args = parser.parse_args(argv)
+    if args.action == "stats":
+        stats = cache_stats(args.cache_dir)
+        print(f"cache {stats['cache_dir']}")
+        print(f"  entries:        {stats['entries']}")
+        print(f"  total bytes:    {stats['total_bytes']}")
+        print(f"  format version: {stats['format_version']} (current)")
+        print(f"  stale entries:  {stats['stale']}")
+        for version, count in sorted(stats["formats"].items()):
+            print(f"    format {version}: {count}")
+        return 0
+    if not args.stale:
+        raise SystemExit(
+            "'prune' only supports --stale pruning; pass --stale to remove "
+            "entries whose format differs from the current version"
+        )
+    report = prune_stale(args.cache_dir)
+    print(
+        f"pruned {report['cache_dir']}: scanned {report['scanned']}, "
+        f"removed {report['removed']} ({report['removed_bytes']} bytes), "
+        f"kept {report['kept']}"
+    )
+    return 0
+
+
+#: Subcommands dispatched before the experiment parser is built: the
+#: sweep-service daemon/client (repro.service.cli) and cache maintenance.
+_SERVICE_COMMANDS = frozenset({"serve", "submit", "cache"})
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``repro-mapreduce`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in _SERVICE_COMMANDS:
+        if argv[0] == "serve":
+            from repro.service.cli import main_serve
+
+            return main_serve(argv[1:])
+        if argv[0] == "submit":
+            from repro.service.cli import main_submit
+
+            return main_submit(argv[1:])
+        return _main_cache(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     for flag, value in (("--spec", args.spec), ("--csv", args.csv), ("--json", args.json_out)):

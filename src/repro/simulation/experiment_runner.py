@@ -45,11 +45,25 @@ engine (``last_run_stats`` records how many specs were executed vs served
 from cache -- the zero-runs-on-second-sweep property is asserted in
 ``tests/test_results_store.py``).  Specs containing lambdas or other
 unstable components simply bypass the cache and execute normally.
+
+Streaming progress
+------------------
+Long sweeps should not need to poll the cache directory to see progress:
+pass ``on_result`` (to the constructor, or per-call to :meth:`ExperimentRunner.run`)
+and the runner invokes ``on_result(spec, result, cache_hit)`` for every
+spec as its result lands -- cache hits first (in spec order, with
+``cache_hit=True``), then executed specs as they complete (spec order on
+both the serial and the batched pool path).  On the miss path the result
+is persisted to the store *before* the callback fires, so an observer
+that saw a result can rely on a killed-and-restarted sweep finding it in
+the cache.  The ``repro-mapreduce serve`` daemon's study registry is the
+first consumer (:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -88,6 +102,7 @@ __all__ = [
     "SchedulerSpec",
     "TraceSpec",
     "RunSpec",
+    "ResultCallback",
     "ExperimentRunner",
     "ReplicatedResult",
     "default_workers",
@@ -295,9 +310,11 @@ TraceSource = Union[Trace, TraceSpec, StreamSpec]
 #: Per-process memo of traces built from :class:`TraceSpec` recipes, so a
 #: process handling many runs of the same sweep builds the trace once.
 #: Bounded LRU (a long-lived parent process sweeping many configs must not
-#: retain every trace it ever built).
+#: retain every trace it ever built).  Guarded by a lock: the serve
+#: daemon's executor threads resolve traces concurrently.
 _TRACE_CACHE: "OrderedDict[str, Trace]" = OrderedDict()
 _TRACE_CACHE_MAX = 8
+_TRACE_CACHE_LOCK = threading.Lock()
 
 
 def _resolve_trace(source: TraceSource) -> Union[Trace, TraceStream]:
@@ -305,14 +322,16 @@ def _resolve_trace(source: TraceSource) -> Union[Trace, TraceStream]:
         return source
     if isinstance(source, TraceSpec):
         key = source.cache_key()
-        trace = _TRACE_CACHE.get(key)
-        if trace is None:
-            trace = source.build()
+        with _TRACE_CACHE_LOCK:
+            trace = _TRACE_CACHE.get(key)
+            if trace is not None:
+                _TRACE_CACHE.move_to_end(key)
+                return trace
+        trace = source.build()
+        with _TRACE_CACHE_LOCK:
             _TRACE_CACHE[key] = trace
             while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
                 _TRACE_CACHE.popitem(last=False)
-        else:
-            _TRACE_CACHE.move_to_end(key)
         return trace
     if isinstance(source, StreamSpec):
         # Streams are one-shot consumables: build a fresh one per run,
@@ -420,6 +439,10 @@ def _execute_batch(
     return os.getpid(), [spec.execute() for spec in batch]
 
 
+#: Signature of a streaming progress observer: ``(spec, result, cache_hit)``.
+ResultCallback = Callable[["RunSpec", SimulationResult, bool], None]
+
+
 class ExperimentRunner:
     """Executes batches of :class:`RunSpec` serially or on a process pool.
 
@@ -446,6 +469,11 @@ class ExperimentRunner:
     store:
         An existing :class:`ResultsStore` to use instead of ``cache_dir``
         (mutually exclusive with it).
+    on_result:
+        Default streaming observer, invoked as ``on_result(spec, result,
+        cache_hit)`` for every spec of every :meth:`run` call as its
+        result lands (see the module docstring); a per-call ``on_result``
+        overrides it.  ``None`` (the default) disables streaming.
     """
 
     def __init__(
@@ -456,6 +484,7 @@ class ExperimentRunner:
         chunksize: Optional[int] = None,
         cache_dir: Union[str, "os.PathLike[str]", None] = None,
         store: Optional[ResultsStore] = None,
+        on_result: Optional[ResultCallback] = None,
     ) -> None:
         workers = normalize_workers(workers)
         if workers is None:
@@ -468,6 +497,7 @@ class ExperimentRunner:
         if cache_dir is not None and store is not None:
             raise ValueError("pass either cache_dir or store, not both")
         self.store = ResultsStore(cache_dir) if cache_dir is not None else store
+        self.on_result = on_result
         #: Stats of the most recent :meth:`run` call:
         #: ``executed`` engine runs, ``cache_hits`` served from the store,
         #: ``uncacheable`` specs that bypassed the cache.
@@ -476,14 +506,18 @@ class ExperimentRunner:
             "cache_hits": 0,
             "uncacheable": 0,
         }
-        #: Dispatch accounting of the most recent :meth:`_execute` that
-        #: actually ran specs: number of ``batches`` shipped, the
-        #: ``batch_size`` used, and ``per_worker`` -- batches handled per
-        #: worker PID (the parent's own PID on the serial path).
+        #: Dispatch accounting of the most recent :meth:`run`: number of
+        #: ``batches`` shipped, the ``batch_size`` used, ``per_worker`` --
+        #: batches handled per worker PID (the parent's own PID on the
+        #: serial path) -- and ``cache_hits``, the specs that never needed
+        #: a dispatch because the store served them.  A benchmark that
+        #: claims throughput must show ``cache_hits == 0`` here (see
+        #: ``benchmarks/test_runner_parallel.py``).
         self.last_dispatch_stats: Dict[str, Any] = {
             "batches": 0,
             "batch_size": 0,
             "per_worker": {},
+            "cache_hits": 0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -491,7 +525,11 @@ class ExperimentRunner:
 
     # -- execution -----------------------------------------------------------------
 
-    def _execute(self, specs: List[RunSpec]) -> List[SimulationResult]:
+    def _execute(
+        self,
+        specs: List[RunSpec],
+        on_each: Optional[Callable[[int, SimulationResult], None]] = None,
+    ) -> List[SimulationResult]:
         """Run every spec (serially or on the pool), no cache involved.
 
         Pool dispatch is **batched**: specs are grouped into contiguous
@@ -500,9 +538,18 @@ class ExperimentRunner:
         of many small runs pays one pickle/IPC round-trip per batch, not
         per run.  Results come back in spec order either way;
         :attr:`last_dispatch_stats` records the batch count and the
-        batches-per-worker distribution.
+        batches-per-worker distribution.  ``on_each(position, result)``
+        fires as results land, in spec order on both paths (the pool path
+        consumes batches as they complete via ``imap``, so the hook
+        streams instead of waiting for the whole sweep).
         """
         if not specs:
+            self.last_dispatch_stats = {
+                "batches": 0,
+                "batch_size": 0,
+                "per_worker": {},
+                "cache_hits": 0,
+            }
             return []
         pool_size = min(self.workers, len(specs))
         if pool_size == 1:
@@ -510,8 +557,15 @@ class ExperimentRunner:
                 "batches": 1,
                 "batch_size": len(specs),
                 "per_worker": {os.getpid(): 1},
+                "cache_hits": 0,
             }
-            return [spec.execute() for spec in specs]
+            results = []
+            for position, spec in enumerate(specs):
+                result = spec.execute()
+                results.append(result)
+                if on_each is not None:
+                    on_each(position, result)
+            return results
         context = self._mp_context
         if not isinstance(context, multiprocessing.context.BaseContext):
             context = multiprocessing.get_context(context)
@@ -523,29 +577,39 @@ class ExperimentRunner:
             specs[start : start + batch_size]
             for start in range(0, len(specs), batch_size)
         ]
-        with context.Pool(processes=pool_size) as pool:
-            dispatched = pool.map(_execute_batch, batches, chunksize=1)
         per_worker: Dict[int, int] = {}
         results: List[SimulationResult] = []
-        for pid, batch_results in dispatched:
-            per_worker[pid] = per_worker.get(pid, 0) + 1
-            results.extend(batch_results)
+        with context.Pool(processes=pool_size) as pool:
+            for pid, batch_results in pool.imap(_execute_batch, batches, chunksize=1):
+                per_worker[pid] = per_worker.get(pid, 0) + 1
+                for result in batch_results:
+                    if on_each is not None:
+                        on_each(len(results), result)
+                    results.append(result)
         self.last_dispatch_stats = {
             "batches": len(batches),
             "batch_size": batch_size,
             "per_worker": per_worker,
+            "cache_hits": 0,
         }
         return results
 
-    def run(self, specs: Sequence[RunSpec]) -> List[SimulationResult]:
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[SimulationResult]:
         """Execute every spec and return results in spec order.
 
         With a results store configured, specs whose results are already
         cached are served from disk (byte-equal to a fresh run); only the
         remaining specs touch the engine, and their results are persisted
-        for the next invocation.
+        for the next invocation.  ``on_result`` (or the constructor
+        default) streams every result as it lands -- cache hits first,
+        then executions, each persisted before its callback fires.
         """
         specs = list(specs)
+        callback = self.on_result if on_result is None else on_result
         stats = {"executed": 0, "cache_hits": 0, "uncacheable": 0}
         self.last_run_stats = stats
         if not specs:
@@ -553,7 +617,13 @@ class ExperimentRunner:
         store = self.store
         if store is None:
             stats["executed"] = len(specs)
-            return self._execute(specs)
+            if callback is None:
+                return self._execute(specs)
+
+            def relay(position: int, result: SimulationResult) -> None:
+                callback(specs[position], result, False)
+
+            return self._execute(specs, relay)
 
         results: List[Optional[SimulationResult]] = [None] * len(specs)
         pending: List[int] = []
@@ -569,18 +639,27 @@ class ExperimentRunner:
             if cached is not None:
                 results[index] = cached
                 stats["cache_hits"] += 1
+                if callback is not None:
+                    callback(spec, cached, True)
             else:
                 pending.append(index)
 
-        executed = self._execute([specs[index] for index in pending])
-        stats["executed"] = len(executed)
-        for index, result in zip(pending, executed):
+        def on_each(position: int, result: SimulationResult) -> None:
+            # Persist before observing: a callback consumer that saw this
+            # result may rely on a restarted sweep finding it in the cache.
+            index = pending[position]
             key = keys[index]
             if key is not None:
                 store.store(
                     key, canonical_spec_description(specs[index]), result
                 )
             results[index] = result
+            stats["executed"] += 1
+            if callback is not None:
+                callback(specs[index], result, False)
+
+        self._execute([specs[index] for index in pending], on_each)
+        self.last_dispatch_stats["cache_hits"] = stats["cache_hits"]
         return results  # type: ignore[return-value]
 
     def run_grouped(

@@ -34,18 +34,46 @@ rot, truncated write, hash collision, format drift) makes the entry a
 therefore byte-equal to the result a fresh run would produce (the
 wall-clock ``runtime_seconds`` of the original run is preserved; it is
 excluded from the fingerprint by design).
+
+Concurrency
+-----------
+One ``cache_dir`` may be shared by many writers at once -- pool worker
+processes, several CLI sweeps, and the ``repro-mapreduce serve`` daemon.
+Two mechanisms make that safe:
+
+* *atomic same-destination writes*: every entry is written to a temp file
+  in the destination shard and ``os.replace``-d into place, so a reader
+  observes either the old entry or the new one, never a torn mix (and two
+  writers racing on one key leave whichever complete entry landed last --
+  both are byte-identical by the purity contract anyway);
+* *per-shard advisory locks* (:meth:`ResultsStore.shard_lock`): an
+  ``fcntl.flock`` over ``<shard>/.lock`` (with a portable
+  create-exclusive fallback where ``fcntl`` is unavailable) serialises
+  the miss-then-compute window.  :meth:`ResultsStore.load_or_compute`
+  packages the protocol -- acquire the lock, *re-read* (the race loser
+  finds the winner's entry and skips its own engine run), compute and
+  store on a true miss -- so identical specs cost one engine run per
+  unique fingerprint even across independent processes.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
+import re
 import tempfile
+import time
 import weakref
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+try:
+    import fcntl
+except ModuleNotFoundError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.simulation.metrics import JobRecord, SimulationResult
 from repro.workload.distributions import DurationDistribution
@@ -56,6 +84,8 @@ __all__ = [
     "canonical_spec_description",
     "run_spec_fingerprint",
     "ResultsStore",
+    "cache_stats",
+    "prune_stale",
 ]
 
 #: Bump when the canonical description or the entry format changes
@@ -235,6 +265,67 @@ def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
     return result
 
 
+# -------------------------------------------------------------- advisory locks
+
+#: Name of the per-shard advisory lock file (never a cache entry).
+_LOCK_BASENAME = ".lock"
+
+#: Fallback-lock staleness horizon: a ``.lock.excl`` file older than this
+#: is treated as an orphan of a crashed process and stolen.
+_FALLBACK_LOCK_STALE_SECONDS = 300.0
+
+
+@contextlib.contextmanager
+def _advisory_file_lock(lock_path: Path) -> Iterator[None]:
+    """Hold an exclusive advisory lock on ``lock_path`` for the block.
+
+    POSIX: ``fcntl.flock`` on the (created-if-missing) lock file --
+    advisory locks attach to the open file description, so threads and
+    processes contend alike and a crashed holder releases implicitly.
+    Elsewhere: a create-exclusive spin lock on ``<lock_path>.excl`` with a
+    staleness horizon so an orphaned lock file cannot wedge the cache
+    forever.
+    """
+    if fcntl is not None:
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+        return
+    # Portable fallback: O_CREAT|O_EXCL is atomic on every mainstream
+    # filesystem; poll until the current holder removes the file.
+    excl = Path(str(lock_path) + ".excl")
+    while True:
+        try:
+            fd = os.open(excl, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            break
+        except FileExistsError:
+            try:
+                age = time.time() - excl.stat().st_mtime
+            except OSError:
+                continue  # holder released between open and stat; retry
+            if age > _FALLBACK_LOCK_STALE_SECONDS:
+                try:
+                    excl.unlink()
+                except OSError:
+                    pass
+                continue
+            time.sleep(0.01)
+    try:
+        os.close(fd)
+        yield
+    finally:
+        try:
+            excl.unlink()
+        except OSError:  # pragma: no cover - already stolen as stale
+            pass
+
+
 # --------------------------------------------------------------------- the store
 
 
@@ -269,6 +360,44 @@ class ResultsStore:
     def path_for(self, key: str) -> Path:
         """Filesystem location of the entry with cache key ``key``."""
         return self.cache_dir / key[:2] / f"{key}.json"
+
+    @contextlib.contextmanager
+    def shard_lock(self, key: str) -> Iterator[None]:
+        """Exclusive advisory lock over ``key``'s shard for the ``with`` block.
+
+        Serialises the miss-then-compute window against every other
+        process (and thread) locking the same shard of the same
+        ``cache_dir``; see the module docstring's concurrency contract.
+        Reads and atomic writes do *not* need the lock -- it exists so
+        concurrent computations of one key collapse to a single engine
+        run (:meth:`load_or_compute`).
+        """
+        shard = self.cache_dir / key[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        with _advisory_file_lock(shard / _LOCK_BASENAME):
+            yield
+
+    def load_or_compute(
+        self,
+        key: str,
+        description: str,
+        compute: Callable[[], SimulationResult],
+    ) -> Tuple[SimulationResult, bool]:
+        """Serve ``key`` from the store, computing it at most once per race.
+
+        Acquires the shard lock, *re-reads* the entry (a concurrent winner
+        may have stored it while this caller waited -- the loser must
+        reuse that byte-identical result, not recompute), and only on a
+        true miss calls ``compute`` and persists its result.  Returns
+        ``(result, cache_hit)``.
+        """
+        with self.shard_lock(key):
+            cached = self.load(key)
+            if cached is not None:
+                return cached, True
+            result = compute()
+            self.store(key, description, result)
+            return result, False
 
     def load(self, key: str) -> Optional[SimulationResult]:
         """Return the stored result for ``key``, or ``None`` on miss.
@@ -323,3 +452,98 @@ class ResultsStore:
             raise
         self.writes += 1
         return path
+
+
+# ---------------------------------------------------------- cache maintenance
+
+#: Entry filenames are exactly ``<sha256-hex>.json`` inside a 2-hex shard;
+#: everything else in a cache dir (lock files, temp files) is not an entry.
+_ENTRY_NAME_RE = re.compile(r"^[0-9a-f]{64}\.json$")
+
+
+def _iter_entry_paths(cache_dir: Path) -> Iterator[Path]:
+    """Every cache-entry file under ``cache_dir``, sorted for determinism."""
+    if not cache_dir.is_dir():
+        return
+    for shard in sorted(cache_dir.iterdir()):
+        if not (shard.is_dir() and re.fullmatch(r"[0-9a-f]{2}", shard.name)):
+            continue
+        for path in sorted(shard.iterdir()):
+            if _ENTRY_NAME_RE.match(path.name):
+                yield path
+
+
+def _entry_format(path: Path) -> Optional[int]:
+    """The entry's ``format`` version, or ``None`` when unreadable."""
+    try:
+        entry = json.loads(path.read_text())
+        return int(entry["format"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def cache_stats(cache_dir: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Inventory of an existing ``cache_dir`` (the ``cache stats`` command).
+
+    Returns entry count, total bytes, a histogram of entry format
+    versions (key ``"unreadable"`` for files that do not parse as
+    entries), and how many entries are *stale* -- readable but written
+    under a format other than the current :data:`FORMAT_VERSION`, so
+    they can only ever miss.
+    """
+    cache_dir = Path(cache_dir)
+    entries = 0
+    total_bytes = 0
+    formats: Dict[str, int] = {}
+    stale = 0
+    for path in _iter_entry_paths(cache_dir):
+        entries += 1
+        try:
+            total_bytes += path.stat().st_size
+        except OSError:
+            pass
+        version = _entry_format(path)
+        label = "unreadable" if version is None else str(version)
+        formats[label] = formats.get(label, 0) + 1
+        if version != FORMAT_VERSION:
+            stale += 1
+    return {
+        "cache_dir": str(cache_dir),
+        "entries": entries,
+        "total_bytes": total_bytes,
+        "formats": formats,
+        "format_version": FORMAT_VERSION,
+        "stale": stale,
+    }
+
+
+def prune_stale(cache_dir: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Delete stale entries (``format != FORMAT_VERSION``) from ``cache_dir``.
+
+    Unreadable entry files are pruned too -- like format-mismatched ones
+    they can never be hits, only disk weight.  Each shard is pruned under
+    its advisory lock so a concurrent writer's fresh entry is never
+    swept.  Returns ``{"scanned", "removed", "removed_bytes", "kept"}``.
+    """
+    cache_dir = Path(cache_dir)
+    scanned = removed = removed_bytes = 0
+    for path in _iter_entry_paths(cache_dir):
+        scanned += 1
+        with _advisory_file_lock(path.parent / _LOCK_BASENAME):
+            version = _entry_format(path)
+            if version == FORMAT_VERSION:
+                continue
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                continue
+        removed += 1
+        removed_bytes += size
+    return {
+        "cache_dir": str(cache_dir),
+        "scanned": scanned,
+        "removed": removed,
+        "removed_bytes": removed_bytes,
+        "kept": scanned - removed,
+    }

@@ -857,3 +857,43 @@ class Study:
             for point, result in zip(points, results)
         ]
         return ResultSet(runs, name=self.name)
+
+    def run_incremental(
+        self,
+        on_result: Callable[[StudyPoint, Any, bool], None],
+        *,
+        workers: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+        runner: Optional[ExperimentRunner] = None,
+        select: Optional[Callable[[StudyPoint], bool]] = None,
+    ) -> ResultSet:
+        """Execute the study, streaming per-point results as they land.
+
+        Identical to :meth:`run` (same spec list, same final
+        :class:`~repro.study.resultset.ResultSet`, bit-identical results)
+        except that ``on_result(point, result, cache_hit)`` is invoked for
+        every point as its :class:`~repro.simulation.metrics.SimulationResult`
+        arrives: cache hits first (point order), then executed points as
+        they complete (point order on the serial and the pooled path; each
+        is persisted to the cache before its callback fires).  This is the
+        entry point for consumers that surface progress while a sweep is
+        still running -- the ``repro-mapreduce serve`` daemon's study
+        registry streams through the same mechanism.
+        """
+        if runner is None:
+            runner = ExperimentRunner(workers=workers, cache_dir=cache_dir)
+        points = self.points()
+        if select is not None:
+            points = [point for point in points if select(point)]
+        specs = [point.to_run_spec() for point in points]
+        point_of = {id(spec): point for spec, point in zip(specs, points)}
+
+        def relay(spec: RunSpec, result: Any, cache_hit: bool) -> None:
+            on_result(point_of[id(spec)], result, cache_hit)
+
+        results = runner.run(specs, on_result=relay)
+        runs = [
+            StudyRun(coords=point.coords, result=result)
+            for point, result in zip(points, results)
+        ]
+        return ResultSet(runs, name=self.name)

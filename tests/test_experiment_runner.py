@@ -215,3 +215,89 @@ class TestSpecPicklability:
         spec = TraceSpec(factory=dict, kwargs={})
         with pytest.raises(TypeError):
             spec.build()
+
+
+class TestOnResultCallback:
+    """Streaming-progress hook: on_result(spec, result, cache_hit)."""
+
+    def test_serial_callback_sees_every_spec_once(self, small_online_trace):
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)
+        events = []
+        runner = ExperimentRunner(workers=1)
+        results = runner.run(
+            specs, on_result=lambda s, r, hit: events.append((s, r, hit))
+        )
+        assert [s for s, _, _ in events] == specs
+        assert [r for _, r, _ in events] == results
+        assert all(hit is False for _, _, hit in events)
+
+    def test_pooled_callback_fires_in_parent_for_every_spec(
+        self, small_online_trace
+    ):
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)
+        seen = []
+        runner = ExperimentRunner(workers=2)
+        results = runner.run(specs, on_result=lambda s, r, hit: seen.append((s, r)))
+        # Batches complete in any order, but every spec is reported exactly
+        # once, with its own result object, from the parent process.
+        assert sorted(id(s) for s, _ in seen) == sorted(id(s) for s in specs)
+        by_spec = {id(s): r for s, r in seen}
+        for spec, result in zip(specs, results):
+            assert by_spec[id(spec)] is result
+
+    def test_cache_hits_are_flagged(self, small_online_trace, tmp_path):
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)
+        runner = ExperimentRunner(workers=1, cache_dir=tmp_path)
+        cold = []
+        runner.run(specs, on_result=lambda s, r, hit: cold.append(hit))
+        assert cold == [False] * len(specs)
+        assert runner.last_dispatch_stats["cache_hits"] == 0
+        warm = []
+        runner.run(specs, on_result=lambda s, r, hit: warm.append(hit))
+        assert warm == [True] * len(specs)
+        assert runner.last_dispatch_stats["cache_hits"] == len(specs)
+
+    def test_mixed_hits_report_hits_before_executions(
+        self, small_online_trace, tmp_path
+    ):
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)
+        runner = ExperimentRunner(workers=1, cache_dir=tmp_path)
+        runner.run(specs[:2])
+        events = []
+        runner.run(specs, on_result=lambda s, r, hit: events.append((s.seed, hit)))
+        assert events[:2] == [(specs[0].seed, True), (specs[1].seed, True)]
+        assert sorted(events[2:]) == [(specs[2].seed, False), (specs[3].seed, False)]
+        assert runner.last_dispatch_stats["cache_hits"] == 2
+
+    def test_constructor_callback_and_per_run_override(self, small_online_trace):
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)[:1]
+        default_events, override_events = [], []
+        runner = ExperimentRunner(
+            workers=1,
+            on_result=lambda s, r, hit: default_events.append(s),
+        )
+        runner.run(specs)
+        assert default_events == specs
+        runner.run(specs, on_result=lambda s, r, hit: override_events.append(s))
+        assert override_events == specs
+        assert default_events == specs  # the override replaced, not stacked
+
+    def test_result_is_persisted_before_the_callback_observes_it(
+        self, small_online_trace, tmp_path
+    ):
+        """Resume contract: once a consumer saw a result, a restarted sweep
+        finds it in the cache."""
+        from repro.simulation.results_store import run_spec_fingerprint
+
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)[:2]
+        runner = ExperimentRunner(workers=1, cache_dir=tmp_path)
+        cached_at_callback = []
+
+        def probe(spec, result, cache_hit):
+            entry = runner.store.load(run_spec_fingerprint(spec))
+            cached_at_callback.append(
+                entry is not None and entry.fingerprint() == result.fingerprint()
+            )
+
+        runner.run(specs, on_result=probe)
+        assert cached_at_callback == [True, True]

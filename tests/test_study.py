@@ -158,6 +158,37 @@ class TestExecution:
         assert runner.last_run_stats["cache_hits"] == study.num_points()
         assert cold.fingerprint() == warm.fingerprint()
 
+    def test_run_incremental_streams_every_point(self, tmp_path):
+        study = tiny_study()
+        events = []
+        streamed = study.run_incremental(
+            lambda point, result, hit: events.append((point, result, hit)),
+            cache_dir=str(tmp_path),
+        )
+        assert [p for p, _, _ in events] == study.points()
+        assert [r for _, r, _ in events] == [run.result for run in streamed]
+        assert all(hit is False for _, _, hit in events)
+        assert streamed.fingerprint() == study.run().fingerprint()
+        # A warm incremental run streams the same points as cache hits.
+        hits = []
+        study.run_incremental(
+            lambda point, result, hit: hits.append(hit), cache_dir=str(tmp_path)
+        )
+        assert hits == [True] * study.num_points()
+
+    def test_run_incremental_select_subsets_the_stream(self):
+        study = tiny_study()
+        events = []
+        subset = study.run_incremental(
+            lambda point, result, hit: events.append(point),
+            select=lambda point: dict(point.coords)["scheduler"] == "FIFO",
+        )
+        assert len(events) == len(subset) == 2
+        assert all(dict(p.coords)["scheduler"] == "FIFO" for p in events)
+        assert subset.fingerprint() == study.run().filter(
+            scheduler="FIFO"
+        ).fingerprint()
+
 
 class TestResultSet:
     @pytest.fixture(scope="class")
