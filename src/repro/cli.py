@@ -22,6 +22,8 @@ Examples::
     repro-mapreduce submit --spec study.toml --csv results.csv
     repro-mapreduce cache stats --cache-dir ~/.cache/repro-mapreduce
     repro-mapreduce cache prune --stale --cache-dir ~/.cache/repro-mapreduce
+    repro-mapreduce profile --workload stream:100000 --scheduler fifo
+    repro-mapreduce profile --workload smoke:0.02 --scheduler srptms+c --dump engine.prof
 
 Each experiment subcommand prints the plain-text report of the
 corresponding experiment; ``--scale`` shrinks the trace and the cluster
@@ -54,10 +56,12 @@ Worker counts (one mapping, everywhere): ``--workers 1`` runs serially
 ``--workers 0`` -- like ``workers=None`` in the library -- uses every
 usable CPU.  Results are bit-identical for any value.
 
-Three subcommands dispatch before the experiment parser: ``serve`` runs
+Four subcommands dispatch before the experiment parser: ``serve`` runs
 the sweep-service daemon and ``submit`` sends a spec file to it
 (:mod:`repro.service`); ``cache`` inspects and prunes a results-cache
-directory (``stats`` / ``prune --stale``).
+directory (``stats`` / ``prune --stale``); ``profile`` cProfiles one
+engine run and prints the top-N cumulative table (``--dump`` writes the
+raw profile for :mod:`pstats`).
 """
 
 from __future__ import annotations
@@ -677,9 +681,159 @@ def _main_cache(argv: Sequence[str]) -> int:
     return 0
 
 
+#: Schedulers the ``profile`` subcommand can build by name (plus
+#: ``srptms+c``, which takes ``--epsilon``/``--r``).
+_PROFILE_SCHEDULERS = ("fifo", "fair", "srpt", "late", "mantri", "sca")
+
+
+def _main_profile(argv: Sequence[str]) -> int:
+    """The ``profile`` subcommand: cProfile one engine run.
+
+    Builds the requested workload and scheduler, runs the simulation
+    under :mod:`cProfile`, and prints the top-N functions by cumulative
+    time -- the quickest way to see where engine wall-clock goes without
+    instrumenting anything.  ``--dump`` additionally writes the raw
+    profile for interactive :mod:`pstats` / snakeviz digging.
+    """
+    import cProfile
+    import pstats
+
+    from repro.core.srptms_c import SRPTMSCScheduler
+    from repro.schedulers import (
+        FairScheduler,
+        FIFOScheduler,
+        LATEScheduler,
+        MantriScheduler,
+        SCAScheduler,
+        SRPTScheduler,
+    )
+    from repro.simulation import run_simulation
+    from repro.workload.stream import StreamSpec, stream_uniform_jobs
+
+    parser = argparse.ArgumentParser(
+        prog="repro-mapreduce profile",
+        description=(
+            "Profile one simulation run with cProfile and print the "
+            "top-N cumulative table."
+        ),
+    )
+    parser.add_argument(
+        "--workload",
+        default="stream:100000",
+        metavar="KIND",
+        help=(
+            "'stream[:N]' for a lazily generated uniform single-task "
+            "stream of N jobs (default 100000) on 16 machines, or "
+            "'smoke[:SCALE]' for the scale-SCALE synthetic Google trace "
+            "(default 0.02) on its matching cluster"
+        ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        default="fifo",
+        choices=sorted(_PROFILE_SCHEDULERS) + ["srptms+c"],
+        help="scheduling policy to profile (default fifo)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="replication seed (default 0)"
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=None,
+        help="override the cluster size",
+    )
+    parser.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.6,
+        help="srptms+c machine-sharing fraction (default 0.6)",
+    )
+    parser.add_argument(
+        "--r",
+        type=float,
+        default=3.0,
+        help="srptms+c effective-workload weight (default 3)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="rows of the cumulative table to print (default 25)",
+    )
+    parser.add_argument(
+        "--dump",
+        default=None,
+        metavar="FILE",
+        help="also write the raw profile for pstats/snakeviz",
+    )
+    args = parser.parse_args(argv)
+
+    kind, _, parameter = args.workload.partition(":")
+    if kind == "stream":
+        num_jobs = int(parameter) if parameter else 100_000
+        trace = StreamSpec(
+            factory=stream_uniform_jobs,
+            num_jobs=num_jobs,
+            kwargs={
+                "tasks_per_job": 1,
+                "reduce_tasks_per_job": 0,
+                "mean_duration": 10.0,
+                "inter_arrival": 1.0,
+            },
+            name=f"profile-stream-{num_jobs}",
+        ).build()
+        machines = 16
+        workload_label = f"stream of {num_jobs} single-task jobs"
+    elif kind == "smoke":
+        scale = float(parameter) if parameter else 0.02
+        config = ExperimentConfig(scale=scale, seeds=(args.seed,))
+        trace = config.make_trace()
+        machines = config.machines
+        workload_label = (
+            f"scale-{scale} synthetic Google trace ({trace.num_jobs} jobs)"
+        )
+    else:
+        raise SystemExit(
+            f"unknown --workload {args.workload!r}: expected "
+            "'stream[:N]' or 'smoke[:SCALE]'"
+        )
+    if args.machines is not None:
+        machines = args.machines
+    factories = {
+        "fifo": FIFOScheduler,
+        "fair": FairScheduler,
+        "srpt": SRPTScheduler,
+        "late": LATEScheduler,
+        "mantri": MantriScheduler,
+        "sca": SCAScheduler,
+        "srptms+c": lambda: SRPTMSCScheduler(epsilon=args.epsilon, r=args.r),
+    }
+    scheduler = factories[args.scheduler]()
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_simulation(trace, scheduler, machines, seed=args.seed)
+    profiler.disable()
+
+    print(
+        f"profiled {workload_label} under {args.scheduler} on "
+        f"{machines} machines, seed {args.seed}: "
+        f"{result.num_jobs} jobs in {result.runtime_seconds:.2f}s "
+        f"({result.num_jobs / result.runtime_seconds:,.0f} jobs/sec)"
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    if args.dump is not None:
+        stats.dump_stats(args.dump)
+        print(f"raw profile written to {args.dump} (open with pstats)")
+    return 0
+
+
 #: Subcommands dispatched before the experiment parser is built: the
-#: sweep-service daemon/client (repro.service.cli) and cache maintenance.
-_SERVICE_COMMANDS = frozenset({"serve", "submit", "cache"})
+#: sweep-service daemon/client (repro.service.cli), cache maintenance,
+#: and the cProfile harness.
+_SERVICE_COMMANDS = frozenset({"serve", "submit", "cache", "profile"})
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -695,6 +849,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.service.cli import main_submit
 
             return main_submit(argv[1:])
+        if argv[0] == "profile":
+            return _main_profile(argv[1:])
         return _main_cache(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)

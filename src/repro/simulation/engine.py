@@ -50,14 +50,24 @@ them as they finish so memory stays bounded.
 The hot path relies on the O(1) incremental counters of
 :mod:`repro.workload.job` (unscheduled/active/incomplete task counts
 updated at copy transitions, never recomputed by scanning) and on the
-tuple-keyed :class:`~repro.simulation.events.EventHeap` (C-speed
-comparisons, lazy-deletion decrease-key for finish re-estimates).
+tuple-payload :class:`~repro.simulation.events.EventHeap` (C-speed
+comparisons, Job/TaskCopy payloads carried directly in the heap tuples,
+lazy-deletion decrease-key for finish re-estimates).  Task workloads are
+pre-sampled per stage with one vectorised ``sample_batch`` draw at job
+arrival -- bit-identical to per-task draws by the RNG-consumption
+contract of :meth:`repro.workload.distributions.DurationDistribution
+.sample_batch` -- into buffers living on the :class:`Job` itself.  All
+events at one timestamp are drained as a single batch before the
+scheduler is consulted, and the static FIFO+greedy composition takes a
+gated engine-inlined decision walk (see :meth:`SimulationEngine
+._resolve_fast_lane`).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -67,11 +77,16 @@ from repro.scenarios import ScenarioSpec, machine_process_rng, placement_rng
 from repro.simulation.events import Event, EventHeap, EventType
 from repro.simulation.metrics import JobRecord, SimulationResult
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
-from repro.workload.job import Job, Task, TaskCopy
+from repro.workload.distributions import Deterministic
+from repro.workload.job import _LEGACY_DEPENDENTS, Job, Task, TaskCopy
 from repro.workload.stream import TraceStream
 from repro.workload.trace import Trace
 
 __all__ = ["SimulationEngine", "SimulationError"]
+
+#: Plain-int arrival priority for the inlined arrival push (see
+#: :meth:`SimulationEngine._push_next_arrival`).
+_ARRIVAL_PRIORITY = int(EventType.JOB_ARRIVAL)
 
 #: What the engine accepts as a workload: an in-memory trace or a lazy stream.
 TraceLike = Union[Trace, TraceStream]
@@ -176,16 +191,13 @@ class SimulationEngine:
         self._specs_drawn = 0
         self._last_arrival_time = 0.0
         self._alive: Dict[int, Job] = {}
-        # Pre-sampled task workloads, one buffer per (job, stage).  Buffers
-        # are filled with a single vectorised RNG call per job stage at
-        # arrival (and refilled in batches when clones exhaust them), which
-        # is far cheaper than one Generator call per copy.  For the
-        # canonical 2-node DAG the stage indices 0/1 hash identically to
-        # the old (job_id, is_reduce) bool keys, and stages are sampled in
-        # index order (map then reduce), so RNG consumption is unchanged.
-        self._workload_buffers: Dict[Tuple[int, int], List[float]] = {}
         self._completed = 0
         self._arrived = 0
+        # Number of currently parked copies (launched on a not-yet-ready
+        # stage, occupying a machine without progress).  Zero for every
+        # run without allow_early_reduce, which lets the completion path
+        # skip the parked-copy scan entirely (see _handle_copy_finish).
+        self._parked = 0
         self._next_tick: Optional[float] = None
         # Dynamic-scenario state: per-machine process streams and the
         # progress ledger of running copies.  ``_dynamic`` gates every piece
@@ -233,6 +245,36 @@ class SimulationEngine:
         self._notify_arrival = self._resolve_hook("on_job_arrival")
         self._notify_task_completion = self._resolve_hook("on_task_completion")
         self._notify_job_completion = self._resolve_hook("on_job_completion")
+        self._fast_fifo = self._resolve_fast_lane()
+
+    def _resolve_fast_lane(self) -> bool:
+        """True when the FIFO+greedy+none decision walk can be engine-inlined.
+
+        The gate admits exactly the compositions whose ``schedule()`` call
+        reduces to :meth:`GreedyAllocation._static_walk` over the identity
+        :class:`~repro.policies.ordering.FIFOOrdering` with no redundancy
+        finalize pass -- for those, the engine loop runs an equivalent walk
+        that launches copies as it finds them, skipping the LaunchRequest
+        plan/apply round-trip (see the fast-lane block in :meth:`_run`).
+        Every condition is pinned to the exact class so any subclass
+        override -- a custom ``schedule``, a re-sorting ordering, a
+        finalizing redundancy -- falls back to the generic path.
+        """
+        # Deferred imports: repro.policies imports this package's
+        # scheduler_api module, so a module-level import here could cycle
+        # depending on which package is imported first.
+        from repro.policies.ordering import FIFOOrdering
+        from repro.simulation.scheduler_api import ComposedScheduler
+
+        scheduler = self.scheduler
+        return (
+            isinstance(scheduler, ComposedScheduler)
+            and type(scheduler).schedule is ComposedScheduler.schedule
+            and scheduler._static_greedy
+            and not scheduler._redundancy_finalizes
+            and not scheduler.allow_early_reduce
+            and type(scheduler.ordering) is FIFOOrdering
+        )
 
     def _resolve_hook(self, name: str):
         """The scheduler's ``name`` hook, or ``None`` if it is the base no-op.
@@ -263,14 +305,19 @@ class SimulationEngine:
         # step; at the default gen-0 threshold (700) a long run spends >15%
         # of its wall clock in tens of thousands of young-generation
         # collections that scan the ever-growing record list.  Raising the
-        # threshold for the duration of the run cuts the collection count by
-        # ~15x while still reclaiming the cyclic job graphs periodically
-        # (disabling GC outright would balloon RSS).  GC timing has no
-        # effect on simulation semantics, so results stay bit-identical.
+        # thresholds for the duration of the run cuts the collection count
+        # dramatically while still reclaiming cyclic garbage periodically
+        # (disabling GC outright would balloon RSS).  Stream-mode finalize
+        # breaks the Job<->Task<->TaskCopy cycles explicitly, so nearly all
+        # hot-loop garbage is reclaimed by reference counting alone -- the
+        # raised gen-1/gen-2 multipliers then keep full collections (which
+        # scan the ever-growing, acyclic record list) out of the loop.  GC
+        # timing has no effect on simulation semantics, so results stay
+        # bit-identical.
         import gc
 
         old_thresholds = gc.get_threshold()
-        gc.set_threshold(10_000, old_thresholds[1], old_thresholds[2])
+        gc.set_threshold(10_000, 100, 100)
         try:
             return self._run()
         finally:
@@ -290,58 +337,228 @@ class SimulationEngine:
         check = self.check_invariants
         events = self._events
         entries = events._entries
-        pop_next = events.pop_next
-        pop_at = events.pop_at
+        pop = heappop
+        push = heappush
         handle = self._handle_event
         handle_finish = self._handle_copy_finish
         handle_arrival = self._handle_arrival
         pump = self._push_next_arrival
+        launch = self._launch_copy
+        refill = self._refill_workloads
         schedule = self.scheduler.schedule
         view = self._view
+        cluster = self.cluster
+        free_ids = cluster._free_ids
+        machines = cluster._machines
+        copy_ids = self._copy_ids
+        sequence = self._sequence
+        result = self.result
+        alive_values = self._alive.values()
         dynamic = self._dynamic
+        fast = self._fast_fifo
+        # The *plain* launch gate: with no topology, no workload inflation,
+        # no checkpointing and no dynamic scenario, _launch_copy collapses
+        # to pure counter updates plus one heap push -- inlined below in
+        # the fast-lane walk (launched tasks there are always on a ready
+        # stage, so the parked branch is unreachable too).
+        plain = (
+            fast
+            and not self._topology_active
+            and not dynamic
+            and self._inflate is None
+            and self._checkpoint_interval is None
+        )
         total_jobs = self._total_jobs
-        arrival_type = EventType.JOB_ARRIVAL
-        finish_type = EventType.COPY_FINISH
+        arrival_priority = int(EventType.JOB_ARRIVAL)
+        finish_priority = int(EventType.COPY_FINISH)
 
-        # The batch loop of :meth:`_pop_simultaneous_events`, inlined and
-        # interleaved: each event is handled as it is popped instead of
-        # being buffered into a batch list first.  This is behaviourally
-        # identical -- handlers never push same-timestamp events (all
-        # workloads and scenario draws are strictly positive), stale
-        # finishes are rejected both in the heap and in the handler, and
-        # within every (time, priority) class the relative sequence order
-        # of pushes is preserved -- but it drops one list allocation and
-        # two method calls per simulation step.  The two dominant event
-        # types (one finish per copy, one arrival per job) dispatch
-        # directly to their handlers; everything else (machine events,
-        # ticks) goes through :meth:`_handle_event`.
+        # The same-timestamp batch drain of :meth:`EventHeap.pop_time_batch`,
+        # fused with event handling: each entry is handled as it is popped
+        # instead of being buffered into a batch list first.  This is
+        # behaviourally identical -- handlers never push same-timestamp
+        # events (all workloads and scenario draws are strictly positive),
+        # stale finishes are rejected both in the heap and in the handler,
+        # and within every (time, priority) class the relative sequence
+        # order of pushes is preserved -- but it drops one list allocation
+        # and two method calls per simulation step.  Entries are raw
+        # ``(time, priority, sequence, payload, version)`` tuples: the two
+        # dominant kinds carry their payload directly (one TaskCopy per
+        # finish, one Job per arrival) and dispatch straight to their
+        # handlers with no Event object in sight; everything else (machine
+        # events, ticks) carries an :class:`Event` payload handled by
+        # :meth:`_handle_event`.
         while True:
-            event = pop_next()
-            if event is None:
+            # Inlined EventHeap.pop_entry: pop the earliest live entry,
+            # dropping stale finish entries (killed or re-estimated copies)
+            # at the head.
+            entry = None
+            while entries:
+                head = entries[0]
+                if head[1] == finish_priority:
+                    copy = head[3]
+                    if (
+                        copy.finish_time is not None
+                        or copy.killed_at is not None
+                        or head[4] != copy.finish_version
+                    ):
+                        pop(entries)
+                        continue
+                entry = pop(entries)
                 break
-            now = self.now = event.time
+            if entry is None:
+                break
+            now = self.now = entry[0]
             if max_time is not None and now > max_time:
                 raise SimulationError(
                     f"simulation exceeded max_time={max_time} at t={now}"
                 )
             while True:
-                event_type = event.event_type
-                if event_type is finish_type:
-                    handle_finish(event.copy, event.version)
-                elif event_type is arrival_type:
+                priority = entry[1]
+                if priority == finish_priority:
+                    handle_finish(entry[3], entry[4])
+                elif priority == arrival_priority:
                     pump()
-                    handle_arrival(event.job)
+                    handle_arrival(entry[3])
                 else:
-                    handle(event)
-                event = pop_at(now)
-                if event is None:
+                    handle(entry[3])
+                # Inlined EventHeap.pop_entry_at: drain the rest of this
+                # timestamp's batch (stale finish heads dropped in place;
+                # stale entries later than ``now`` are left for the outer
+                # pop to reach).
+                entry = None
+                while entries:
+                    head = entries[0]
+                    if head[0] != now:
+                        break
+                    if head[1] == finish_priority:
+                        copy = head[3]
+                        if (
+                            copy.finish_time is not None
+                            or copy.killed_at is not None
+                            or head[4] != copy.finish_version
+                        ):
+                            pop(entries)
+                            continue
+                    entry = pop(entries)
+                    break
+                if entry is None:
                     break
             if self._completed == total_jobs:
                 break
-            # Inlined _invoke_scheduler: one decision point per batch.
-            requests = schedule(view)
-            if requests:
-                self._apply_launches(requests)
+            # One decision point per batch.  The gated FIFO fast lane (see
+            # _resolve_fast_lane) is the inlined equivalent of
+            # ComposedScheduler.schedule -> GreedyAllocation._static_walk
+            # -> launchable_tasks -> _apply_launches for the static
+            # fifo+greedy+none composition: FIFOOrdering returns the alive
+            # sequence unchanged, so the walk visits jobs in arrival order
+            # (the live dict view -- launches never mutate the alive set)
+            # and launches each launchable task immediately.  Immediate
+            # launching is equivalent to plan-then-apply because a launch
+            # only decrements the launched task's own job/stage counters
+            # (each stage's count/readiness is snapshotted before its
+            # tasks launch, per-task predicates of other tasks are
+            # untouched, and readiness only changes at completions), and
+            # the walk is bounded by the free count taken before any
+            # launch, so requests can never exceed the machines that were
+            # free at plan time.
+            if fast:
+                free = len(free_ids)
+                if free > 0:
+                    for job in alive_values:
+                        if job._unscheduled_ready == 0:
+                            continue
+                        unscheduled = job._unscheduled
+                        ready = job._stage_ready
+                        stage = 0
+                        for stage_list in job.stage_tasks:
+                            count = unscheduled[stage]
+                            if count and ready[stage]:
+                                # Whole stage unscheduled (a fresh arrival)
+                                # skips the per-task filter.
+                                whole = count == len(stage_list)
+                                for task in stage_list:
+                                    if not whole and (
+                                        task.completion_time is not None
+                                        or task._num_active != 0
+                                    ):
+                                        continue
+                                    if plain:
+                                        # _launch_copy, inlined for the
+                                        # plain gate above: the walk
+                                        # already holds the job and a
+                                        # ready stage, the machine is on
+                                        # the free list (up, idle), and a
+                                        # ready-stage copy starts at once.
+                                        machine_id = free_ids[-1]
+                                        buffer = job._workloads[stage]
+                                        if not buffer:
+                                            buffer = refill(task)
+                                        raw_workload = buffer.pop()
+                                        machine = machines[machine_id]
+                                        if machine.slowdown == 1.0:
+                                            duration = (
+                                                raw_workload / machine.speed
+                                            )
+                                        else:
+                                            duration = raw_workload / (
+                                                machine.speed
+                                                / machine.slowdown
+                                            )
+                                        copy = TaskCopy.__new__(TaskCopy)
+                                        copy.copy_id = next(copy_ids)
+                                        copy.task = task
+                                        copy.machine_id = machine_id
+                                        copy.launch_time = now
+                                        copy.workload = duration
+                                        copy.finish_time = None
+                                        copy.killed_at = None
+                                        copy.work = raw_workload
+                                        copy.remote_penalty = 1.0
+                                        num_active = task._num_active
+                                        if num_active:
+                                            result.redundant_copies_launched += 1
+                                        else:
+                                            unscheduled[stage] -= 1
+                                            job._unscheduled_total -= 1
+                                            job._unscheduled_ready -= 1
+                                        task.copies.append(copy)
+                                        task._num_active = num_active + 1
+                                        job._active_copies += 1
+                                        job._copies_launched += 1
+                                        free_ids.pop()
+                                        machine.current_copy = copy
+                                        machine.copies_hosted += 1
+                                        if stage == 0:
+                                            cluster._map_running += 1
+                                        else:
+                                            cluster._reduce_running += 1
+                                        result.total_copies += 1
+                                        copy.start_time = now
+                                        copy.finish_version = 1
+                                        push(
+                                            entries,
+                                            (
+                                                now + duration,
+                                                0,
+                                                next(sequence),
+                                                copy,
+                                                1,
+                                            ),
+                                        )
+                                    else:
+                                        launch(task)
+                                    free -= 1
+                                    if free == 0:
+                                        break
+                                if free == 0:
+                                    break
+                            stage += 1
+                        if free == 0:
+                            break
+            else:
+                requests = schedule(view)
+                if requests:
+                    self._apply_launches(requests)
             if ticks:
                 # Ticks go into the heap before stuck-detection runs: an
                 # allocation policy deferring its launches (delay
@@ -390,17 +607,22 @@ class SimulationEngine:
         spec = next(self._spec_iter, None)
         if spec is None:
             return
-        if spec.arrival_time < self._last_arrival_time:
+        arrival_time = spec.arrival_time
+        if arrival_time < self._last_arrival_time:
             raise SimulationError(
                 f"trace source yielded arrivals out of order: job {spec.job_id} "
-                f"at t={spec.arrival_time} after t={self._last_arrival_time}"
+                f"at t={arrival_time} after t={self._last_arrival_time}"
             )
-        self._last_arrival_time = spec.arrival_time
+        self._last_arrival_time = arrival_time
         self._specs_drawn += 1
         job = Job.from_spec(spec)
         if self._retain_jobs:
             self._jobs.append(job)
-        self._events.push_arrival(job, spec.arrival_time, next(self._sequence))
+        # Inlined EventHeap.push_arrival (one call per job of the stream).
+        heappush(
+            self._events._entries,
+            (arrival_time, _ARRIVAL_PRIORITY, next(self._sequence), job, 0),
+        )
 
     def _handle_event(self, event: Event) -> None:
         # Dispatch by frequency: completions dominate (one per copy),
@@ -438,18 +660,30 @@ class SimulationEngine:
         self._arrived += 1
         if self._accumulate_tasks:
             self.result.total_tasks += spec.num_map_tasks + spec.num_reduce_tasks
-        # Inlined _presample_workloads: one vectorised draw per stage.
+        # Pre-sample task workloads, one vectorised sample_batch draw per
+        # stage in stage index order (map then reduce for the 2-node DAG),
+        # so RNG consumption is bit-identical to per-task draws by the
+        # sample_batch contract (see DurationDistribution.sample_batch).
+        # The buffers live on the job itself -- they die with it at
+        # finalize, with no dict or tuple-key allocation per stage.
         rng = self.rng
-        buffers = self._workload_buffers
-        stage_index = 0
+        workloads: List[List[float]] = []
+        append = workloads.append
         for stage in job._stages:
             count = stage.num_tasks
             if count:
-                buffer = stage.duration.sample_list(rng, count)
-                # Reversed so pop() consumes values in draw order.
-                buffer.reverse()
-                buffers[(job_id, stage_index)] = buffer
-            stage_index += 1
+                dist = stage.duration
+                if type(dist) is Deterministic:
+                    # Constant workloads: no RNG use, no reverse needed.
+                    append([dist._value] * count)
+                else:
+                    buffer = dist.sample_list(rng, count)
+                    # Reversed so pop() consumes values in draw order.
+                    buffer.reverse()
+                    append(buffer)
+            else:
+                append([])
+        job._workloads = workloads
         if self._topology_active:
             # One preferred-rack draw per job, in arrival order, from the
             # dedicated placement stream (see the seeding contract in
@@ -461,18 +695,19 @@ class SimulationEngine:
         if self._notify_arrival is not None:
             self._notify_arrival(job, self.now)
 
-    def _next_workload(self, task: Task) -> float:
-        """Next pre-sampled workload for ``task``'s stage (refill on demand)."""
-        key = (task.job.job_id, task.stage)
-        buffer = self._workload_buffers.get(key)
-        if not buffer:
-            # Clones (or relaunches) exhausted the arrival batch; refill
-            # with another stage-sized batch to keep RNG calls rare.
-            count = max(task.job.stage_specs[task.stage].num_tasks, 1)
-            buffer = task.duration_distribution.sample_list(self.rng, count)
-            buffer.reverse()
-            self._workload_buffers[key] = buffer
-        return buffer.pop()
+    def _refill_workloads(self, task: Task) -> List[float]:
+        """Refill ``task``'s stage buffer (clones/relaunches exhausted it).
+
+        Refills with another stage-sized ``sample_batch`` draw to keep RNG
+        calls rare; the cold path behind the inlined buffer pop in
+        :meth:`_launch_copy`.
+        """
+        job = task.job
+        count = max(job.stage_specs[task.stage].num_tasks, 1)
+        buffer = task.duration_distribution.sample_list(self.rng, count)
+        buffer.reverse()
+        job._workloads[task.stage] = buffer
+        return buffer
 
     def _handle_copy_finish(self, copy: TaskCopy, version: int = 0) -> None:
         if copy.finish_time is not None or copy.killed_at is not None:
@@ -561,11 +796,39 @@ class SimulationEngine:
             and job._stage_completion[stage] is None
             and job._stage_ready[stage]
         ):
-            job._complete_stage(stage, now)
-        newly_ready = job._newly_ready
-        if newly_ready:
-            job._newly_ready = []
-            self._unblock_parked_copies(job, newly_ready)
+            if job._dependents is _LEGACY_DEPENDENTS:
+                # Inlined Job._complete_stage for the canonical 2-node
+                # map->reduce DAG (the overwhelmingly common shape): the
+                # cascade is fully known -- completing the map stage
+                # readies the reduce stage (an *empty* reduce stage then
+                # completes on the spot, finishing the job), completing
+                # the reduce stage finishes the job.  The newly-ready
+                # buffer is skipped: its only consumer is the parked-copy
+                # unpark below, gated on the exact live parked count.
+                completion = job._stage_completion
+                completion[stage] = now
+                if stage == 0:
+                    job._stage_ready[1] = True
+                    job._unscheduled_ready += job._unscheduled[1]
+                    if job._incomplete[1] == 0:
+                        completion[1] = now
+                        job._incomplete_stages -= 2
+                        job.completion_time = now
+                    else:
+                        job._incomplete_stages -= 1
+                        if self._parked:
+                            self._unblock_parked_copies(job, (1,))
+                else:
+                    job._incomplete_stages -= 1
+                    if job._incomplete_stages == 0:
+                        job.completion_time = now
+            else:
+                job._complete_stage(stage, now)
+                newly_ready = job._newly_ready
+                if newly_ready:
+                    job._newly_ready = []
+                    if self._parked:
+                        self._unblock_parked_copies(job, newly_ready)
         if self._notify_task_completion is not None:
             self._notify_task_completion(task, now)
         if job.completion_time is not None:
@@ -578,6 +841,7 @@ class SimulationEngine:
                 for copy in task.copies:
                     if copy.is_active and copy.is_blocked:
                         copy.start(self.now)
+                        self._parked -= 1
                         if self._dynamic:
                             # The machine's effective speed may have changed
                             # since launch; price the parked work at the
@@ -600,10 +864,10 @@ class SimulationEngine:
         job_id = spec.job_id
         del self._alive[job_id]
         self._completed += 1
-        buffers = self._workload_buffers
         num_stages = len(job._stages)
-        for stage_index in range(num_stages):
-            buffers.pop((job_id, stage_index), None)
+        # Drop the pre-sampled workload buffers with the job (for retained
+        # traces the Job object itself outlives the run).
+        job._workloads = None
         # Inlined JobRecord construction and SimulationResult.add_record
         # (append plus metric-cache invalidation); runs once per completed
         # job, and the record constructor is pure field assignment.
@@ -624,6 +888,18 @@ class SimulationEngine:
         result_dict.pop("_weights_cache", None)
         if self._notify_job_completion is not None:
             self._notify_job_completion(job, self.now)
+        if not self._retain_jobs:
+            # Stream mode drops finished jobs entirely -- break the
+            # Job<->Task<->TaskCopy reference cycles so the whole graph is
+            # reclaimed by reference counting the moment the last external
+            # reference (a stale heap entry at most) drops, instead of
+            # lingering as cyclic garbage for the collector.  This is what
+            # lets run() raise the gen-0 GC threshold so far: the hot loop
+            # produces almost no garbage that *needs* the cycle collector.
+            for tasks in job.stage_tasks:
+                for task in tasks:
+                    task.copies.clear()
+            job.stage_tasks = ()
 
     # ------------------------------------------------------------------ machine events
 
@@ -670,6 +946,9 @@ class SimulationEngine:
             return
         copy = machine.current_copy
         if copy is not None and copy.is_active:
+            if copy.start_time is None:
+                # Failure killed a parked (never-started) copy.
+                self._parked -= 1
             elapsed = copy.elapsed(self.now)
             copy.kill(self.now)
             self.cluster.release(copy, elapsed=elapsed)
@@ -811,12 +1090,6 @@ class SimulationEngine:
 
     # ------------------------------------------------------------------ scheduling
 
-    def _invoke_scheduler(self) -> None:
-        requests = self.scheduler.schedule(self._view)
-        if requests:
-            self._apply_launches(requests)
-        self._check_progress_possible()
-
     def _apply_launches(self, requests: Sequence[LaunchRequest]) -> None:
         now = self.now + 1e-9
         free_ids = self.cluster._free_ids
@@ -914,7 +1187,12 @@ class SimulationEngine:
         if topology:
             self._place_for_locality(task)
         machine_id = free_ids[-1]
-        raw_workload = self._next_workload(task)
+        # Next pre-sampled workload of the task's stage (inlined buffer
+        # pop; the refill runs only when clones exhausted the arrival batch).
+        buffer = task.job._workloads[task.stage]
+        if not buffer:
+            buffer = self._refill_workloads(task)
+        raw_workload = buffer.pop()
         if self._inflate is not None:
             raw_workload = self._inflate(raw_workload, machine_id, self.rng)
         if self._checkpoint_interval is not None and task.checkpoint_work > 0.0:
@@ -995,6 +1273,7 @@ class SimulationEngine:
         if not job._stage_ready[stage]:
             # Parked: occupies the machine, progresses only once every
             # predecessor stage completes (reduce-behind-map in the 2-node DAG).
+            self._parked += 1
             return copy
         # Inlined TaskCopy.start: a just-launched copy is active, unstarted
         # and launched at `now`, so its validation cannot fire.
@@ -1009,7 +1288,13 @@ class SimulationEngine:
                 settled_at=now,
                 rate=rate,
             )
-        self._events.push_finish(copy, now + duration, next(self._sequence))
+        # Inlined EventHeap.push_finish: a fresh copy's version is 0, so
+        # the bump lands on 1 and the entry carries exactly that version.
+        copy.finish_version = 1
+        heappush(
+            self._events._entries,
+            (now + duration, 0, next(self._sequence), copy, 1),
+        )
         return copy
 
     def _maybe_schedule_tick(self) -> None:

@@ -9,9 +9,27 @@ visible to that decision; job arrivals come next; ticks come last because
 they exist only to wake progress-monitoring schedulers.
 
 The heap (:class:`EventHeap`) stores plain ``(time, priority, sequence,
-event)`` tuples so every comparison during sift-up/down happens at C speed
--- an :class:`Event` is never compared on the hot path (it still defines
-``__lt__`` for direct sorting in tests and analysis code).
+payload, version)`` tuples so every comparison during sift-up/down happens
+at C speed -- and the two per-job event kinds (arrivals, copy finishes)
+carry their :class:`~repro.workload.job.Job` / :class:`~repro.workload.job
+.TaskCopy` payload *directly* in the tuple, so the hot path never
+allocates an :class:`Event` at all.  ``Event`` objects still exist as the
+payload of the rare event kinds (machine failures/repairs, slowdown
+transitions, ticks) and for tests and analysis code (they define
+``__lt__`` for direct sorting); the uniqueness of ``sequence`` guarantees
+tuple comparisons never reach the payload slot.
+
+Same-timestamp batches
+----------------------
+All events at one timestamp form a single *batch*: the engine drains them
+all -- in ``(priority, sequence)`` order -- before consulting the
+scheduler, so :class:`~repro.simulation.scheduler_api.ComposedScheduler`
+sees exactly one decision point per unique simulated time no matter how
+many events coincide there.  :meth:`EventHeap.pop_entry` /
+:meth:`EventHeap.pop_entry_at` are the fused allocation-free form of that
+drain used by the engine loop; :meth:`EventHeap.pop_time_batch` is the
+same contract materialised as an explicit ``(time, [entries])`` batch for
+invariant tests and non-hot callers.
 
 Decrease-key semantics
 ----------------------
@@ -22,8 +40,8 @@ Under dynamic scenarios the engine re-estimates a running copy's finish
 time whenever its machine's effective speed changes; the re-estimate is an
 O(log n) decrease-key (or increase-key) implemented the standard ``heapq``
 way: push a fresh entry with the bumped version and let the superseded one
-be dropped lazily at pop time (:meth:`EventHeap.pop_next` /
-:meth:`EventHeap.pop_at`), exactly like the finish event of a killed
+be dropped lazily at pop time (:meth:`EventHeap.pop_entry` /
+:meth:`EventHeap.pop_entry_at`), exactly like the finish event of a killed
 clone.  Stale entries therefore never reach the engine, never form an
 event batch on their own, and never cause a scheduler consultation.
 """
@@ -170,24 +188,30 @@ class Event:
 _COPY_FINISH = int(EventType.COPY_FINISH)
 _JOB_ARRIVAL = int(EventType.JOB_ARRIVAL)
 _TICK = int(EventType.TICK)
-#: Enum members, bound once for the inlined Event construction above.
-_FINISH_TYPE = EventType.COPY_FINISH
-_ARRIVAL_TYPE = EventType.JOB_ARRIVAL
+
+
+#: A heap entry: ``(time, priority, sequence, payload, version)``.  The
+#: payload is a :class:`~repro.workload.job.Job` for arrivals, a
+#: :class:`~repro.workload.job.TaskCopy` for copy finishes, and an
+#: :class:`Event` for everything else; ``version`` is the finish-event
+#: version (0 for all other kinds).
+HeapEntry = Tuple[float, int, int, object, int]
 
 
 class EventHeap:
     """Min-heap of events keyed by ``(time, priority, sequence)``.
 
-    Entries are plain tuples so heap comparisons run at C speed; stale
-    copy-finish entries (killed copies, superseded finish estimates) are
-    dropped lazily at the head -- see the module docstring for why this is
-    an O(log n) decrease-key.
+    Entries are plain tuples so heap comparisons run at C speed, with the
+    per-job payloads stored directly in the tuple (no :class:`Event`
+    allocation on the hot path); stale copy-finish entries (killed copies,
+    superseded finish estimates) are dropped lazily at the head -- see the
+    module docstring for why this is an O(log n) decrease-key.
     """
 
     __slots__ = ("_entries",)
 
     def __init__(self) -> None:
-        self._entries: List[Tuple[float, int, int, Event]] = []
+        self._entries: List[HeapEntry] = []
 
     def __len__(self) -> int:
         """Number of entries, including not-yet-dropped stale ones."""
@@ -200,88 +224,77 @@ class EventHeap:
     def push(self, event: Event) -> None:
         """Insert ``event``; its ``sequence`` must already be assigned."""
         heapq.heappush(
-            self._entries, (event.time, event.priority, event.sequence, event)
+            self._entries,
+            (event.time, event.priority, event.sequence, event, event.version),
         )
 
     def push_arrival(self, job: Job, time: float, sequence: int) -> None:
-        """Queue the arrival of ``job`` (Event construction inlined: this
-        runs once per job of the whole trace/stream)."""
-        event = Event.__new__(Event)
-        event.time = time
-        event.priority = _JOB_ARRIVAL
-        event.sequence = sequence
-        event.event_type = _ARRIVAL_TYPE
-        event.job = job
-        event.copy = None
-        event.machine_id = None
-        event.version = 0
-        heapq.heappush(self._entries, (time, _JOB_ARRIVAL, sequence, event))
+        """Queue the arrival of ``job``.
+
+        The job itself is the entry payload -- no :class:`Event` is
+        allocated (this runs once per job of the whole trace/stream).
+        """
+        heapq.heappush(self._entries, (time, _JOB_ARRIVAL, sequence, job, 0))
 
     def push_finish(self, copy: TaskCopy, time: float, sequence: int) -> None:
         """Queue the (only currently valid) finish event of ``copy``.
 
         Bumping ``copy.finish_version`` invalidates any queued finish entry
         of the same copy -- this is the decrease-key operation used when a
-        machine's effective rate changes mid-run.  (Event construction and
-        the heap push are inlined: this runs once per launched copy.)
+        machine's effective rate changes mid-run.  The copy itself is the
+        entry payload (no :class:`Event` allocation; this runs once per
+        launched copy).
         """
         version = copy.finish_version + 1
         copy.finish_version = version
-        event = Event.__new__(Event)
-        event.time = time
-        event.priority = _COPY_FINISH
-        event.sequence = sequence
-        event.event_type = _FINISH_TYPE
-        event.job = None
-        event.copy = copy
-        event.machine_id = None
-        event.version = version
-        heapq.heappush(self._entries, (time, _COPY_FINISH, sequence, event))
+        heapq.heappush(
+            self._entries, (time, _COPY_FINISH, sequence, copy, version)
+        )
 
     @staticmethod
-    def _is_stale(event: Event) -> bool:
-        """A finish event for a copy that was killed or re-estimated since."""
-        if event.priority != _COPY_FINISH:
+    def _is_stale(entry: HeapEntry) -> bool:
+        """A finish entry for a copy that was killed or re-estimated since."""
+        if entry[1] != _COPY_FINISH:
             return False
-        copy = event.copy
+        copy = entry[3]
         return (
             copy.finish_time is not None
             or copy.killed_at is not None
-            or event.version != copy.finish_version
+            or entry[4] != copy.finish_version
         )
 
     def _drop_stale(self) -> None:
         """Remove stale entries from the head so the head entry is live."""
         entries = self._entries
-        while entries and self._is_stale(entries[0][3]):
+        while entries and self._is_stale(entries[0]):
             heapq.heappop(entries)
 
-    def pop_next(self) -> Optional[Event]:
-        """Pop and return the earliest live event (``None`` when drained)."""
+    def pop_entry(self) -> Optional[HeapEntry]:
+        """Pop and return the earliest live entry (``None`` when drained)."""
         # Staleness test inlined (see _is_stale): this loop runs once per
         # simulation step and the extra call frames are measurable.
         entries = self._entries
         pop = heapq.heappop
         while entries:
-            head = entries[0][3]
-            if head.priority == _COPY_FINISH:
-                copy = head.copy
+            head = entries[0]
+            if head[1] == _COPY_FINISH:
+                copy = head[3]
                 if (
                     copy.finish_time is not None
                     or copy.killed_at is not None
-                    or head.version != copy.finish_version
+                    or head[4] != copy.finish_version
                 ):
                     pop(entries)
                     continue
-            return pop(entries)[3]
+            return pop(entries)
         return None
 
-    def pop_at(self, time: float) -> Optional[Event]:
-        """Pop the earliest live event if it fires exactly at ``time``.
+    def pop_entry_at(self, time: float) -> Optional[HeapEntry]:
+        """Pop the earliest live entry if it fires exactly at ``time``.
 
-        One combined drop-stale/peek/pop call for the engine's
-        simultaneous-batch loop.  Stale entries later than ``time`` are
-        left in place -- :meth:`pop_next` drops them when reached.
+        One combined drop-stale/peek/pop call for the engine's fused
+        same-timestamp batch drain.  Stale entries later than ``time`` are
+        left in place -- :meth:`pop_entry` drops them when reached.
         """
         entries = self._entries
         pop = heapq.heappop
@@ -289,15 +302,37 @@ class EventHeap:
             first = entries[0]
             if first[0] != time:
                 return None
-            head = first[3]
-            if head.priority == _COPY_FINISH:
-                copy = head.copy
+            if first[1] == _COPY_FINISH:
+                copy = first[3]
                 if (
                     copy.finish_time is not None
                     or copy.killed_at is not None
-                    or head.version != copy.finish_version
+                    or first[4] != copy.finish_version
                 ):
                     pop(entries)
                     continue
-            return pop(entries)[3]
+            return pop(entries)
         return None
+
+    def pop_time_batch(self) -> Optional[Tuple[float, List[HeapEntry]]]:
+        """Pop *every* live entry at the earliest live timestamp.
+
+        Returns ``(time, entries)`` with the entries in their global
+        ``(priority, sequence)`` order, or ``None`` when the heap is
+        drained.  This is the same-timestamp batch contract in explicit
+        form: the engine's hot loop fuses the drain with event handling
+        (one :meth:`pop_entry` then :meth:`pop_entry_at` until exhausted,
+        which yields entries in exactly this order without building the
+        list); invariant tests use this method as the reference shape.
+        """
+        first = self.pop_entry()
+        if first is None:
+            return None
+        time = first[0]
+        batch = [first]
+        push = batch.append
+        entry = self.pop_entry_at(time)
+        while entry is not None:
+            push(entry)
+            entry = self.pop_entry_at(time)
+        return time, batch

@@ -424,6 +424,18 @@ def execute_run_spec(spec: RunSpec) -> SimulationResult:
     return spec.execute()
 
 
+#: Worker-process results store, set by :func:`_init_worker_store` when the
+#: parent runner has a cache configured.  ``None`` in the parent (the
+#: initializer only runs inside pool workers) and in store-less pools.
+_WORKER_STORE: Optional[ResultsStore] = None
+
+
+def _init_worker_store(cache_dir: str) -> None:
+    """Pool initializer: open the shared results store in this worker."""
+    global _WORKER_STORE
+    _WORKER_STORE = ResultsStore(cache_dir)
+
+
 def _execute_batch(
     batch: List[RunSpec],
 ) -> Tuple[int, List[SimulationResult]]:
@@ -435,8 +447,28 @@ def _execute_batch(
     rather than relying on ``pool.map`` chunking of single specs --
     keeps one IPC round-trip (and one results pickle) per *batch* of
     small runs instead of per run.
+
+    When the pool was initialised with a results store, each cacheable
+    result is persisted *here*, before it crosses back to the parent:
+    store writes (row rendering, canonical JSON, hashing) then scale out
+    with the workers instead of serialising on the parent, and the
+    persist-before-observe guarantee of
+    :meth:`ExperimentRunner.run` holds a fortiori.  The store's atomic
+    same-destination writes make concurrent workers safe by design.
     """
-    return os.getpid(), [spec.execute() for spec in batch]
+    store = _WORKER_STORE
+    results = []
+    for spec in batch:
+        result = spec.execute()
+        if store is not None:
+            try:
+                key = run_spec_fingerprint(spec)
+            except UncacheableSpecError:
+                pass
+            else:
+                store.store(key, canonical_spec_description(spec), result)
+        results.append(result)
+    return os.getpid(), results
 
 
 #: Signature of a streaming progress observer: ``(spec, result, cache_hit)``.
@@ -529,6 +561,7 @@ class ExperimentRunner:
         self,
         specs: List[RunSpec],
         on_each: Optional[Callable[[int, SimulationResult], None]] = None,
+        worker_store_dir: Optional[str] = None,
     ) -> List[SimulationResult]:
         """Run every spec (serially or on the pool), no cache involved.
 
@@ -542,6 +575,10 @@ class ExperimentRunner:
         fires as results land, in spec order on both paths (the pool path
         consumes batches as they complete via ``imap``, so the hook
         streams instead of waiting for the whole sweep).
+
+        ``worker_store_dir`` (pool path only) makes every worker open the
+        results store at that directory and persist its own results
+        before shipping them back -- see :func:`_execute_batch`.
         """
         if not specs:
             self.last_dispatch_stats = {
@@ -579,7 +616,11 @@ class ExperimentRunner:
         ]
         per_worker: Dict[int, int] = {}
         results: List[SimulationResult] = []
-        with context.Pool(processes=pool_size) as pool:
+        initializer = _init_worker_store if worker_store_dir else None
+        initargs = (worker_store_dir,) if worker_store_dir else ()
+        with context.Pool(
+            processes=pool_size, initializer=initializer, initargs=initargs
+        ) as pool:
             for pid, batch_results in pool.imap(_execute_batch, batches, chunksize=1):
                 per_worker[pid] = per_worker.get(pid, 0) + 1
                 for result in batch_results:
@@ -644,12 +685,23 @@ class ExperimentRunner:
             else:
                 pending.append(index)
 
+        # On the pool path, delegate persistence to the workers themselves
+        # (they store each result before shipping it back, so writes scale
+        # out instead of serialising on the parent).  Only a store the
+        # workers can faithfully reopen by path qualifies; a custom
+        # subclass keeps the parent-side write.  The serial path and
+        # custom stores persist in ``on_each`` below, preserving the
+        # persist-before-observe ordering either way.
+        pooled = self.workers > 1 and len(pending) > 1
+        workers_persist = pooled and type(store) is ResultsStore
+        worker_store_dir = str(store.cache_dir) if workers_persist else None
+
         def on_each(position: int, result: SimulationResult) -> None:
             # Persist before observing: a callback consumer that saw this
             # result may rely on a restarted sweep finding it in the cache.
             index = pending[position]
             key = keys[index]
-            if key is not None:
+            if key is not None and not workers_persist:
                 store.store(
                     key, canonical_spec_description(specs[index]), result
                 )
@@ -658,7 +710,11 @@ class ExperimentRunner:
             if callback is not None:
                 callback(specs[index], result, False)
 
-        self._execute([specs[index] for index in pending], on_each)
+        self._execute(
+            [specs[index] for index in pending],
+            on_each,
+            worker_store_dir=worker_store_dir,
+        )
         self.last_dispatch_stats["cache_hits"] = stats["cache_hits"]
         return results  # type: ignore[return-value]
 

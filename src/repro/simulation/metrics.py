@@ -144,6 +144,40 @@ class SimulationResult:
         self.__dict__.pop("_flowtimes_cache", None)
         self.__dict__.pop("_weights_cache", None)
 
+    # -- pickling -----------------------------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Row-packed pickle form: records as plain tuples, caches dropped.
+
+        Pool workers ship whole shard results across the process boundary;
+        pickling the per-record ``__slots__`` objects individually costs
+        several times the packed-row form (one state dict per record), and
+        the metric caches are derived data the receiver can rebuild.
+        """
+        state = dict(self.__dict__)
+        state.pop("_flowtimes_cache", None)
+        state.pop("_weights_cache", None)
+        state["records"] = [
+            (
+                r.job_id,
+                r.arrival_time,
+                r.completion_time,
+                r.weight,
+                r.num_map_tasks,
+                r.num_reduce_tasks,
+                r.copies_launched,
+                r.map_phase_completion_time,
+                r.num_stages,
+            )
+            for r in self.records
+        ]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        rows = state.pop("records")
+        self.__dict__.update(state)
+        self.records = [JobRecord(*row) for row in rows]
+
     # -- basic aggregates --------------------------------------------------------------
 
     @property
@@ -275,6 +309,32 @@ class SimulationResult:
         )
 
     # -- determinism fingerprinting -----------------------------------------------------------
+
+    #: Keys of :meth:`canonical_dict`.  The results store hashes raw stored
+    #: payloads over exactly these keys (record rows kept as loaded), so
+    #: integrity checks skip the row -> JobRecord -> row round trip; any
+    #: key added to :meth:`canonical_dict` must be added here too (the
+    #: store's load-time fingerprint check fails loudly on drift).
+    CANONICAL_KEYS = (
+        "scheduler_name",
+        "num_machines",
+        "seed",
+        "total_copies",
+        "total_tasks",
+        "redundant_copies_launched",
+        "wasted_work",
+        "useful_work",
+        "makespan",
+        "over_requests",
+        "machine_failures",
+        "copies_killed_by_failure",
+        "checkpoint_resumes",
+        "work_saved_by_checkpointing",
+        "straggler_onsets",
+        "local_launches",
+        "remote_launches",
+        "records",
+    )
 
     def canonical_dict(self) -> Dict[str, object]:
         """Deterministic, JSON-serialisable dump of everything the simulation

@@ -238,6 +238,23 @@ def _result_to_payload(result: SimulationResult) -> Dict[str, Any]:
     return payload
 
 
+def _payload_fingerprint(payload: Dict[str, Any]) -> str:
+    """Result fingerprint computed from the raw stored payload.
+
+    Equals ``_result_from_payload(payload).fingerprint()`` -- record rows
+    round-trip exactly through ``JobRecord``, and ``json.dumps`` renders
+    the loaded row lists identically to the tuples ``canonical_dict``
+    emits -- but needs only the aggregates plus the raw rows, so integrity
+    checks never re-materialise (and re-serialise) a million-record list.
+    Missing keys raise ``KeyError``, handled by the caller as corruption.
+    """
+    canonical = {
+        key: payload[key] for key in SimulationResult.CANONICAL_KEYS
+    }
+    digest = json.dumps(canonical, sort_keys=True)
+    return hashlib.sha256(digest.encode("utf-8")).hexdigest()
+
+
 def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
     """Rebuild a :class:`SimulationResult` from :func:`_result_to_payload`."""
     result = SimulationResult(
@@ -260,8 +277,11 @@ def _result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
         runtime_seconds=payload["runtime_seconds"],
         seed=payload["seed"],
     )
+    # Direct append: a freshly built result has no metric caches to
+    # invalidate, so the per-record ``add_record`` bookkeeping is skipped.
+    append = result.records.append
     for row in payload["records"]:
-        result.add_record(JobRecord(*row))
+        append(JobRecord(*row))
     return result
 
 
@@ -416,9 +436,12 @@ class ResultsStore:
             entry = json.loads(raw)
             if entry["format"] != FORMAT_VERSION:
                 raise ValueError(f"format {entry['format']} != {FORMAT_VERSION}")
-            result = _result_from_payload(entry["result"])
-            if result.fingerprint() != entry["fingerprint"]:
+            # Integrity first, straight off the raw payload: rebuilding the
+            # records only to re-serialise them for hashing would walk a
+            # large result's record list three times instead of once.
+            if _payload_fingerprint(entry["result"]) != entry["fingerprint"]:
                 raise ValueError("stored fingerprint does not match content")
+            result = _result_from_payload(entry["result"])
         except (ValueError, KeyError, TypeError, IndexError):
             self.corrupt += 1
             self.misses += 1
@@ -430,11 +453,17 @@ class ResultsStore:
         """Atomically persist ``result`` under ``key`` and return its path."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Build the payload once and fingerprint it directly: going through
+        # ``result.fingerprint()`` would render the record rows a second
+        # time (``canonical_dict`` per call), which dominates store() cost
+        # for large results.  ``_payload_fingerprint`` is defined to equal
+        # the result's own fingerprint.
+        payload_dict = _result_to_payload(result)
         entry = {
             "format": FORMAT_VERSION,
             "spec": description,
-            "fingerprint": result.fingerprint(),
-            "result": _result_to_payload(result),
+            "fingerprint": _payload_fingerprint(payload_dict),
+            "result": payload_dict,
         }
         payload = json.dumps(entry, sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(

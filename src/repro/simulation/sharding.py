@@ -79,7 +79,9 @@ timeline up to the global makespan, exactly as the unsharded run does.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.scenarios import machine_process_rng
 from repro.simulation.experiment_runner import ExperimentRunner, RunSpec
@@ -235,64 +237,134 @@ def _machine_events(spec: RunSpec, horizon: float) -> List[tuple]:
     return events
 
 
-def _validate(spec: RunSpec, shard_results: Sequence[SimulationResult]) -> Optional[str]:
-    """Reason the shard results cannot be merged exactly, or ``None``.
+def _validate(
+    spec: RunSpec,
+    shard_results: Sequence[SimulationResult],
+    records: List[JobRecord],
+) -> Tuple[Optional[str], float]:
+    """Reason the shard results cannot be merged (or ``None``), plus the fold.
 
     Performs the dynamic half of the soundness envelope: per-shard counter
     and useful-work decomposition checks, global serialization, and the
     shared free-list replay against the precomputed machine timeline.
+    ``records`` must be empty on entry; on a ``None`` reason it holds the
+    merged (shard-order concatenated) record list and the returned float
+    is the engine's left-to-right useful-work fold over it -- computed as
+    a strictly sequential ``np.add.accumulate`` over the per-record
+    ``completion - arrival`` terms, which is bit-identical to the
+    engine's scalar fold (accumulate must produce every partial sum, so
+    it cannot regroup) -- letting the merge adopt both without walking
+    the per-shard lists again.
+
+    The order-independent predicates (job-id contiguity, serialization,
+    the fixed ``arrival + duration/speed`` completion law when no machine
+    event fires) are evaluated as whole-array float64 comparisons;
+    accept/reject decisions are identical to the scalar replay, only the
+    Python loop is gone.  The scalar replay remains for timelines with
+    failure/repair events, where free-list order is genuinely stateful.
     """
+    arrival_parts: List[np.ndarray] = []
+    completion_parts: List[np.ndarray] = []
     for index, result in enumerate(shard_results):
         if result.wasted_work != 0.0:
-            return f"shard {index} recorded wasted work (killed copies)"
+            return f"shard {index} recorded wasted work (killed copies)", 0.0
         if result.copies_killed_by_failure:
-            return f"shard {index}: a machine failure killed a running copy"
+            return (
+                f"shard {index}: a machine failure killed a running copy",
+                0.0,
+            )
         if result.redundant_copies_launched:
-            return f"shard {index} launched redundant copies"
+            return f"shard {index} launched redundant copies", 0.0
         if result.straggler_onsets:
-            return f"shard {index} recorded straggler onsets"
-        fold = 0.0
-        for record in result.records:
-            fold += record.completion_time - record.arrival_time
+            return f"shard {index} recorded straggler onsets", 0.0
+        shard_records = result.records
+        count = len(shard_records)
+        arrivals = np.fromiter(
+            (record.arrival_time for record in shard_records),
+            np.float64,
+            count,
+        )
+        completions = np.fromiter(
+            (record.completion_time for record in shard_records),
+            np.float64,
+            count,
+        )
+        fold = (
+            float(np.add.accumulate(completions - arrivals)[-1])
+            if count
+            else 0.0
+        )
         if fold != result.useful_work:
             return (
                 f"shard {index}: useful work does not decompose per record "
-                "(a launch was queued past its arrival)"
+                "(a launch was queued past its arrival)",
+                0.0,
             )
-
-    records: List[JobRecord] = []
-    for result in shard_results:
-        records.extend(result.records)
-    for index, record in enumerate(records):
-        if record.job_id != index:
-            return "merged records are not the contiguous job-id sequence"
-    for previous, record in zip(records, records[1:]):
-        if previous.completion_time > record.arrival_time:
+        arrival_parts.append(arrivals)
+        completion_parts.append(completions)
+        records.extend(shard_records)
+    if not records:
+        return None, 0.0
+    count = len(records)
+    job_ids = np.fromiter(
+        (record.job_id for record in records), np.int64, count
+    )
+    if not (job_ids == np.arange(count)).all():
+        return "merged records are not the contiguous job-id sequence", 0.0
+    arrivals = np.concatenate(arrival_parts)
+    completions = np.concatenate(completion_parts)
+    overlap = completions[:-1] > arrivals[1:]
+    if overlap.any():
+        index = int(np.argmax(overlap))
+        previous, record = records[index], records[index + 1]
+        return (
+            f"run does not serialize: job {previous.job_id} completes at "
+            f"{previous.completion_time} after job {record.job_id} "
+            f"arrives at {record.arrival_time}",
+            0.0,
+        )
+    useful = float(np.add.accumulate(completions - arrivals)[-1])
+    speeds = _machine_speeds(spec)
+    mean_duration = float(dict(spec.trace.kwargs).get("mean_duration", 10.0))
+    horizon = records[-1].completion_time
+    events = _machine_events(spec, horizon)
+    if not events:
+        # No failure/repair ever fires, so the free-list replay collapses:
+        # the list starts ``[M-1 .. 0]``, every launch pops machine 0 and
+        # every finish pushes it back before the next arrival (proved by
+        # the serialization check above), hence every job runs on machine
+        # 0 and the whole replay is one array comparison.
+        duration = mean_duration / speeds[0]
+        wrong = completions != arrivals + duration
+        if wrong.any():
+            index = int(np.argmax(wrong))
+            record = records[index]
             return (
-                f"run does not serialize: job {previous.job_id} completes at "
-                f"{previous.completion_time} after job {record.job_id} "
-                f"arrives at {record.arrival_time}"
+                f"job {record.job_id} on machine 0: completion "
+                f"{record.completion_time} != expected "
+                f"{record.arrival_time + duration}",
+                0.0,
             )
+        return None, useful
 
     # Shared free-list replay: machine events and job arrivals/completions
     # interleaved in the engine's (time, priority) order.  This is the one
     # state all shards implicitly share; any interleaving that could make
     # a shard-local free list diverge from the global run is rejected.
-    horizon = records[-1].completion_time if records else 0.0
-    events = _machine_events(spec, horizon)
     for index, record in enumerate(records):
         events.append((record.arrival_time, _ARRIVAL, index))
         events.append((record.completion_time, _FINISH, index))
     events.sort()
-    speeds = _machine_speeds(spec)
-    mean_duration = float(dict(spec.trace.kwargs).get("mean_duration", 10.0))
     free = list(range(spec.num_machines - 1, -1, -1))
     busy_index: Optional[int] = None
     busy_machine: Optional[int] = None
     for time, priority, payload in events:
         if priority == _FINISH:
             if busy_index != payload:
-                return "replay desynchronized: completion of a job not running"
+                return (
+                    "replay desynchronized: completion of a job not running",
+                    0.0,
+                )
             free.append(busy_machine)
             busy_index = None
             busy_machine = None
@@ -301,25 +373,34 @@ def _validate(spec: RunSpec, shard_results: Sequence[SimulationResult]) -> Optio
                 return (
                     f"machine {payload} repaired at t={time} while job "
                     f"{records[busy_index].job_id} was busy (free-list order "
-                    "would diverge between shards)"
+                    "would diverge between shards)",
+                    0.0,
                 )
             free.append(payload)
         elif priority == _FAILURE:
             if payload == busy_machine:
                 return (
                     f"machine {payload} failed at t={time} under job "
-                    f"{records[busy_index].job_id}"
+                    f"{records[busy_index].job_id}",
+                    0.0,
                 )
             if payload not in free:
-                return "replay desynchronized: failure of a machine not free"
+                return (
+                    "replay desynchronized: failure of a machine not free",
+                    0.0,
+                )
             free.remove(payload)
         else:  # _ARRIVAL
             if busy_index is not None:
-                return "replay desynchronized: arrival while a job was busy"
+                return (
+                    "replay desynchronized: arrival while a job was busy",
+                    0.0,
+                )
             if not free:
                 return (
                     f"no free machine at job {records[payload].job_id}'s "
-                    "arrival (launch would queue)"
+                    "arrival (launch would queue)",
+                    0.0,
                 )
             machine_id = free.pop()
             record = records[payload]
@@ -327,20 +408,33 @@ def _validate(spec: RunSpec, shard_results: Sequence[SimulationResult]) -> Optio
             if record.completion_time != expected:
                 return (
                     f"job {record.job_id} on machine {machine_id}: completion "
-                    f"{record.completion_time} != expected {expected}"
+                    f"{record.completion_time} != expected {expected}",
+                    0.0,
                 )
             busy_index = payload
             busy_machine = machine_id
     if busy_index is not None:
-        return "replay desynchronized: run ended with a job still busy"
-    return None
+        return "replay desynchronized: run ended with a job still busy", 0.0
+    return None, useful
 
 
 # ------------------------------------------------------------------ merge
 
 
-def _merge(spec: RunSpec, shard_results: Sequence[SimulationResult]) -> SimulationResult:
-    """Combine validated shard results per the module's merge contract."""
+def _merge(
+    spec: RunSpec,
+    shard_results: Sequence[SimulationResult],
+    records: List[JobRecord],
+    useful_work: float,
+) -> SimulationResult:
+    """Combine validated shard results per the module's merge contract.
+
+    ``records`` and ``useful_work`` are the concatenated record list and
+    the left-to-right useful-work fold `_validate` already produced; the
+    merged result adopts both directly (aggregate counters come from the
+    shard results alone), so the million-record lists are never walked or
+    copied again.
+    """
     last = shard_results[-1]
     merged = SimulationResult(
         scheduler_name=last.scheduler_name,
@@ -361,16 +455,12 @@ def _merge(spec: RunSpec, shard_results: Sequence[SimulationResult]) -> Simulati
         runtime_seconds=sum(r.runtime_seconds for r in shard_results),
         seed=spec.seed,
     )
-    # Re-accumulate useful work with the engine's own left-to-right fold
-    # over per-record terms; summing shard totals would regroup the float
-    # additions (validation proved each shard's fold matches its total).
-    useful = 0.0
-    records = merged.records
-    for result in shard_results:
-        for record in result.records:
-            records.append(record)
-            useful += record.completion_time - record.arrival_time
-    merged.useful_work = useful
+    # Useful work is the validator's re-accumulation of the engine's own
+    # left-to-right fold over per-record terms; summing shard totals would
+    # regroup the float additions (validation proved each shard's fold
+    # matches its total).
+    merged.useful_work = useful_work
+    merged.records = records
     return merged
 
 
@@ -412,10 +502,11 @@ def run_sharded(
         return ShardedRun(result, False, num_shards, str(exc), stats)
     shard_results = runner.run(shard_specs)
     _accumulate()
-    reason = _validate(spec, shard_results)
+    records: List[JobRecord] = []
+    reason, useful_work = _validate(spec, shard_results, records)
     if reason is not None:
         result = runner.run([spec])[0]
         _accumulate()
         return ShardedRun(result, False, len(shard_specs), reason, stats)
-    merged = _merge(spec, shard_results)
+    merged = _merge(spec, shard_results, records, useful_work)
     return ShardedRun(merged, True, len(shard_specs), None, stats)

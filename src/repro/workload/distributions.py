@@ -68,15 +68,42 @@ class DurationDistribution(ABC):
         """Draw a single workload as a Python float."""
         return float(self.sample(rng, 1)[0])
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` workloads in one vectorized call.
+
+        RNG-consumption contract
+        ------------------------
+        ``sample_batch(rng, n)`` must advance ``rng`` exactly as ``n``
+        successive ``sample(rng, 1)`` calls would, and return the same
+        values in the same order.  Batching is then *invisible* to every
+        consumer: splitting one batch into two, fusing adjacent batches,
+        or replacing a per-task sampling loop with one batched draw
+        leaves the stream of drawn durations -- and therefore every
+        simulation fingerprint -- bit-identical.
+
+        The default delegates to :meth:`sample`, which satisfies the
+        contract for every distribution in this module: each implements
+        ``sample`` as a single vectorized ``numpy.random.Generator``
+        call, and the Generator fills its output element by element from
+        the underlying bit stream, so a size-``n`` draw consumes exactly
+        the bits of ``n`` size-1 draws (asserted per distribution by
+        ``tests/test_sample_batch.py``).  A subclass whose ``sample``
+        issues size-*dependent* draws must override this method before it
+        can be used on the batched paths (engine arrival pre-sampling,
+        stream generation, trace materialisation).
+        """
+        return self.sample(rng, size)
+
     def sample_list(self, rng: np.random.Generator, size: int) -> list:
         """Draw ``size`` workloads as a plain Python list.
 
-        Engine hot-path helper: semantically ``sample(...).tolist()``.
-        Subclasses that consume no randomness (:class:`Deterministic`) may
-        override it to skip the numpy round-trip entirely -- permitted
-        exactly because no RNG draw is saved or reordered by doing so.
+        Engine hot-path helper: semantically ``sample_batch(...).tolist()``
+        and bound by the same RNG-consumption contract.  Subclasses that
+        consume no randomness (:class:`Deterministic`) may override it to
+        skip the numpy round-trip entirely -- permitted exactly because no
+        RNG draw is saved or reordered by doing so.
         """
-        return self.sample(rng, size).tolist()
+        return self.sample_batch(rng, size).tolist()
 
     @property
     def variance(self) -> float:

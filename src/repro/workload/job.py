@@ -54,9 +54,8 @@ per-event scheduler consultations affordable at million-job scale.
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.workload.distributions import DurationDistribution
 
@@ -133,8 +132,10 @@ _LEGACY_DEPENDENTS: Tuple[Tuple[int, ...], ...] = ((1,), ())
 #: StageSpecs, so an id can never be recycled while its key is cached.
 #: Streams that build a fresh distribution per job (e.g. lognormal task
 #: durations resampled per arrival) would grow this without bound, hence
-#: the LRU cap.
-_LEGACY_STAGES_MEMO: "OrderedDict[Tuple[int, int, DurationDistribution, DurationDistribution], Tuple[StageSpec, ...]]" = OrderedDict()
+#: the cap.  Eviction is insertion-order FIFO (a plain dict, no
+#: move-to-end per hit): the memo is pure performance state, and the hot
+#: lookup -- inlined in :meth:`Job.from_spec` -- stays one dict get.
+_LEGACY_STAGES_MEMO: "Dict[Tuple[int, int, DurationDistribution, DurationDistribution], Tuple[StageSpec, ...]]" = {}
 _LEGACY_STAGES_MEMO_MAX = 512
 
 
@@ -154,7 +155,6 @@ def _legacy_stage_specs(spec: "JobSpec") -> Tuple[StageSpec, ...]:
     memo = _LEGACY_STAGES_MEMO
     cached = memo.get(key)
     if cached is not None:
-        memo.move_to_end(key)
         return cached
     cached = (
         StageSpec(
@@ -172,7 +172,8 @@ def _legacy_stage_specs(spec: "JobSpec") -> Tuple[StageSpec, ...]:
     )
     memo[key] = cached
     if len(memo) > _LEGACY_STAGES_MEMO_MAX:
-        memo.popitem(last=False)
+        # FIFO eviction: drop the oldest-inserted entry.
+        del memo[next(iter(memo))]
     return cached
 
 
@@ -213,15 +214,23 @@ def _fast_legacy_spec(
     and repr all read the same fields).
     """
     spec = object.__new__(JobSpec)
-    spec.__dict__.update(
-        job_id=job_id,
-        arrival_time=arrival_time,
-        weight=weight,
-        num_map_tasks=num_map_tasks,
-        num_reduce_tasks=num_reduce_tasks,
-        map_duration=map_duration,
-        reduce_duration=reduce_duration,
-        stages=None,
+    # One dict literal swapped in wholesale (through object.__setattr__,
+    # since the frozen dataclass intercepts plain assignment): cheaper
+    # than building a kwargs dict and update()-ing it into the instance
+    # dict.
+    object.__setattr__(
+        spec,
+        "__dict__",
+        {
+            "job_id": job_id,
+            "arrival_time": arrival_time,
+            "weight": weight,
+            "num_map_tasks": num_map_tasks,
+            "num_reduce_tasks": num_reduce_tasks,
+            "map_duration": map_duration,
+            "reduce_duration": reduce_duration,
+            "stages": None,
+        },
     )
     return spec
 
@@ -763,6 +772,7 @@ class Job:
         "_newly_ready",
         "_active_copies",
         "_copies_launched",
+        "_workloads",
     )
 
     def __init__(
@@ -778,6 +788,11 @@ class Job:
         self._stage_completion: List[Optional[float]] = [None] * len(stages)
         self.completion_time = completion_time
         self._newly_ready: List[int] = []
+        # Engine-owned pre-sampled workload buffers, one reversed list per
+        # stage (see SimulationEngine._handle_arrival); None until the job
+        # arrives in an engine.  Living on the job, the buffers die with it
+        # -- no per-job cleanup in a global dict.
+        self._workloads: Optional[List[List[float]]] = None
         self._recount()
 
     def _recount(self) -> None:
@@ -830,13 +845,44 @@ class Job:
             # Legacy 2-node fast path: the readiness pass collapses to "is
             # the map stage empty?" (stage 0 is a source; stage 1 depends
             # only on it, and JobSpec validation guarantees at least one
-            # task overall).
-            job._stages = _legacy_stage_specs(spec)
+            # task overall).  The memo lookup is inlined (one dict get per
+            # job; _legacy_stage_specs handles the cold miss).
+            num_map = spec.num_map_tasks
+            num_reduce = spec.num_reduce_tasks
+            stages = _LEGACY_STAGES_MEMO.get(
+                (num_map, num_reduce, spec.map_duration, spec.reduce_duration)
+            )
+            job._stages = (
+                stages if stages is not None else _legacy_stage_specs(spec)
+            )
             job._dependents = _LEGACY_DEPENDENTS
             job.completion_time = None
             job._newly_ready = []
-            num_map = spec.num_map_tasks
-            num_reduce = spec.num_reduce_tasks
+            job._workloads = None
+            if num_map == 1 and num_reduce == 0:
+                # The dominant stream shape (one single-task map-only job
+                # per arrival): fully unrolled task construction, no
+                # comprehension frames.
+                task = Task.__new__(Task)
+                task.job = job
+                task.stage = 0
+                task.index = 0
+                task.copies = []
+                task.completion_time = None
+                task.checkpoint_work = 0.0
+                task.preferred_rack = None
+                task._num_active = 0
+                job.stage_tasks = [[task], []]
+                job._unscheduled = [1, 0]
+                job._incomplete = [1, 0]
+                job._unscheduled_total = job._incomplete_total = 1
+                job._stage_completion = [None, None]
+                job._stage_ready = [True, False]
+                job._unscheduled_ready = 1
+                job._incomplete_stages = 2
+                job._active_copies = 0
+                job._copies_launched = 0
+                return job
             job.stage_tasks = [
                 [_new_task(job, 0, j) for j in range(num_map)] if num_map else [],
                 [_new_task(job, 1, j) for j in range(num_reduce)]
@@ -869,6 +915,7 @@ class Job:
         job._dependents = dependents
         job.completion_time = None
         job._newly_ready = []
+        job._workloads = None
         stage_tasks: List[List[Task]] = []
         unscheduled = [0] * num_stages
         incomplete = [0] * num_stages

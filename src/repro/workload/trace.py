@@ -150,7 +150,9 @@ class Trace:
                     durations.extend([dist.mean] * phase_count)
                 else:
                     n = phase_count * max(1, samples_per_phase)
-                    durations.extend(dist.sample(rng, n).tolist())
+                    # Batched draw: bit-identical to per-task sampling by
+                    # the sample_batch RNG-consumption contract.
+                    durations.extend(dist.sample_batch(rng, n).tolist())
         durations_arr = np.asarray(durations, dtype=float)
         return TraceStatistics(
             total_jobs=self.num_jobs,

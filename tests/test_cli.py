@@ -114,3 +114,38 @@ class TestMain:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "SRPTMS+C" in output and "Mantri" in output
+
+
+class TestProfileCommand:
+    def test_profile_smoke_names_engine_frames(self, capsys, tmp_path):
+        dump = tmp_path / "engine.prof"
+        exit_code = main(
+            [
+                "profile",
+                "--workload",
+                "stream:2000",
+                "--scheduler",
+                "fifo",
+                "--top",
+                "15",
+                "--dump",
+                str(dump),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        # The cumulative table must surface the engine hot path by name.
+        assert "cumulative" in output
+        assert "engine.py" in output
+        assert "_run" in output
+        assert "2000 jobs" in output
+        # And the raw pstats dump must be loadable.
+        assert dump.exists()
+        import pstats
+
+        stats = pstats.Stats(str(dump))
+        assert any("engine.py" in key[0] for key in stats.stats)
+
+    def test_profile_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--workload", "nonsense"])

@@ -8,7 +8,7 @@ import pytest
 
 from repro.cluster.stragglers import ProbabilisticSlowdown
 from repro.simulation.engine import SimulationEngine, SimulationError
-from repro.simulation.events import Event, EventType
+from repro.simulation.events import Event, EventHeap, EventType
 from repro.simulation.scheduler_api import LaunchRequest, Scheduler, SchedulerView
 from repro.workload.distributions import Deterministic
 from repro.workload.generators import uniform_trace
@@ -311,3 +311,121 @@ class TestEvents:
         early = Event.tick(1.0, 5)
         late = Event.copy_finish(2.0, 1, copy=None)
         assert sorted([late, early])[0] is early
+
+
+class _StubCopy:
+    """Minimal copy stand-in for heap staleness tests."""
+
+    def __init__(self) -> None:
+        self.finish_time = None
+        self.killed_at = None
+        self.finish_version = 0
+
+
+class TestSameTimestampBatchDraining:
+    """The engine's fused drain and ``pop_time_batch`` are one contract.
+
+    The engine hot loop drains each same-timestamp batch with one
+    ``pop_entry`` followed by ``pop_entry_at`` until exhausted;
+    ``pop_time_batch`` materialises the same batch explicitly.  At ties
+    the two must yield entries in the identical ``(priority, sequence)``
+    order, never surface a stale finish entry, and produce exactly one
+    batch per unique timestamp.
+    """
+
+    @staticmethod
+    def _populate(heap: EventHeap) -> list:
+        """Fill ``heap`` with colliding timestamps and stale finishes.
+
+        Returns the copies whose queued finish entries must NOT surface
+        (killed, already finished, or superseded by a re-estimate).
+        """
+        import random
+
+        rng = random.Random(42)
+        times = [0.0, 1.0, 1.0, 2.5, 2.5, 2.5, 7.0]
+        seq = 0
+        stale_copies = []
+        for time in times:
+            # A burst of mixed-kind events at this timestamp, in a
+            # deliberately scrambled push order.
+            kinds = ["arrival", "finish", "tick", "failure", "repair", "finish"]
+            rng.shuffle(kinds)
+            for kind in kinds:
+                if kind == "arrival":
+                    heap.push_arrival(object(), time, seq)
+                elif kind == "finish":
+                    copy = _StubCopy()
+                    heap.push_finish(copy, time, seq)
+                    fate = rng.random()
+                    if fate < 0.25:
+                        copy.killed_at = time  # killed clone
+                        stale_copies.append(copy)
+                    elif fate < 0.5:
+                        # Decrease-key: a re-estimate supersedes the
+                        # queued entry; only the bumped-version entry at
+                        # the new time is live.
+                        seq += 1
+                        heap.push_finish(copy, time + 1.5, seq)
+                elif kind == "tick":
+                    heap.push(Event.tick(time, seq))
+                elif kind == "failure":
+                    heap.push(Event.machine_failure(time, seq, machine_id=0))
+                else:
+                    heap.push(Event.machine_repair(time, seq, machine_id=0))
+                seq += 1
+        return stale_copies
+
+    @staticmethod
+    def _drain_fused(heap: EventHeap) -> list:
+        """Drain ``heap`` the way the engine hot loop does."""
+        batches = []
+        entry = heap.pop_entry()
+        while entry is not None:
+            time = entry[0]
+            batch = [entry]
+            nxt = heap.pop_entry_at(time)
+            while nxt is not None:
+                batch.append(nxt)
+                nxt = heap.pop_entry_at(time)
+            batches.append((time, batch))
+            entry = heap.pop_entry()
+        return batches
+
+    def test_fused_drain_matches_batch_contract_at_ties(self):
+        fused_heap, batch_heap = EventHeap(), EventHeap()
+        stale = self._populate(fused_heap)
+        self._populate(batch_heap)
+
+        fused = self._drain_fused(fused_heap)
+        reference = []
+        batch = batch_heap.pop_time_batch()
+        while batch is not None:
+            reference.append(batch)
+            batch = batch_heap.pop_time_batch()
+
+        def shape(batches):
+            return [
+                (time, [(e[0], e[1], e[2]) for e in entries])
+                for time, entries in batches
+            ]
+
+        # Identical heaps drain to identical batches either way.
+        assert shape(fused) == shape(reference)
+
+        times = [time for time, _ in fused]
+        # Exactly one decision point per unique simulated time.
+        assert times == sorted(set(times))
+        for time, entries in fused:
+            keys = [(e[1], e[2]) for e in entries]
+            # Within a batch: global (priority, sequence) order -- at a
+            # tie, finishes before repairs before failures before
+            # arrivals before ticks, FIFO within a kind.
+            assert keys == sorted(keys)
+            assert all(e[0] == time for e in entries)
+            # Stale finish entries (killed or superseded) never surface.
+            for e in entries:
+                if e[1] == int(EventType.COPY_FINISH):
+                    copy = e[3]
+                    assert copy not in stale
+                    assert e[4] == copy.finish_version

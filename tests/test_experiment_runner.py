@@ -301,3 +301,40 @@ class TestOnResultCallback:
 
         runner.run(specs, on_result=probe)
         assert cached_at_callback == [True, True]
+
+
+class TestWorkerSidePersistence:
+    """Pooled runs persist results inside the workers, not the parent."""
+
+    def test_pool_persists_worker_side_and_resumes_warm(
+        self, small_online_trace, tmp_path
+    ):
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)
+        runner = ExperimentRunner(workers=2, cache_dir=tmp_path)
+        cold = runner.run(specs)
+        assert runner.last_run_stats["executed"] == len(specs)
+        # Persistence happened inside the pool workers: the parent-side
+        # store object never wrote an entry...
+        assert runner.store.writes == 0
+        # ...yet every spec landed on disk, so a fresh runner resumes
+        # entirely from cache with bit-identical results.
+        resumed = ExperimentRunner(workers=2, cache_dir=tmp_path)
+        warm = resumed.run(specs)
+        assert resumed.last_run_stats == {
+            "executed": 0,
+            "cache_hits": len(specs),
+            "uncacheable": 0,
+        }
+        assert [r.fingerprint() for r in warm] == [
+            r.fingerprint() for r in cold
+        ]
+
+    def test_serial_path_keeps_parent_side_writes(
+        self, small_online_trace, tmp_path
+    ):
+        specs = _specs_for(SchedulerSpec(FIFOScheduler), small_online_trace)
+        runner = ExperimentRunner(workers=1, cache_dir=tmp_path)
+        runner.run(specs)
+        # No pool, no delegation: the parent store wrote every entry
+        # (preserving the persist-before-observe callback ordering).
+        assert runner.store.writes == len(specs)

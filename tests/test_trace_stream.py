@@ -145,7 +145,6 @@ class TestEngineStreaming:
         assert result.num_jobs == 60
         assert engine._jobs == []
         assert engine._alive == {}
-        assert engine._workload_buffers == {}
 
     def test_alive_set_stays_small_while_streaming(self):
         """The engine's working set tracks *alive* jobs, not trace size."""
